@@ -1,0 +1,263 @@
+//! The I/O Report: what the Analysis Agent distills from Darshan tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Application-level I/O characterization (the "I/O Report" of Fig. 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IoReport {
+    /// MPI processes in the job.
+    pub nprocs: u32,
+    /// Wall time of the traced run, seconds.
+    pub runtime_secs: f64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Distinct files accessed.
+    pub file_count: u64,
+    /// Files accessed by more than one rank.
+    pub shared_file_count: u64,
+    /// Module moving the most data ("POSIX", "MPI-IO").
+    pub dominant_module: String,
+    /// Mean write request size, bytes.
+    pub avg_write_size: f64,
+    /// Mean read request size, bytes.
+    pub avg_read_size: f64,
+    /// Fraction of writes at or beyond the previous write's end offset.
+    pub seq_write_fraction: f64,
+    /// Fraction of reads at or beyond the previous read's end offset.
+    pub seq_read_fraction: f64,
+    /// Fraction of writes exactly continuing the previous write (CONSEC).
+    pub consec_write_fraction: f64,
+    /// Fraction of reads exactly continuing the previous read (CONSEC).
+    pub consec_read_fraction: f64,
+    /// Data operations (reads + writes).
+    pub data_ops: u64,
+    /// Metadata operations (opens + stats + unlinks + fsyncs).
+    pub meta_ops: u64,
+    /// meta_ops / (meta_ops + data_ops).
+    pub meta_ratio: f64,
+    /// Stat calls per file.
+    pub stats_per_file: f64,
+    /// Unlink calls observed.
+    pub unlinks: u64,
+    /// Largest file size touched (max byte written/read), bytes.
+    pub max_file_bytes: u64,
+    /// Mean file size, bytes.
+    pub avg_file_bytes: f64,
+    /// Files per rank.
+    pub files_per_rank: f64,
+    /// Mean variance of per-rank I/O time on shared files.
+    pub rank_time_variance: f64,
+    /// Read/write alternations per file (mean).
+    pub rw_switches_per_file: f64,
+    /// Cumulative seconds in metadata calls across records.
+    pub meta_time_secs: f64,
+    /// Cumulative seconds in data calls across records.
+    pub data_time_secs: f64,
+}
+
+/// Coarse workload classification the Tuning Agent reasons over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// Large, mostly sequential transfers to shared files.
+    LargeSequentialShared,
+    /// Small, mostly random transfers to a shared file.
+    RandomSmallShared,
+    /// Many small files, metadata-dominated.
+    MetadataSmallFiles,
+    /// Multiple distinct phases (large sequential + small random + metadata).
+    MixedMultiPhase,
+    /// Medium-size object appends (bursty dump patterns).
+    SmallObjectDumps,
+}
+
+impl IoReport {
+    /// Classify the workload (the judgement the Tuning Agent's first
+    /// configuration hangs on).
+    pub fn classify(&self) -> WorkloadClass {
+        let metadata_heavy = self.meta_ratio > 0.55
+            || (self.meta_ratio > 0.4 && self.avg_file_bytes < 1_000_000.0);
+        if metadata_heavy && self.avg_file_bytes < 4.0 * 1024.0 * 1024.0 {
+            return WorkloadClass::MetadataSmallFiles;
+        }
+        let has_large_seq =
+            self.avg_write_size >= 1_000_000.0 && self.consec_write_fraction > 0.6;
+        let has_small_data = self.avg_write_size < 256.0 * 1024.0;
+        if self.meta_ratio > 0.2 && self.file_count > self.nprocs as u64 {
+            return WorkloadClass::MixedMultiPhase;
+        }
+        if has_large_seq && self.avg_write_size >= 2.0 * 1024.0 * 1024.0 {
+            return WorkloadClass::LargeSequentialShared;
+        }
+        if has_small_data && self.consec_write_fraction < 0.5 && self.shared_file_count > 0 {
+            return WorkloadClass::RandomSmallShared;
+        }
+        if self.avg_write_size >= 128.0 * 1024.0 && self.avg_write_size < 2.0 * 1024.0 * 1024.0 {
+            return WorkloadClass::SmallObjectDumps;
+        }
+        // Fallbacks by dominant signal.
+        if has_small_data {
+            WorkloadClass::RandomSmallShared
+        } else {
+            WorkloadClass::LargeSequentialShared
+        }
+    }
+
+    /// Whether a meaningful read phase exists.
+    pub fn has_reads(&self) -> bool {
+        self.bytes_read > self.bytes_written / 10
+    }
+
+    /// Render the report as the text block the Tuning Agent receives.
+    pub fn render(&self) -> String {
+        format!(
+            "I/O REPORT\n\
+             processes: {}  runtime: {:.2}s  dominant module: {}\n\
+             data: {:.1} MiB written / {:.1} MiB read across {} files \
+             ({} shared between ranks, {:.1} files/rank)\n\
+             request sizes: write avg {:.1} KiB, read avg {:.1} KiB\n\
+             sequentiality: {:.0}% of writes sequential, {:.0}% of reads sequential\n\
+             metadata: {} metadata ops vs {} data ops (ratio {:.2}); \
+             {:.2} stats/file; {} unlinks; meta time {:.2}s vs data time {:.2}s\n\
+             files: avg size {:.1} KiB, largest {:.1} MiB\n\
+             balance: mean per-rank time variance on shared files {:.4}\n\
+             classification: {:?}",
+            self.nprocs,
+            self.runtime_secs,
+            self.dominant_module,
+            self.bytes_written as f64 / (1 << 20) as f64,
+            self.bytes_read as f64 / (1 << 20) as f64,
+            self.file_count,
+            self.shared_file_count,
+            self.files_per_rank,
+            self.avg_write_size / 1024.0,
+            self.avg_read_size / 1024.0,
+            self.seq_write_fraction * 100.0,
+            self.seq_read_fraction * 100.0,
+            self.meta_ops,
+            self.data_ops,
+            self.meta_ratio,
+            self.stats_per_file,
+            self.unlinks,
+            self.meta_time_secs,
+            self.data_time_secs,
+            self.avg_file_bytes / 1024.0,
+            self.max_file_bytes as f64 / (1 << 20) as f64,
+            self.rank_time_variance,
+            self.classify(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> IoReport {
+        IoReport {
+            nprocs: 50,
+            dominant_module: "POSIX".into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn classify_large_sequential() {
+        let r = IoReport {
+            avg_write_size: 16.0 * 1024.0 * 1024.0,
+            seq_write_fraction: 0.95,
+            consec_write_fraction: 0.95,
+            shared_file_count: 1,
+            file_count: 1,
+            bytes_written: 19 << 30,
+            avg_file_bytes: 19e9,
+            max_file_bytes: 19 << 30,
+            ..base()
+        };
+        assert_eq!(r.classify(), WorkloadClass::LargeSequentialShared);
+    }
+
+    #[test]
+    fn classify_random_small() {
+        let r = IoReport {
+            avg_write_size: 64.0 * 1024.0,
+            seq_write_fraction: 0.5,
+            consec_write_fraction: 0.01,
+            shared_file_count: 1,
+            file_count: 1,
+            avg_file_bytes: 6.4e9,
+            max_file_bytes: 6 << 30,
+            ..base()
+        };
+        assert_eq!(r.classify(), WorkloadClass::RandomSmallShared);
+    }
+
+    #[test]
+    fn classify_metadata_small_files() {
+        let r = IoReport {
+            avg_write_size: 8.0 * 1024.0,
+            meta_ratio: 0.75,
+            meta_ops: 7200,
+            data_ops: 2400,
+            avg_file_bytes: 8.0 * 1024.0,
+            file_count: 20_000,
+            stats_per_file: 1.0,
+            ..base()
+        };
+        assert_eq!(r.classify(), WorkloadClass::MetadataSmallFiles);
+    }
+
+    #[test]
+    fn classify_mixed() {
+        let r = IoReport {
+            avg_write_size: 900.0 * 1024.0,
+            seq_write_fraction: 0.7,
+            consec_write_fraction: 0.7,
+            meta_ratio: 0.35,
+            file_count: 12_000,
+            avg_file_bytes: 5e6,
+            max_file_bytes: 64 << 20,
+            ..base()
+        };
+        assert_eq!(r.classify(), WorkloadClass::MixedMultiPhase);
+    }
+
+    #[test]
+    fn classify_object_dumps() {
+        let r = IoReport {
+            avg_write_size: 512.0 * 1024.0,
+            seq_write_fraction: 0.9,
+            consec_write_fraction: 0.9,
+            shared_file_count: 5,
+            file_count: 15,
+            meta_ratio: 0.01,
+            avg_file_bytes: 250e6,
+            ..base()
+        };
+        assert_eq!(r.classify(), WorkloadClass::SmallObjectDumps);
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let r = IoReport {
+            bytes_written: 100 << 20,
+            meta_ops: 42,
+            ..base()
+        };
+        let s = r.render();
+        assert!(s.contains("I/O REPORT"));
+        assert!(s.contains("42 metadata ops"));
+        assert!(s.contains("classification"));
+    }
+
+    #[test]
+    fn has_reads_threshold() {
+        let mut r = base();
+        r.bytes_written = 1000;
+        r.bytes_read = 50;
+        assert!(!r.has_reads());
+        r.bytes_read = 500;
+        assert!(r.has_reads());
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmark of the end-to-end tuning loop (scaled workloads):
+//! the per-figure wall cost of one complete STELLAR tuning run, and the
+//! expert-oracle evaluation budget for contrast.
+
+use agents::RuleSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use stellar::baselines::expert_oracle;
+use stellar::Stellar;
+use std::hint::black_box;
+use workloads::WorkloadKind;
+
+fn bench_tuning_run(c: &mut Criterion) {
+    let engine = Stellar::standard();
+    let mut group = c.benchmark_group("tuning_run");
+    group.sample_size(10);
+    for kind in [WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K] {
+        let w = kind.spec().scaled(0.08);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut rules = RuleSet::new();
+                black_box(engine.tune(w.as_ref(), &mut rules, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let engine = Stellar::standard();
+    let w = WorkloadKind::Ior16M.spec().scaled(0.05);
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    group.bench_function("expert_oracle_1pass", |b| {
+        b.iter(|| black_box(expert_oracle(engine.sim(), w.as_ref(), 1, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning_run, bench_oracle);
+criterion_main!(benches);

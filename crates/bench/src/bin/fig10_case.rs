@@ -1,0 +1,7 @@
+//! Fig. 10 — the narrated MDWorkbench_8K case study.
+
+use bench::scale_from_env;
+
+fn main() {
+    println!("{}", stellar::experiments::case_study(scale_from_env()));
+}

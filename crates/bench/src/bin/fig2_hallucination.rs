@@ -1,0 +1,38 @@
+//! Fig. 2 — LLM hallucinations on parameter facts vs STELLAR's RAG
+//! extraction, scored over the 13 tuning targets against ground truth.
+
+use bench::{row, rule};
+
+fn main() {
+    let rows = stellar::experiments::fig2();
+    let widths = [26, 12, 14, 10, 14, 12];
+    println!("Fig. 2 — parameter-fact accuracy over the 13 tunables (def ✓/~/✗, range ✓/✗)\n");
+    println!(
+        "{}",
+        row(
+            &["source".into(), "def correct".into(), "def imprecise".into(),
+              "def wrong".into(), "range correct".into(), "range wrong".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for s in &rows {
+        println!(
+            "{}",
+            row(
+                &[s.source.clone(), s.def_correct.to_string(), s.def_imprecise.to_string(),
+                  s.def_wrong.to_string(), s.range_correct.to_string(), s.range_wrong.to_string()],
+                &widths
+            )
+        );
+    }
+    // The paper's concrete example: statahead_max.
+    println!("\nstatahead_max example (parametric recall):");
+    let registry = pfs::params::ParamRegistry::standard();
+    let truth = ragx::truth::truth_fact(&registry, "llite.statahead_max").unwrap();
+    for p in [llmsim::ModelProfile::gpt_45(), llmsim::ModelProfile::gemini_25_pro(), llmsim::ModelProfile::claude_37_sonnet()] {
+        let f = llmsim::facts::corrupt(&p, &truth.name, &truth.definition, truth.min, truth.max);
+        println!("  {:<22} def={:?} range=[{}..{}] ({:?})", p.name, f.def_quality, f.min, f.max, f.range_quality);
+    }
+    println!("  STELLAR RAG (gpt-4o)   def=Correct range=[{}..{}] (Correct)", truth.min, truth.max);
+}

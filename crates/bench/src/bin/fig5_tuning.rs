@@ -1,0 +1,41 @@
+//! Fig. 5 — wall time under default vs human-expert vs STELLAR
+//! configurations on the five benchmarks (8 replications, 90% CI).
+
+use bench::{pm, row, rule, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let rows = stellar::experiments::fig5(scale, 8, 2, 2);
+    let widths = [16, 16, 16, 16, 10, 12];
+    println!("Fig. 5 — wall time (s), smaller is better (scale={scale})\n");
+    println!(
+        "{}",
+        row(
+            &["workload".into(), "default".into(), "expert".into(), "STELLAR".into(),
+              "attempts".into(), "expert evals".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &[r.workload.clone(), pm(r.default_mean, r.default_ci),
+                  pm(r.expert_mean, r.expert_ci), pm(r.stellar_mean, r.stellar_ci),
+                  format!("{}", r.stellar_attempts), format!("{}", r.expert_evaluations)],
+                &widths
+            )
+        );
+    }
+    println!("\nspeedups vs default:");
+    for r in &rows {
+        println!(
+            "  {:<16} expert x{:.2}   STELLAR x{:.2}{}",
+            r.workload,
+            r.default_mean / r.expert_mean,
+            r.default_mean / r.stellar_mean,
+            if r.stellar_mean < r.expert_mean { "   (STELLAR beats expert)" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Fig. 6 — speedup per tuning iteration with and without the global rule
+//! set, on the five benchmarks (interpolation).
+
+use bench::{scale_from_env, series};
+
+fn main() {
+    let scale = scale_from_env();
+    let (rows, rules) = stellar::experiments::fig6(scale);
+    println!("Fig. 6 — per-iteration speedup vs default (iteration 0 = untuned), scale={scale}\n");
+    for r in &rows {
+        println!("{}", r.workload);
+        println!("  without rule set: {}", series(&r.without_rules));
+        println!("  with rule set:    {}", series(&r.with_rules));
+    }
+    println!("\naccumulated global rule set ({} rules):", rules.len());
+    println!("{}", rules.to_json());
+}

@@ -1,0 +1,16 @@
+//! Fig. 7 — rule-set extrapolation to previously unseen real applications
+//! (AMReX, MACSio_512K, MACSio_16M), rules learned from benchmarks only.
+
+use bench::{scale_from_env, series};
+
+fn main() {
+    let scale = scale_from_env();
+    let (_, rules) = stellar::experiments::fig6(scale);
+    let rows = stellar::experiments::fig7(scale, &rules);
+    println!("Fig. 7 — per-iteration speedup vs default on unseen applications, scale={scale}\n");
+    for r in &rows {
+        println!("{}", r.workload);
+        println!("  without rule set: {}", series(&r.without_rules));
+        println!("  with rule set:    {}", series(&r.with_rules));
+    }
+}

@@ -1,0 +1,13 @@
+//! Fig. 8 — component ablations (No Descriptions / No Analysis) on
+//! MDWorkbench_8K.
+
+use bench::{scale_from_env, series};
+
+fn main() {
+    let scale = scale_from_env();
+    let rows = stellar::experiments::fig8(scale);
+    println!("Fig. 8 — MDWorkbench_8K ablations (speedup per iteration), scale={scale}\n");
+    for r in &rows {
+        println!("{:<16} best x{:.2}   {}", r.variant, r.best, series(&r.speedups));
+    }
+}

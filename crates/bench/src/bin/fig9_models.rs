@@ -1,0 +1,15 @@
+//! Fig. 9 — different LLMs as the Tuning Agent on IOR_16M (≤ 5 iterations).
+
+use bench::{scale_from_env, series};
+
+fn main() {
+    let scale = scale_from_env();
+    let rows = stellar::experiments::fig9(scale);
+    println!("Fig. 9 — IOR_16M tuned by different models, scale={scale}\n");
+    for r in &rows {
+        println!(
+            "{:<24} best x{:.2} in {} attempts   {}",
+            r.model, r.best, r.attempts, series(&r.speedups)
+        );
+    }
+}

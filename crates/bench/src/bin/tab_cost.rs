@@ -1,0 +1,30 @@
+//! §5.7 — token usage and prompt-cache hit rates for a complete tuning run.
+
+use bench::{row, rule, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    let rows = stellar::experiments::cost_table(scale);
+    let widths = [16, 20, 12, 14, 12, 12, 8];
+    println!("§5.7 — token usage per complete tuning run (IOR_16M), scale={scale}\n");
+    println!(
+        "{}",
+        row(
+            &["agent".into(), "model".into(), "input tok".into(), "cached tok".into(),
+              "cache %".into(), "output tok".into(), "calls".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for r in &rows {
+        println!(
+            "{}",
+            row(
+                &[r.agent.clone(), r.model.clone(), r.input_tokens.to_string(),
+                  r.cached_input_tokens.to_string(), format!("{:.1}%", r.cache_ratio * 100.0),
+                  r.output_tokens.to_string(), r.calls.to_string()],
+                &widths
+            )
+        );
+    }
+}

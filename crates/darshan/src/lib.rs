@@ -1,0 +1,27 @@
+//! # darshan — Darshan-compatible I/O characterization
+//!
+//! The paper's pipeline (§4.1) is: run the application once under Darshan,
+//! then preprocess the log into *pandas DataFrames plus a column-description
+//! file* that the Analysis Agent consumes. This crate reproduces that
+//! pipeline against the simulator:
+//!
+//! * [`collector::Collector`] implements [`pfs::trace::TraceSink`] and
+//!   accumulates the counters Darshan's runtime library would (reads, writes,
+//!   bytes, sequential/consecutive access detection, per-op timing, size
+//!   histograms) per `(rank, file, module)`;
+//! * [`log::DarshanLog`] is the finished log: a job header plus one record
+//!   per (rank, file, module), with shared-file variance counters computed at
+//!   finalisation exactly as Darshan's reduction step does;
+//! * [`tables`] converts a log into [`tables::Table`]s — one per module —
+//!   with a descriptive string per column (the "separate file describing the
+//!   meaning of each column").
+
+pub mod collector;
+pub mod counters;
+pub mod log;
+pub mod tables;
+
+pub use collector::Collector;
+pub use counters::{Counter, FCounter};
+pub use log::{DarshanLog, FileRecord, JobHeader};
+pub use tables::{column_descriptions, Table};

@@ -1,0 +1,216 @@
+//! DataFrame-style tables: the Analysis Agent's working representation.
+//!
+//! §4.1: "This initial run generates a Darshan log, which is further
+//! processed into a set of pandas DataFrames, accompanied by a separate file
+//! describing the meaning of each column." [`to_tables`] is that
+//! preprocessing script; [`Table`] supports the aggregation operations the
+//! code-executing Analysis Agent performs.
+
+use crate::counters::{COUNTERS, FCOUNTERS};
+use crate::log::DarshanLog;
+use pfs::ops::Module;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A rectangular numeric table with named columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (e.g. "POSIX").
+    pub name: String,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Row-major data.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Values of one column.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.col(name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Sum of a column (0 if the column is missing).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.column(name).map(|v| v.iter().sum()).unwrap_or(0.0)
+    }
+
+    /// Mean of a column (0 if missing or empty).
+    pub fn mean(&self, name: &str) -> f64 {
+        match self.column(name) {
+            Some(v) if !v.is_empty() => v.iter().sum::<f64>() / v.len() as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Maximum of a column (0 if missing or empty).
+    pub fn max(&self, name: &str) -> f64 {
+        self.column(name)
+            .map(|v| v.into_iter().fold(0.0_f64, f64::max))
+            .unwrap_or(0.0)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct values of a column, sorted.
+    pub fn distinct(&self, name: &str) -> Vec<f64> {
+        let mut v = self.column(name).unwrap_or_default();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in tables"));
+        v.dedup();
+        v
+    }
+
+    /// Group by a key column and sum a value column: `(key, sum)` pairs.
+    pub fn group_sum(&self, key: &str, value: &str) -> Vec<(f64, f64)> {
+        let (Some(ki), Some(vi)) = (self.col(key), self.col(value)) else {
+            return Vec::new();
+        };
+        let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+        for row in &self.rows {
+            // Keys are ids/ranks: exact integers stored as f64.
+            *acc.entry(row[ki].to_bits()).or_default() += row[vi];
+        }
+        let mut out: Vec<(f64, f64)> = acc
+            .into_iter()
+            .map(|(k, v)| (f64::from_bits(k), v))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        out
+    }
+}
+
+/// Column descriptions — the "separate file describing the meaning of each
+/// column" shipped with the dataframes.
+pub fn column_descriptions() -> BTreeMap<String, String> {
+    let mut m = BTreeMap::new();
+    m.insert("RANK".to_string(), "MPI rank issuing the I/O".to_string());
+    m.insert(
+        "FILE_ID".to_string(),
+        "Darshan record id of the file".to_string(),
+    );
+    for c in COUNTERS {
+        m.insert(c.name().to_string(), c.describe().to_string());
+    }
+    for c in FCOUNTERS {
+        m.insert(c.name().to_string(), c.describe().to_string());
+    }
+    m
+}
+
+/// Convert a log into one table per module present, plus the header string.
+pub fn to_tables(log: &DarshanLog) -> (String, Vec<Table>) {
+    let mut tables = Vec::new();
+    for module in [Module::Posix, Module::MpiIo, Module::Stdio] {
+        let records: Vec<_> = log.module_records(module).collect();
+        if records.is_empty() {
+            continue;
+        }
+        let mut columns = vec!["RANK".to_string(), "FILE_ID".to_string()];
+        columns.extend(COUNTERS.iter().map(|c| c.name().to_string()));
+        columns.extend(FCOUNTERS.iter().map(|c| c.name().to_string()));
+        let rows = records
+            .iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(columns.len());
+                row.push(r.rank as f64);
+                row.push(r.file.0 as f64);
+                row.extend(r.counters.iter().map(|&v| v as f64));
+                row.extend(r.fcounters.iter().copied());
+                row
+            })
+            .collect();
+        tables.push(Table {
+            name: module.name().to_string(),
+            columns,
+            rows,
+        });
+    }
+    (log.header.render(), tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{Counter, FCounter};
+    use crate::log::{FileRecord, JobHeader};
+    use pfs::ops::FileId;
+
+    fn sample_log() -> DarshanLog {
+        let mut a = FileRecord::new(0, FileId(1), Module::Posix);
+        a.bump(Counter::Writes, 10);
+        a.bump(Counter::BytesWritten, 1000);
+        a.fadd(FCounter::WriteTime, 0.5);
+        let mut b = FileRecord::new(1, FileId(1), Module::Posix);
+        b.bump(Counter::Writes, 30);
+        b.bump(Counter::BytesWritten, 3000);
+        let mut c = FileRecord::new(0, FileId(2), Module::MpiIo);
+        c.bump(Counter::Reads, 5);
+        DarshanLog {
+            header: JobHeader {
+                exe: "x".into(),
+                nprocs: 2,
+                runtime_secs: 1.0,
+                file_count: 2,
+            },
+            records: vec![a, b, c],
+        }
+    }
+
+    #[test]
+    fn tables_split_by_module() {
+        let (header, tables) = to_tables(&sample_log());
+        assert!(header.contains("nprocs: 2"));
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].name, "POSIX");
+        assert_eq!(tables[0].len(), 2);
+        assert_eq!(tables[1].name, "MPI-IO");
+        assert_eq!(tables[1].len(), 1);
+    }
+
+    #[test]
+    fn table_aggregations() {
+        let (_, tables) = to_tables(&sample_log());
+        let posix = &tables[0];
+        assert_eq!(posix.sum("BYTES_WRITTEN"), 4000.0);
+        assert_eq!(posix.mean("WRITES"), 20.0);
+        assert_eq!(posix.max("WRITES"), 30.0);
+        assert_eq!(posix.sum("NO_SUCH_COLUMN"), 0.0);
+        assert_eq!(posix.distinct("FILE_ID"), vec![1.0]);
+    }
+
+    #[test]
+    fn group_sum_by_rank() {
+        let (_, tables) = to_tables(&sample_log());
+        let posix = &tables[0];
+        let per_rank = posix.group_sum("RANK", "BYTES_WRITTEN");
+        assert_eq!(per_rank, vec![(0.0, 1000.0), (1.0, 3000.0)]);
+    }
+
+    #[test]
+    fn descriptions_cover_all_columns() {
+        let (_, tables) = to_tables(&sample_log());
+        let desc = column_descriptions();
+        for col in &tables[0].columns {
+            assert!(desc.contains_key(col), "undocumented column {col}");
+        }
+    }
+
+    #[test]
+    fn empty_modules_omitted() {
+        let (_, tables) = to_tables(&sample_log());
+        assert!(tables.iter().all(|t| t.name != "STDIO"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Parameter facts and the parametric-memory corruption model.
+//!
+//! A [`ParamFact`] is what a model "knows" about one tunable: a definition, a
+//! valid range, and quality labels for each. Grounded answers copy the truth;
+//! ungrounded answers pass through [`corrupt`], which deterministically (per
+//! model × parameter) decides whether the definition/range survive, become
+//! imprecise, or are hallucinated — mirroring Fig. 2, where three frontier
+//! models all misstate `statahead_max`'s maximum and two flaw its definition.
+
+use crate::profiles::ModelProfile;
+use serde::{Deserialize, Serialize};
+use simcore::rng::{combine, stable_hash};
+use simcore::SimRng;
+
+/// Quality of one recalled fact component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FactQuality {
+    /// Matches ground truth.
+    Correct,
+    /// Partially right; usable direction, unreliable detail.
+    Imprecise,
+    /// Confidently wrong.
+    Wrong,
+}
+
+/// What a model asserts about a parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamFact {
+    /// Canonical parameter name.
+    pub name: String,
+    /// Asserted definition text.
+    pub definition: String,
+    /// Asserted lower bound.
+    pub min: i64,
+    /// Asserted upper bound.
+    pub max: i64,
+    /// Quality of the definition vs ground truth.
+    pub def_quality: FactQuality,
+    /// Quality of the range vs ground truth.
+    pub range_quality: FactQuality,
+    /// Whether the fact came from grounded (retrieved) context.
+    pub grounded: bool,
+}
+
+impl ParamFact {
+    /// A grounded (RAG-backed) fact: the truth, labelled as such.
+    pub fn grounded(name: &str, definition: &str, min: i64, max: i64) -> Self {
+        ParamFact {
+            name: name.to_string(),
+            definition: definition.to_string(),
+            min,
+            max,
+            def_quality: FactQuality::Correct,
+            range_quality: FactQuality::Correct,
+            grounded: true,
+        }
+    }
+}
+
+/// Canned wrong definitions keyed by parameter family — the flavour of
+/// confident hallucination the paper illustrates (e.g. interpreting stripe
+/// count as "distributing the files of a directory more evenly across OSTs").
+fn hallucinated_definition(name: &str) -> String {
+    if name.contains("stripe_count") {
+        "Controls how the files within a directory are distributed across \
+         OSTs; setting it to -1 on a parent directory spreads its existing \
+         files more evenly across all OSTs."
+            .to_string()
+    } else if name.contains("statahead") {
+        "The number of file attributes cached per directory after a stat; \
+         higher values keep more attributes resident in the inode cache."
+            .to_string()
+    } else if name.contains("read_ahead") {
+        "The number of read RPCs batched together before dispatch to the OST."
+            .to_string()
+    } else if name.contains("dirty") {
+        "The percentage of client memory reserved for dirty pages across all \
+         file systems."
+            .to_string()
+    } else if name.contains("rpcs_in_flight") {
+        "The number of retry attempts for a timed-out RPC before the import \
+         is marked disconnected."
+            .to_string()
+    } else {
+        format!(
+            "An internal threshold controlling buffer management for `{name}` \
+             on the client."
+        )
+    }
+}
+
+/// Niche parameters are rarely discussed in training corpora, so parametric
+/// recall degrades further for them — the reason Fig. 2's example parameter
+/// (`statahead_max`) defeats every frontier model.
+fn niche_bonus(name: &str) -> f64 {
+    if name.contains("statahead")
+        || name.contains("mdc.")
+        || name.contains("short_io")
+        || name.contains("whole_mb")
+        || name.contains("per_file")
+        || name.contains("max_cached")
+    {
+        0.45
+    } else {
+        0.0
+    }
+}
+
+/// Produce the fact a model recalls from parametric memory (no grounding).
+/// Deterministic per (model, parameter).
+pub fn corrupt(
+    profile: &ModelProfile,
+    name: &str,
+    true_definition: &str,
+    true_min: i64,
+    true_max: i64,
+) -> ParamFact {
+    let seed = combine(stable_hash(profile.name), stable_hash(name));
+    let mut rng = SimRng::new(seed);
+    let def_error = (profile.def_error_rate + niche_bonus(name)).min(0.95);
+    let range_error = (profile.range_error_rate + niche_bonus(name)).min(0.97);
+
+    let (def_quality, definition) = if rng.chance(def_error) {
+        if rng.chance(profile.imprecision_rate) {
+            (
+                FactQuality::Imprecise,
+                format!(
+                    "{} (description recalled loosely; some behavioural \
+                     details conflated with related parameters)",
+                    truncate_half(true_definition)
+                ),
+            )
+        } else {
+            (FactQuality::Wrong, hallucinated_definition(name))
+        }
+    } else {
+        (FactQuality::Correct, true_definition.to_string())
+    };
+
+    let (range_quality, min, max) = if rng.chance(range_error) {
+        // Hallucinated ranges look plausible: right order of magnitude or a
+        // "round" power of two, but not the documented bound.
+        let wrong_max = match rng.index(3) {
+            0 => (true_max / 2).max(true_min + 1),
+            1 => true_max.saturating_mul(4),
+            _ => {
+                let mag = (true_max as f64).abs().max(2.0).log2().round() as u32;
+                1i64 << mag.clamp(1, 40)
+            }
+        };
+        let wrong_max = if wrong_max == true_max {
+            true_max.saturating_add(true_max.max(1))
+        } else {
+            wrong_max
+        };
+        (FactQuality::Wrong, true_min, wrong_max)
+    } else {
+        (FactQuality::Correct, true_min, true_max)
+    };
+
+    ParamFact {
+        name: name.to_string(),
+        definition,
+        min,
+        max,
+        def_quality,
+        range_quality,
+        grounded: false,
+    }
+}
+
+fn truncate_half(s: &str) -> &str {
+    let cut = s.len() / 2;
+    // Cut at a char boundary at or after the midpoint.
+    let mut idx = cut.min(s.len());
+    while idx < s.len() && !s.is_char_boundary(idx) {
+        idx += 1;
+    }
+    &s[..idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ModelProfile {
+        ModelProfile::gpt_45()
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let a = corrupt(&profile(), "llite.statahead_max", "def", 0, 8192);
+        let b = corrupt(&profile(), "llite.statahead_max", "def", 0, 8192);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_models_recall_differently() {
+        let mut diffs = 0;
+        for name in [
+            "llite.statahead_max",
+            "stripe_count",
+            "osc.max_dirty_mb",
+            "osc.max_rpcs_in_flight",
+            "llite.max_read_ahead_mb",
+            "osc.max_pages_per_rpc",
+            "stripe_size",
+            "mdc.max_rpcs_in_flight",
+        ] {
+            let a = corrupt(&ModelProfile::gpt_45(), name, "def", 0, 1000);
+            let b = corrupt(&ModelProfile::gemini_25_pro(), name, "def", 0, 1000);
+            if a.definition != b.definition || a.max != b.max {
+                diffs += 1;
+            }
+        }
+        assert!(diffs >= 2, "profiles should not recall identically");
+    }
+
+    #[test]
+    fn wrong_range_differs_from_truth() {
+        // Scan parameters until we find range corruption; the corrupted max
+        // must differ from the true max.
+        let p = ModelProfile::llama_31_70b(); // 0.9 range error rate
+        let mut saw_wrong = false;
+        for i in 0..40 {
+            let name = format!("param.{i}");
+            let f = corrupt(&p, &name, "def", 1, 4096);
+            if f.range_quality == FactQuality::Wrong {
+                assert_ne!(f.max, 4096, "{name}");
+                saw_wrong = true;
+            }
+        }
+        assert!(saw_wrong);
+    }
+
+    #[test]
+    fn grounded_facts_are_truth() {
+        let f = ParamFact::grounded("x", "the definition", 1, 10);
+        assert_eq!(f.def_quality, FactQuality::Correct);
+        assert_eq!(f.range_quality, FactQuality::Correct);
+        assert!(f.grounded);
+        assert_eq!((f.min, f.max), (1, 10));
+    }
+
+    #[test]
+    fn hallucinated_definitions_cover_families() {
+        for n in [
+            "stripe_count",
+            "llite.statahead_max",
+            "llite.max_read_ahead_mb",
+            "osc.max_dirty_mb",
+            "osc.max_rpcs_in_flight",
+            "other.param",
+        ] {
+            assert!(!hallucinated_definition(n).is_empty());
+        }
+    }
+
+    #[test]
+    fn statahead_paper_example_shape() {
+        // Fig. 2: every frontier model misstates statahead_max's maximum.
+        for p in [
+            ModelProfile::gpt_45(),
+            ModelProfile::gemini_25_pro(),
+            ModelProfile::claude_37_sonnet(),
+        ] {
+            let f = corrupt(
+                &p,
+                "llite.statahead_max",
+                "Maximum entries prefetched by the statahead thread.",
+                0,
+                8192,
+            );
+            // Not asserting wrongness for each (stochastic per model), but a
+            // wrong range must never silently equal the truth.
+            if f.range_quality == FactQuality::Wrong {
+                assert_ne!(f.max, 8192);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # llmsim — a deterministic LLM substrate
+//!
+//! The paper drives its agents with GPT-4o, Claude-3.7-Sonnet and
+//! Llama-3.1-70B over provider APIs; none are reachable here, so this crate
+//! supplies the closest synthetic equivalent that exercises the same code
+//! paths (see DESIGN.md §1):
+//!
+//! * [`profiles::ModelProfile`] — per-model quality knobs. The pivotal one is
+//!   **parametric-memory fidelity**: when a model is asked about a file-system
+//!   parameter *without grounding context*, it answers from a deterministic,
+//!   per-(model, parameter) corrupted copy of the truth — reproducing the
+//!   hallucination behaviour of Fig. 2. With grounding (RAG chunks in the
+//!   prompt), every profile answers correctly, which is exactly the paper's
+//!   claim about why RAG matters.
+//! * [`facts`] — the `ParamFact` representation and its corruption model.
+//! * [`tokens`] — token estimation, per-agent usage metering, and a
+//!   block-prefix prompt cache reproducing the 85–90% cache-hit economics of
+//!   §5.7.
+//! * [`backend::SimLlm`] — the backend handle agents hold: fact queries,
+//!   discipline-modulated decision noise, and prompt/response accounting.
+//!
+//! Real providers can be substituted by implementing [`backend::LlmBackend`].
+
+pub mod backend;
+pub mod facts;
+pub mod profiles;
+pub mod tokens;
+
+pub use backend::{LlmBackend, SimLlm};
+pub use facts::{FactQuality, ParamFact};
+pub use profiles::ModelProfile;
+pub use tokens::{estimate_tokens, PrefixCache, UsageMeter};

@@ -1,0 +1,153 @@
+//! Model profiles: the quality knobs that differentiate the LLMs the paper
+//! evaluates (Fig. 2 hallucination rates, Fig. 9 tuning-agent comparison).
+//!
+//! Rates are calibrated to the qualitative picture in the paper: all frontier
+//! models get parameter *ranges* wrong from memory most of the time; weaker
+//! or older models also corrupt definitions; grounded answers are always
+//! correct. `discipline` models how faithfully the agent applies expert
+//! policy (exploration steadiness) — all three tuning-agent models land in a
+//! similar band, as Fig. 9 reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Quality profile of one LLM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model name as reported in transcripts.
+    pub name: &'static str,
+    /// Provider label (for the cost table).
+    pub provider: &'static str,
+    /// P(parametric memory corrupts a parameter definition).
+    pub def_error_rate: f64,
+    /// P(definition is imprecise rather than outright wrong, given an error).
+    pub imprecision_rate: f64,
+    /// P(parametric memory corrupts a parameter's accepted range).
+    pub range_error_rate: f64,
+    /// 0..1: steadiness of policy application (1 = textbook expert moves).
+    pub discipline: f64,
+    /// Output-token multiplier relative to a terse baseline.
+    pub verbosity: f64,
+}
+
+impl ModelProfile {
+    /// Claude-3.7-Sonnet — the paper's default Tuning Agent.
+    pub fn claude_37_sonnet() -> Self {
+        ModelProfile {
+            name: "claude-3.7-sonnet",
+            provider: "Anthropic API",
+            def_error_rate: 0.25,
+            imprecision_rate: 0.6,
+            range_error_rate: 0.75,
+            discipline: 0.95,
+            verbosity: 1.0,
+        }
+    }
+
+    /// GPT-4o — the paper's Analysis Agent and RAG-extraction model.
+    pub fn gpt_4o() -> Self {
+        ModelProfile {
+            name: "gpt-4o",
+            provider: "OpenAI API",
+            def_error_rate: 0.35,
+            imprecision_rate: 0.5,
+            range_error_rate: 0.8,
+            discipline: 0.9,
+            verbosity: 0.9,
+        }
+    }
+
+    /// Llama-3.1-70B-Instruct — the open-weights comparison point.
+    pub fn llama_31_70b() -> Self {
+        ModelProfile {
+            name: "llama-3.1-70b-instruct",
+            provider: "TogetherAI API",
+            def_error_rate: 0.5,
+            imprecision_rate: 0.4,
+            range_error_rate: 0.9,
+            discipline: 0.8,
+            verbosity: 1.2,
+        }
+    }
+
+    /// GPT-4.5 — appears in the hallucination example (Fig. 2).
+    pub fn gpt_45() -> Self {
+        ModelProfile {
+            name: "gpt-4.5",
+            provider: "OpenAI API",
+            def_error_rate: 0.45,
+            imprecision_rate: 0.35,
+            range_error_rate: 0.85,
+            discipline: 0.92,
+            verbosity: 1.1,
+        }
+    }
+
+    /// Gemini-2.5-Pro — appears in the hallucination example (Fig. 2).
+    pub fn gemini_25_pro() -> Self {
+        ModelProfile {
+            name: "gemini-2.5-pro",
+            provider: "Google API",
+            def_error_rate: 0.45,
+            imprecision_rate: 0.4,
+            range_error_rate: 0.85,
+            discipline: 0.9,
+            verbosity: 1.1,
+        }
+    }
+
+    /// The three tuning-agent models of Fig. 9, in paper order.
+    pub fn tuning_agents() -> Vec<ModelProfile> {
+        vec![
+            Self::claude_37_sonnet(),
+            Self::gpt_4o(),
+            Self::llama_31_70b(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_probabilities() {
+        for p in [
+            ModelProfile::claude_37_sonnet(),
+            ModelProfile::gpt_4o(),
+            ModelProfile::llama_31_70b(),
+            ModelProfile::gpt_45(),
+            ModelProfile::gemini_25_pro(),
+        ] {
+            for r in [
+                p.def_error_rate,
+                p.imprecision_rate,
+                p.range_error_rate,
+                p.discipline,
+            ] {
+                assert!((0.0..=1.0).contains(&r), "{}: {r}", p.name);
+            }
+            assert!(p.verbosity > 0.0);
+        }
+    }
+
+    #[test]
+    fn ranges_hallucinate_more_than_definitions() {
+        // The paper's Fig. 2: all three frontier models got the max value
+        // wrong while some definitions survived.
+        for p in ModelProfile::tuning_agents() {
+            assert!(p.range_error_rate > p.def_error_rate, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn tuning_agents_match_paper_lineup() {
+        let names: Vec<_> = ModelProfile::tuning_agents()
+            .iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["claude-3.7-sonnet", "gpt-4o", "llama-3.1-70b-instruct"]
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # pfs — a Lustre-like parallel file system simulator
+//!
+//! This crate is the cluster substrate for the STELLAR reproduction. The paper
+//! evaluates on a 10-node CloudLab cluster running Lustre 2.15.5 (5 OSS, a
+//! combined MGS/MDS, 5 client nodes, 50 MPI ranks, 10 Gbps Ethernet); since no
+//! such cluster is available here, this crate implements a discrete-event
+//! model of the same system with the same *tunable surface*:
+//!
+//! * a `/proc`-style **parameter tree** ([`params`]) with writability flags,
+//!   defaults, static and *dependent* (expression-valued) ranges — the source
+//!   the RAG extraction pipeline enumerates, exactly as STELLAR reads
+//!   `/proc/fs/lustre` (§4.2.2);
+//! * **striping** ([`stripe`]) mapping file extents onto OST objects;
+//! * a **client model** (page cache, dirty write-behind, readahead state
+//!   machine, statahead, short-I/O fast path);
+//! * **OSC/MDC RPC engines** with `max_rpcs_in_flight`-style windows;
+//! * **LDLM extent locks** with revocation round-trips on cross-client
+//!   conflicts (the shared-file contention that stripe tuning mitigates);
+//! * **OST disks** with sequential/random asymmetry and **MDS** service pools;
+//! * a shared-NIC **network** model.
+//!
+//! The facade is [`model::PfsSimulator`]: feed it per-rank operation streams
+//! (from the `workloads` crate) and a [`params::TuningConfig`], get back a
+//! [`result::RunResult`] (wall time + utilisations) and a Darshan-compatible
+//! trace via the [`trace::TraceSink`] hook.
+
+pub mod ops;
+pub mod params;
+pub mod stripe;
+pub mod topology;
+pub mod trace;
+
+pub mod model;
+pub mod result;
+
+pub use model::PfsSimulator;
+pub use ops::{DirId, FileId, IoOp, Module, RankStream};
+pub use params::{ParamRegistry, TuningConfig};
+pub use result::RunResult;
+pub use topology::ClusterSpec;

@@ -1,0 +1,1075 @@
+//! The simulation engine: executes per-rank operation streams against the
+//! cluster's shared resources.
+//!
+//! Each rank is a sequential program; the engine interleaves ranks through a
+//! deterministic event queue (one event per operation), so shared resources —
+//! NICs, OST disks, the MDS pool, OSC/MDC windows, extent locks — see
+//! arrivals in global time order. Barriers park ranks until all arrive.
+
+use crate::model::cache::{chunks_covering, PageCache, CHUNK_BYTES};
+use crate::model::disk::DiskCalendar;
+use crate::model::state::{
+    DirState, DirtyRanges, FileState, LockTable, MdcState, OscState, RaState, SaState,
+};
+use crate::ops::{DirId, FileId, IoOp, Module, RankStream};
+use crate::params::TuningConfig;
+use crate::stripe::Layout;
+use crate::topology::ClusterSpec;
+use crate::trace::{OpClass, OpRecord, TraceSink};
+use simcore::resources::{BandwidthChannel, MultiServer};
+use simcore::time::{Duration, SimTime};
+use simcore::{EventQueue, SimRng};
+use std::collections::HashMap;
+
+/// Aggregate diagnostics of one run (beyond what Darshan exposes).
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    /// Total bytes written by the application.
+    pub bytes_written: u64,
+    /// Total bytes read by the application.
+    pub bytes_read: u64,
+    /// Reads served from client page cache.
+    pub cache_hit_chunks: u64,
+    /// Reads that missed and hit the wire.
+    pub cache_miss_chunks: u64,
+    /// LDLM revocations observed.
+    pub lock_revocations: u64,
+    /// Cumulative writer stalls on `osc.max_dirty_mb`.
+    pub dirty_stall_secs: f64,
+    /// Metadata operations serviced by the MDS.
+    pub mds_ops: u64,
+    /// Bulk RPCs issued (read + write + readahead).
+    pub bulk_rpcs: u64,
+    /// Readahead RPC bytes issued.
+    pub readahead_bytes: u64,
+    /// Stats served by the statahead fast path.
+    pub statahead_hits: u64,
+    /// Aggregate OST disk busy seconds.
+    pub disk_busy_secs: f64,
+    /// Sequential transfers observed across OST disks.
+    pub disk_seq_ops: u64,
+    /// Random (positioned) transfers observed across OST disks.
+    pub disk_rand_ops: u64,
+}
+
+/// Internal per-rank cursor.
+struct RankCursor {
+    stream: RankStream,
+    pc: usize,
+    done: bool,
+}
+
+enum Event {
+    RankReady(usize),
+}
+
+/// The engine for one run. Construct with [`Engine::new`], call
+/// [`Engine::run`] once.
+pub struct Engine<'s> {
+    topo: ClusterSpec,
+    cfg: TuningConfig,
+    run_noise: f64,
+    rng: SimRng,
+
+    client_nics: Vec<BandwidthChannel>,
+    oss_nics: Vec<BandwidthChannel>,
+    disks: Vec<DiskCalendar>,
+    mds: MultiServer,
+
+    oscs: Vec<OscState>,   // client * ost_count + ost
+    mdcs: Vec<MdcState>,   // per client
+    caches: Vec<PageCache>, // per client
+
+    agg: HashMap<(u32, FileId, u32), DirtyRanges>, // (client, file, obj_index)
+    ra: HashMap<(u32, FileId), RaState>,
+    ra_ready: HashMap<(u32, FileId, u64), SimTime>, // chunk -> ready time
+    ra_inflight: Vec<std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>>, // per client (end, bytes)
+    ra_inflight_bytes: Vec<u64>,
+    sa: HashMap<(u32, DirId), SaState>,
+    locks: HashMap<FileId, LockTable>,
+    files: HashMap<FileId, FileState>,
+    dirs: HashMap<DirId, DirState>,
+
+    next_start_ost: u32,
+    diag: Diagnostics,
+    sink: &'s mut dyn TraceSink,
+}
+
+impl<'s> Engine<'s> {
+    /// Build an engine for `topo` under `cfg`, seeded with `seed`.
+    pub fn new(
+        topo: &ClusterSpec,
+        cfg: &TuningConfig,
+        seed: u64,
+        sink: &'s mut dyn TraceSink,
+    ) -> Self {
+        let mut rng = SimRng::new(seed);
+        let run_noise = rng.lognormal_factor(topo.run_noise_sigma);
+        let nic_overhead = Duration::from_micros(20);
+        let client_nics = (0..topo.client_count)
+            .map(|_| BandwidthChannel::new(topo.nic_bytes_per_sec, nic_overhead))
+            .collect();
+        let oss_nics = (0..topo.oss_count)
+            .map(|_| BandwidthChannel::new(topo.nic_bytes_per_sec, nic_overhead))
+            .collect();
+        let disks = (0..topo.ost_count())
+            .map(|_| DiskCalendar::new(topo.disk.clone()))
+            .collect();
+        let mds = MultiServer::new(topo.mds_threads as usize);
+        let oscs = (0..topo.client_count * topo.ost_count())
+            .map(|_| OscState::new(cfg.osc_max_rpcs_in_flight as usize))
+            .collect();
+        let mdcs = (0..topo.client_count)
+            .map(|_| {
+                MdcState::new(
+                    cfg.mdc_max_rpcs_in_flight as usize,
+                    cfg.mdc_max_mod_rpcs_in_flight as usize,
+                )
+            })
+            .collect();
+        let caches = (0..topo.client_count)
+            .map(|_| PageCache::new(cfg.llite_max_cached_mb as u64 * (1 << 20)))
+            .collect();
+        let ra_inflight = (0..topo.client_count)
+            .map(|_| std::collections::BinaryHeap::new())
+            .collect();
+        Engine {
+            topo: topo.clone(),
+            cfg: cfg.clone(),
+            run_noise,
+            rng,
+            client_nics,
+            oss_nics,
+            disks,
+            mds,
+            oscs,
+            mdcs,
+            caches,
+            agg: HashMap::new(),
+            ra: HashMap::new(),
+            ra_ready: HashMap::new(),
+            ra_inflight,
+            ra_inflight_bytes: vec![0; topo.client_count as usize],
+            sa: HashMap::new(),
+            locks: HashMap::new(),
+            files: HashMap::new(),
+            dirs: HashMap::new(),
+            next_start_ost: 0,
+            diag: Diagnostics::default(),
+            sink,
+        }
+    }
+
+    fn osc_index(&self, client: u32, ost: u32) -> usize {
+        (client * self.topo.ost_count() + ost) as usize
+    }
+
+    fn half_rtt(&self) -> Duration {
+        Duration::from_secs_f64(self.topo.rpc_rtt_us * 0.5e-6)
+    }
+
+    fn bulk_setup(&self) -> Duration {
+        Duration::from_secs_f64(self.topo.bulk_setup_us * 1e-6)
+    }
+
+    fn memcpy(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.topo.mem_bytes_per_sec)
+    }
+
+    fn mds_service(&mut self, factor: f64) -> Duration {
+        let jitter = self.rng.lognormal_factor(self.topo.op_noise_sigma);
+        Duration::from_secs_f64(
+            self.topo.mds_getattr_us * 1e-6 * factor * self.run_noise * jitter,
+        )
+    }
+
+    /// One synchronous metadata RPC through the MDS: window admission, wire
+    /// round trip, service. Returns completion time.
+    fn mds_rpc(&mut self, client: u32, now: SimTime, modifying: bool, svc_factor: f64) -> SimTime {
+        let mdc = &mut self.mdcs[client as usize];
+        let admit = if modifying {
+            mdc.mod_window.admit(now)
+        } else {
+            mdc.rpc_window.admit(now)
+        };
+        let svc = self.mds_service(svc_factor);
+        let arrive = admit + self.half_rtt();
+        let grant = self.mds.schedule(arrive, svc);
+        let end = grant.end + self.half_rtt();
+        let mdc = &mut self.mdcs[client as usize];
+        if modifying {
+            mdc.mod_window.complete(end);
+        } else {
+            mdc.rpc_window.complete(end);
+        }
+        self.diag.mds_ops += 1;
+        end
+    }
+
+    /// Background (asynchronous) MDS load that does not block the rank.
+    fn mds_background(&mut self, now: SimTime, svc_factor: f64) {
+        let svc = self.mds_service(svc_factor);
+        let _ = self.mds.schedule(now + self.half_rtt(), svc);
+        self.diag.mds_ops += 1;
+    }
+
+    /// One bulk data RPC: OSC window -> client NIC -> OSS NIC -> disk -> reply.
+    /// Returns completion time at the client.
+    #[allow(clippy::too_many_arguments)] // mirrors the RPC descriptor fields
+    fn bulk_rpc(
+        &mut self,
+        client: u32,
+        file: FileId,
+        obj_index: u32,
+        ost: u32,
+        obj_offset: u64,
+        bytes: u64,
+        now: SimTime,
+        is_write: bool,
+        short_io: bool,
+    ) -> SimTime {
+        let osc = self.osc_index(client, ost);
+        let admit = self.oscs[osc].window.admit(now);
+        let setup = if short_io {
+            Duration::ZERO
+        } else {
+            self.bulk_setup()
+        };
+        let t0 = admit + setup + self.half_rtt();
+        let g_cnic = self.client_nics[client as usize].schedule(t0, bytes);
+        let oss = self.topo.oss_of_ost(ost) as usize;
+        let g_onic = self.oss_nics[oss].schedule(g_cnic.end, bytes);
+        let noise = self.run_noise;
+        let g_disk = if is_write {
+            self.disks[ost as usize].transfer(
+                g_onic.end,
+                file,
+                obj_index,
+                obj_offset,
+                bytes,
+                noise,
+                &mut self.rng,
+            )
+        } else {
+            // Reads traverse the request first, then data flows back; the
+            // calendar composition is symmetric, so reuse the same pipeline.
+            self.disks[ost as usize].transfer(
+                g_onic.end,
+                file,
+                obj_index,
+                obj_offset,
+                bytes,
+                noise,
+                &mut self.rng,
+            )
+        };
+        let end = g_disk.end + self.half_rtt();
+        self.oscs[osc].window.complete(end);
+        self.diag.bulk_rpcs += 1;
+        end
+    }
+
+    /// Acquire extent locks, returning added latency from revocations.
+    fn lock_acquire(&mut self, client: u32, file: FileId, offset: u64, len: u64) -> Duration {
+        let table = self.locks.entry(file).or_default();
+        let revocations = table.acquire(client, offset, len);
+        if revocations > 0 {
+            self.diag.lock_revocations += revocations as u64;
+            Duration::from_secs_f64(self.topo.lock_revoke_us * 1e-6 * revocations as f64)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Issue writeback RPCs for a contiguous run of an object stream,
+    /// asynchronously w.r.t. the rank. Updates dirty completion tracking and
+    /// the file's writeback horizon.
+    #[allow(clippy::too_many_arguments)] // mirrors the RPC descriptor fields
+    fn writeback_run(
+        &mut self,
+        client: u32,
+        file: FileId,
+        obj_index: u32,
+        ost: u32,
+        obj_offset: u64,
+        len: u64,
+        now: SimTime,
+    ) {
+        let rpc_bytes = self.cfg.rpc_bytes().max(4096);
+        let mut off = obj_offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let take = remaining.min(rpc_bytes);
+            let end = self.bulk_rpc(client, file, obj_index, ost, off, take, now, true, false);
+            let osc = self.osc_index(client, ost);
+            self.oscs[osc]
+                .wb_pending
+                .push(std::cmp::Reverse((end, take)));
+            if let Some(f) = self.files.get_mut(&file) {
+                f.last_wb_end = f.last_wb_end.max(end);
+            }
+            off += take;
+            remaining -= take;
+        }
+    }
+
+    /// Flush every complete RPC-sized prefix of runs in one object stream;
+    /// `force` flushes partial tails too.
+    fn flush_object(&mut self, client: u32, file: FileId, obj_index: u32, now: SimTime, force: bool) {
+        let key = (client, file, obj_index);
+        let Some(ranges) = self.agg.get_mut(&key) else {
+            return;
+        };
+        let ost = ranges.ost;
+        let rpc_bytes = self.cfg.rpc_bytes().max(4096);
+        let mut to_issue: Vec<(u64, u64)> = Vec::new();
+        if force {
+            to_issue = ranges.drain_all();
+        } else {
+            // Pull only runs long enough to fill at least one RPC; keep the
+            // sub-RPC remainder buffered for further aggregation.
+            let full: Vec<u64> = ranges
+                .iter_runs()
+                .filter(|&(_, l)| l >= rpc_bytes)
+                .map(|(s, _)| s)
+                .collect();
+            for s in full {
+                if let Some((start, len)) = ranges.take(s) {
+                    let keep = len % rpc_bytes;
+                    let issue = len - keep;
+                    if keep > 0 {
+                        ranges.insert(start + issue, keep);
+                    }
+                    if issue > 0 {
+                        to_issue.push((start, issue));
+                    }
+                }
+            }
+        }
+        if self.agg.get(&key).map(|r| r.is_empty()).unwrap_or(false) {
+            self.agg.remove(&key);
+        }
+        for (s, l) in to_issue {
+            self.writeback_run(client, file, obj_index, ost, s, l, now);
+        }
+    }
+
+    /// Flush all buffered dirty data of (client, file).
+    fn flush_file(&mut self, client: u32, file: FileId, now: SimTime) {
+        let mut keys: Vec<u32> = self
+            .agg
+            .keys()
+            .filter(|(c, f, _)| *c == client && *f == file)
+            .map(|(_, _, o)| *o)
+            .collect();
+        // HashMap iteration order is nondeterministic; RPC issue order is
+        // observable through resource calendars, so sort.
+        keys.sort_unstable();
+        for obj in keys {
+            self.flush_object(client, file, obj, now, true);
+        }
+    }
+
+    /// Flush every buffered run of `client` whose object lives on `ost`.
+    fn flush_osc(&mut self, client: u32, ost: u32, now: SimTime) {
+        let mut keys: Vec<(FileId, u32)> = self
+            .agg
+            .iter()
+            .filter(|((c, _, _), r)| *c == client && r.ost == ost)
+            .map(|((_, f, o), _)| (*f, *o))
+            .collect();
+        keys.sort_unstable();
+        for (f, o) in keys {
+            self.flush_object(client, f, o, now, true);
+        }
+    }
+
+    fn layout_of(&mut self, file: FileId) -> Layout {
+        match self.files.get(&file) {
+            Some(f) => f.layout,
+            None => {
+                // Implicitly created file (workload wrote without Create):
+                // allocate a layout now.
+                let layout = self.fresh_layout();
+                self.files.insert(
+                    file,
+                    FileState {
+                        layout,
+                        size: 0,
+                        dir: DirId(0),
+                        create_index: 0,
+                        last_wb_end: SimTime::ZERO,
+                        exists: true,
+                    },
+                );
+                layout
+            }
+        }
+    }
+
+    fn fresh_layout(&mut self) -> Layout {
+        let sc = self.cfg.effective_stripe_count(&self.topo);
+        let layout = Layout::new(
+            self.cfg.stripe_size,
+            sc,
+            self.next_start_ost,
+            self.topo.ost_count(),
+        );
+        self.next_start_ost = (self.next_start_ost + 1) % self.topo.ost_count();
+        layout
+    }
+
+    // ------------------------------------------------------------------
+    // Operation handlers. Each returns the rank's completion time.
+    // ------------------------------------------------------------------
+
+    fn do_write(&mut self, rank: u32, file: FileId, offset: u64, len: u64, now: SimTime) -> SimTime {
+        let client = self.topo.client_of_rank(rank);
+        self.diag.bytes_written += len;
+        let layout = self.layout_of(file);
+        if let Some(f) = self.files.get_mut(&file) {
+            f.size = f.size.max(offset + len);
+        }
+
+        let mut t = now + self.lock_acquire(client, file, offset, len);
+
+        // Short I/O fast path: synchronous inline RPC, no bulk setup.
+        if len <= self.cfg.osc_short_io_bytes as u64 && len > 0 {
+            let extents = layout.map(offset, len, self.topo.ost_count());
+            let mut end = t;
+            for e in &extents {
+                let done = self.bulk_rpc(
+                    client,
+                    file,
+                    e.obj_index,
+                    e.ost,
+                    e.obj_offset,
+                    e.len,
+                    t,
+                    true,
+                    true,
+                );
+                end = end.max(done);
+            }
+            if let Some(f) = self.files.get_mut(&file) {
+                f.last_wb_end = f.last_wb_end.max(end);
+            }
+            // Written data is in the client cache too.
+            for chunk in chunks_covering(offset, len) {
+                self.caches[client as usize].insert(file, chunk);
+            }
+            return end;
+        }
+
+        // Buffered path: copy into cache, aggregate, flush full RPCs.
+        t += self.memcpy(len);
+        for chunk in chunks_covering(offset, len) {
+            self.caches[client as usize].insert(file, chunk);
+        }
+
+        let dirty_cap = self.cfg.osc_max_dirty_mb as u64 * (1 << 20);
+        let rpc_bytes = self.cfg.rpc_bytes().max(4096);
+        let extents = layout.map(offset, len, self.topo.ost_count());
+        for e in &extents {
+            let osc = self.osc_index(client, e.ost);
+            // Dirty-limit backpressure.
+            self.oscs[osc].advance(t);
+            if self.oscs[osc].dirty_bytes + e.len > dirty_cap {
+                // Push out buffered runs on this OSC, then wait for drain.
+                self.flush_osc(client, e.ost, t);
+                let osc_state = &mut self.oscs[osc];
+                let before = t;
+                if let Some(ready) = osc_state.drain_until_room(t, e.len, dirty_cap) {
+                    let stall = ready.saturating_since(before);
+                    self.oscs[osc].dirty_stall = self.oscs[osc].dirty_stall.saturating_add(stall);
+                    self.diag.dirty_stall_secs += stall.as_secs_f64();
+                    t = ready;
+                }
+            }
+            self.oscs[osc].dirty_bytes += e.len;
+
+            // Coalescing aggregation: insert the extent into the object's
+            // dirty-range set; once the containing run fills an RPC, flush
+            // its full-RPC prefix.
+            let key = (client, file, e.obj_index);
+            let ranges = self
+                .agg
+                .entry(key)
+                .or_insert_with(|| DirtyRanges::new(e.ost));
+            let (_, run_len) = ranges.insert(e.obj_offset, e.len);
+            if run_len >= rpc_bytes {
+                self.flush_object(client, file, e.obj_index, t, false);
+            }
+        }
+        t
+    }
+
+    fn do_read(&mut self, rank: u32, file: FileId, offset: u64, len: u64, now: SimTime) -> SimTime {
+        let client = self.topo.client_of_rank(rank);
+        self.diag.bytes_read += len;
+        let layout = self.layout_of(file);
+        let file_size = self.files.get(&file).map(|f| f.size).unwrap_or(0);
+
+        let t = now + self.lock_acquire(client, file, offset, len);
+
+        // Classify chunks: cached / readahead-inflight / miss.
+        let mut miss_runs: Vec<(u64, u64)> = Vec::new(); // (offset, len) in bytes
+        let mut wait_until = t;
+        let mut run_start: Option<u64> = None;
+        let mut last_chunk_end = 0u64;
+        for chunk in chunks_covering(offset, len) {
+            let cached = self.caches[client as usize].probe(file, chunk);
+            let ra_key = (client, file, chunk);
+            let ra_hit = if cached {
+                None
+            } else {
+                self.ra_ready.get(&ra_key).copied()
+            };
+            if cached {
+                self.diag.cache_hit_chunks += 1;
+            } else if let Some(ready) = ra_hit {
+                // Covered by a readahead RPC: wait for it if still in flight.
+                wait_until = wait_until.max(ready);
+                self.diag.cache_hit_chunks += 1;
+                self.ra_ready.remove(&ra_key);
+                self.caches[client as usize].insert(file, chunk);
+            } else {
+                self.diag.cache_miss_chunks += 1;
+            }
+            let is_miss = !cached && ra_hit.is_none();
+            let chunk_start = chunk * CHUNK_BYTES;
+            if is_miss {
+                if run_start.is_none() {
+                    run_start = Some(chunk_start);
+                }
+                last_chunk_end = chunk_start + CHUNK_BYTES;
+            } else if let Some(s) = run_start.take() {
+                miss_runs.push((s, last_chunk_end - s));
+            }
+        }
+        if let Some(s) = run_start.take() {
+            miss_runs.push((s, last_chunk_end - s));
+        }
+
+        // Issue synchronous RPCs for misses.
+        let rpc_bytes = self.cfg.rpc_bytes().max(CHUNK_BYTES);
+        let short = len <= self.cfg.osc_short_io_bytes as u64;
+        let mut end = wait_until;
+        for (roff, rlen) in &miss_runs {
+            let mut cur = *roff;
+            let stop = roff + rlen;
+            while cur < stop {
+                let take = (stop - cur).min(rpc_bytes);
+                for e in layout.map(cur, take, self.topo.ost_count()) {
+                    let done = self.bulk_rpc(
+                        client,
+                        file,
+                        e.obj_index,
+                        e.ost,
+                        e.obj_offset,
+                        e.len,
+                        t,
+                        false,
+                        short,
+                    );
+                    end = end.max(done);
+                }
+                cur += take;
+            }
+            for chunk in chunks_covering(*roff, *rlen) {
+                self.caches[client as usize].insert(file, chunk);
+            }
+        }
+        // Memory copy to the application buffer.
+        end = end.max(t) + self.memcpy(len);
+
+        // Readahead state machine (after satisfying the current read).
+        self.update_readahead(client, file, offset, len, file_size, layout, end);
+        end
+    }
+
+    #[allow(clippy::too_many_arguments)] // readahead consults the whole op context
+    fn update_readahead(
+        &mut self,
+        client: u32,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        file_size: u64,
+        layout: Layout,
+        now: SimTime,
+    ) {
+        let ra_budget = self.cfg.llite_max_read_ahead_mb as u64 * (1 << 20);
+        if ra_budget == 0 {
+            return;
+        }
+        // Retire completed readahead from the budget.
+        {
+            let heap = &mut self.ra_inflight[client as usize];
+            while let Some(&std::cmp::Reverse((ready, bytes))) = heap.peek() {
+                if ready <= now {
+                    heap.pop();
+                    self.ra_inflight_bytes[client as usize] =
+                        self.ra_inflight_bytes[client as usize].saturating_sub(bytes);
+                } else {
+                    break;
+                }
+            }
+        }
+
+        let whole_cap = self.cfg.llite_max_read_ahead_whole_mb as u64 * (1 << 20);
+        let per_file_cap: u64 = self.cfg.llite_max_read_ahead_per_file_mb as u64 * (1 << 20);
+        let state = self.ra.entry((client, file)).or_default();
+
+        // Whole-file readahead for small files on first access.
+        let start: u64;
+        let mut window: u64;
+        if !state.whole_done && file_size > 0 && file_size <= whole_cap {
+            state.whole_done = true;
+            start = 0;
+            window = file_size;
+            state.expect = file_size;
+        } else if offset == state.expect || (state.expect == 0 && offset == 0) {
+            // Sequential: grow the window.
+            let grown = if state.window == 0 {
+                1 << 20
+            } else {
+                state.window * 2
+            };
+            window = grown.min(per_file_cap);
+            start = offset + len;
+            state.expect = offset + len;
+            state.window = window;
+        } else {
+            // Random: reset.
+            state.expect = offset + len;
+            state.window = 0;
+            return;
+        }
+        if window == 0 || file_size == 0 {
+            return;
+        }
+        // Clamp to EOF and the client-wide budget.
+        if start >= file_size {
+            return;
+        }
+        window = window.min(file_size - start);
+        let budget_left =
+            ra_budget.saturating_sub(self.ra_inflight_bytes[client as usize]);
+        window = window.min(budget_left);
+        if window == 0 {
+            return;
+        }
+
+        // Issue asynchronous readahead RPCs for not-yet-resident chunks.
+        let rpc_bytes = self.cfg.rpc_bytes().max(CHUNK_BYTES);
+        let mut cur = start;
+        let stop = start + window;
+        while cur < stop {
+            let take = (stop - cur).min(rpc_bytes);
+            // Skip fully resident pieces cheaply at chunk granularity.
+            let all_resident = chunks_covering(cur, take).all(|c| {
+                self.caches[client as usize].contains(file, c)
+                    || self.ra_ready.contains_key(&(client, file, c))
+            });
+            if !all_resident {
+                let mut piece_end = now;
+                for e in layout.map(cur, take, self.topo.ost_count()) {
+                    let done = self.bulk_rpc(
+                        client,
+                        file,
+                        e.obj_index,
+                        e.ost,
+                        e.obj_offset,
+                        e.len,
+                        now,
+                        false,
+                        false,
+                    );
+                    piece_end = piece_end.max(done);
+                }
+                for chunk in chunks_covering(cur, take) {
+                    self.ra_ready.insert((client, file, chunk), piece_end);
+                }
+                self.ra_inflight[client as usize]
+                    .push(std::cmp::Reverse((piece_end, take)));
+                self.ra_inflight_bytes[client as usize] += take;
+                self.diag.readahead_bytes += take;
+            }
+            cur += take;
+        }
+    }
+
+    fn do_stat(&mut self, rank: u32, file: FileId, now: SimTime) -> SimTime {
+        let client = self.topo.client_of_rank(rank);
+        let (dir, create_index, layout) = match self.files.get(&file) {
+            Some(f) => (f.dir, f.create_index, f.layout),
+            None => (DirId(0), 0, self.fresh_layout()),
+        };
+
+        // Statahead detection: sequential stats over a directory's entries.
+        // The thread prefetches at most `statahead_max` entries per scan;
+        // once the budget is consumed, stats fall back to synchronous RPCs.
+        let sa_max = self.cfg.llite_statahead_max;
+        let sa = self.sa.entry((client, dir)).or_default();
+        let sequential = create_index == sa.expect_index;
+        if sequential {
+            sa.run += 1;
+        } else {
+            // New scan: reset the run and the prefetch budget.
+            sa.run = 1;
+            sa.active = false;
+            sa.consumed = 0;
+        }
+        sa.expect_index = create_index + 1;
+        if sa.run >= 2 && sa_max > 0 && !sa.active && sa.consumed == 0 {
+            sa.active = true;
+        }
+        if sa.active && sa.consumed >= sa_max {
+            sa.active = false; // budget exhausted for this scan
+        }
+        if sa.active {
+            sa.consumed += 1;
+        }
+        let active = sa.active;
+
+        if active {
+            // Attributes (and glimpse) prefetched by the statahead thread:
+            // the rank pays only local cost plus the pipelining residual;
+            // the MDS and OSTs still pay the service cost in the background.
+            self.diag.statahead_hits += 1;
+            let depth = sa_max.max(1) as f64;
+            self.mds_background(now, 2.0);
+            for obj in 0..layout.stripe_count {
+                let ost = layout.ost_of(obj, self.topo.ost_count());
+                let noise = self.run_noise;
+                let _ = self.disks[ost as usize].small_op(now, noise);
+            }
+            let residual_us =
+                2.0 * (self.topo.mds_getattr_us + self.topo.rpc_rtt_us) / depth + 6.0;
+            return now + Duration::from_secs_f64(residual_us * 1e-6);
+        }
+
+        // Synchronous stat: path lookup + getattr at the MDS, then a size
+        // glimpse RPC per stripe object (uncached attributes require the
+        // full chain, which is what makes cold stat scans expensive and
+        // wide-striped small files doubly so).
+        let lookup_done = self.mds_rpc(client, now, false, 1.0);
+        let mds_done = self.mds_rpc(client, lookup_done, false, 1.0);
+        let glimpse_arrival = mds_done + self.half_rtt();
+        let half = self.half_rtt();
+        let mut end = mds_done;
+        for obj in 0..layout.stripe_count {
+            let ost = layout.ost_of(obj, self.topo.ost_count());
+            let noise = self.run_noise;
+            let g = self.disks[ost as usize].small_op(glimpse_arrival, noise);
+            end = end.max(g.end + half + half);
+        }
+        end
+    }
+
+    fn do_op(&mut self, rank: u32, op: &IoOp, now: SimTime) -> (SimTime, Option<OpRecord>) {
+        let client = self.topo.client_of_rank(rank);
+        let module = Module::Posix; // overwritten by caller with stream module
+        match *op {
+            IoOp::Mkdir { dir } => {
+                self.dirs.entry(dir).or_default();
+                let end = self.mds_rpc(client, now, true, 1.4);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: None,
+                        module,
+                        class: OpClass::DirOp,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Create { file, dir } => {
+                let layout = self.fresh_layout();
+                let d = self.dirs.entry(dir).or_default();
+                let create_index = d.entries;
+                d.entries += 1;
+                self.files.insert(
+                    file,
+                    FileState {
+                        layout,
+                        size: 0,
+                        dir,
+                        create_index,
+                        last_wb_end: SimTime::ZERO,
+                        exists: true,
+                    },
+                );
+                // Wider layouts carry more object-allocation bookkeeping.
+                let factor = 2.0 + 0.15 * (layout.stripe_count.saturating_sub(1)) as f64;
+                let end = self.mds_rpc(client, now, true, factor);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Open,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Open { file } => {
+                self.layout_of(file);
+                let end = self.mds_rpc(client, now, false, 1.2);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Open,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Close { file } => {
+                self.flush_file(client, file, now);
+                let end = now + Duration::from_micros(3);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Close,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Write { file, offset, len } => {
+                let end = self.do_write(rank, file, offset, len, now);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Write,
+                        offset,
+                        bytes: len,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Read { file, offset, len } => {
+                let end = self.do_read(rank, file, offset, len, now);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Read,
+                        offset,
+                        bytes: len,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Stat { file } => {
+                let end = self.do_stat(rank, file, now);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Stat,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Unlink { file } => {
+                self.flush_file(client, file, now);
+                let wb_done = self
+                    .files
+                    .get(&file)
+                    .map(|f| f.last_wb_end)
+                    .unwrap_or(SimTime::ZERO);
+                let t = now.max(wb_done);
+                let (layout, _exists) = match self.files.get_mut(&file) {
+                    Some(f) => {
+                        f.exists = false;
+                        (f.layout, true)
+                    }
+                    None => (self.fresh_layout(), false),
+                };
+                let end = self.mds_rpc(client, t, true, 1.8);
+                // Object destroys proceed asynchronously on each OST.
+                for obj in 0..layout.stripe_count {
+                    let ost = layout.ost_of(obj, self.topo.ost_count());
+                    let noise = self.run_noise;
+                    let _ = self.disks[ost as usize].small_op(end, noise);
+                    self.disks[ost as usize].forget(file, obj);
+                }
+                self.caches[client as usize].invalidate_file(file);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Unlink,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Fsync { file } => {
+                self.flush_file(client, file, now);
+                let wb = self
+                    .files
+                    .get(&file)
+                    .map(|f| f.last_wb_end)
+                    .unwrap_or(SimTime::ZERO);
+                let end = now.max(wb) + Duration::from_micros(5);
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: Some(file),
+                        module,
+                        class: OpClass::Sync,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Readdir { dir } => {
+                let entries = self.dirs.get(&dir).map(|d| d.entries).unwrap_or(0);
+                let factor = 1.0 + entries as f64 / 64.0 * 0.2;
+                let end = self.mds_rpc(client, now, false, factor);
+                // Readdir primes statahead expectations from entry 0.
+                let sa = self.sa.entry((client, dir)).or_default();
+                sa.expect_index = 0;
+                sa.run = 0;
+                (
+                    end,
+                    Some(OpRecord {
+                        rank,
+                        file: None,
+                        module,
+                        class: OpClass::DirOp,
+                        offset: 0,
+                        bytes: 0,
+                        start: now,
+                        end,
+                    }),
+                )
+            }
+            IoOp::Compute { nanos } => (now + Duration::from_nanos(nanos), None),
+            IoOp::Barrier => unreachable!("barriers handled by the run loop"),
+        }
+    }
+
+    /// Execute all streams to completion; returns (wall time, diagnostics).
+    pub fn run(mut self, streams: Vec<RankStream>) -> (Duration, Diagnostics) {
+        assert!(!streams.is_empty(), "at least one rank required");
+        let barrier_counts: Vec<usize> = streams.iter().map(|s| s.barrier_count()).collect();
+        assert!(
+            barrier_counts.windows(2).all(|w| w[0] == w[1]),
+            "all ranks must have the same number of barriers"
+        );
+
+        let n = streams.len();
+        let mut cursors: Vec<RankCursor> = streams
+            .into_iter()
+            .map(|stream| RankCursor {
+                stream,
+                pc: 0,
+                done: false,
+            })
+            .collect();
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        for i in 0..n {
+            queue.push(SimTime::ZERO, Event::RankReady(i));
+        }
+        let mut waiting_at_barrier: Vec<usize> = Vec::new();
+        let mut barrier_time = SimTime::ZERO;
+        let mut finish = SimTime::ZERO;
+
+        while let Some((now, Event::RankReady(i))) = queue.pop() {
+            let cursor = &mut cursors[i];
+            if cursor.done {
+                continue;
+            }
+            if cursor.pc >= cursor.stream.ops.len() {
+                cursor.done = true;
+                finish = finish.max(now);
+                continue;
+            }
+            let op = cursor.stream.ops[cursor.pc];
+            cursor.pc += 1;
+            let rank = cursor.stream.rank;
+            let module = cursor.stream.module;
+
+            if matches!(op, IoOp::Barrier) {
+                waiting_at_barrier.push(i);
+                barrier_time = barrier_time.max(now);
+                let live = cursors.iter().filter(|c| !c.done).count();
+                if waiting_at_barrier.len() == live {
+                    let resume = barrier_time + Duration::from_micros(60);
+                    // Release in rank order so same-instant create/open races
+                    // after a barrier resolve the way MPI programs expect
+                    // (creator ranks are the lowest in their group).
+                    waiting_at_barrier.sort_unstable();
+                    for j in waiting_at_barrier.drain(..) {
+                        queue.push(resume, Event::RankReady(j));
+                    }
+                    barrier_time = SimTime::ZERO;
+                }
+                continue;
+            }
+
+            let (end, rec) = self.do_op(rank, &op, now);
+            if let Some(mut r) = rec {
+                r.module = module;
+                self.sink.record(&r);
+            }
+            queue.push(end.max(now), Event::RankReady(i));
+        }
+
+        // Drain all outstanding writeback so the run accounts for data
+        // actually reaching stable storage (IOR-style close semantics).
+        let mut drain = finish;
+        for f in self.files.values() {
+            drain = drain.max(f.last_wb_end);
+        }
+        for d in &self.disks {
+            self.diag.disk_busy_secs += d.busy_time().as_secs_f64();
+            self.diag.disk_seq_ops += d.seq_ops();
+            self.diag.disk_rand_ops += d.rand_ops();
+        }
+        (drain - SimTime::ZERO, self.diag)
+    }
+}

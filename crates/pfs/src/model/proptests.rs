@@ -1,0 +1,120 @@
+//! Property-based tests of the simulator engine: conservation, monotonicity
+//! and robustness invariants that must hold for any workload shape.
+
+#![cfg(test)]
+
+use crate::ops::{DirId, FileId, IoOp, Module, RankStream};
+use crate::params::TuningConfig;
+use crate::topology::ClusterSpec;
+use crate::PfsSimulator;
+use proptest::prelude::*;
+
+/// Strategy: a small random workload over a tiny cluster — mixed data and
+/// metadata ops with well-formed create/write/read/close/unlink ordering.
+fn arb_streams() -> impl Strategy<Value = Vec<RankStream>> {
+    let per_rank = proptest::collection::vec((0u8..5, 0u64..8, 1u64..512), 1..20);
+    proptest::collection::vec(per_rank, 4..5).prop_map(|ranks| {
+        ranks
+            .into_iter()
+            .enumerate()
+            .map(|(rank, ops)| {
+                let rank = rank as u32;
+                let file = FileId(rank + 1);
+                let mut s = RankStream::new(rank, Module::Posix);
+                s.push(IoOp::Create {
+                    file,
+                    dir: DirId(0),
+                });
+                for (kind, slot, len_kb) in ops {
+                    let offset = slot * (1 << 20);
+                    let len = len_kb * 1024;
+                    match kind {
+                        0 | 1 => s.push(IoOp::Write { file, offset, len }),
+                        2 => s.push(IoOp::Read { file, offset, len }),
+                        3 => s.push(IoOp::Stat { file }),
+                        _ => s.push(IoOp::Fsync { file }),
+                    }
+                }
+                s.push(IoOp::Close { file });
+                s
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any well-formed workload completes with finite, positive wall time
+    /// and exact byte conservation.
+    #[test]
+    fn engine_conserves_bytes(streams in arb_streams(), seed in 0u64..500) {
+        let declared_w: u64 = streams.iter().map(|s| s.bytes_written()).sum();
+        let declared_r: u64 = streams.iter().map(|s| s.bytes_read()).sum();
+        let sim = PfsSimulator::new(ClusterSpec::tiny());
+        let r = sim.run(streams, &TuningConfig::lustre_default(), seed);
+        prop_assert!(r.wall_secs.is_finite());
+        prop_assert!(r.wall_secs > 0.0);
+        prop_assert_eq!(r.bytes_written, declared_w);
+        prop_assert_eq!(r.bytes_read, declared_r);
+    }
+
+    /// Bit-exact determinism for arbitrary workloads.
+    #[test]
+    fn engine_deterministic(streams in arb_streams()) {
+        let sim = PfsSimulator::new(ClusterSpec::tiny());
+        let cfg = TuningConfig::lustre_default();
+        let a = sim.run(streams.clone(), &cfg, 7);
+        let b = sim.run(streams, &cfg, 7);
+        prop_assert_eq!(a.wall_secs.to_bits(), b.wall_secs.to_bits());
+        prop_assert_eq!(a.bulk_rpcs, b.bulk_rpcs);
+        prop_assert_eq!(a.mds_ops, b.mds_ops);
+        prop_assert_eq!(a.lock_revocations, b.lock_revocations);
+    }
+
+    /// Adding pure compute never meaningfully reduces wall time. (Noise is
+    /// disabled and a small slack allowed: inserting compute shifts event
+    /// interleaving at shared FIFO resources, which can locally reorder
+    /// service by a few microseconds.)
+    #[test]
+    fn compute_is_monotone(streams in arb_streams(), extra_ms in 1u64..500) {
+        let mut topo = ClusterSpec::tiny();
+        topo.op_noise_sigma = 0.0;
+        topo.run_noise_sigma = 0.0;
+        let sim = PfsSimulator::new(topo);
+        let cfg = TuningConfig::lustre_default();
+        let base = sim.run(streams.clone(), &cfg, 3).wall_secs;
+        let mut heavier = streams;
+        heavier[0].ops.insert(
+            1,
+            IoOp::Compute {
+                nanos: extra_ms * 1_000_000,
+            },
+        );
+        let slower = sim.run(heavier, &cfg, 3).wall_secs;
+        prop_assert!(slower >= base * 0.98 - 1e-6, "{slower} < {base}");
+    }
+
+    /// Disabling every cache/pipeline aid never *helps*: the deliberately
+    /// hobbled configuration is at least as slow as the default.
+    #[test]
+    fn hobbled_config_never_faster(streams in arb_streams()) {
+        let sim = PfsSimulator::new(ClusterSpec::tiny());
+        let default = TuningConfig::lustre_default();
+        let mut hobbled = TuningConfig::lustre_default();
+        hobbled.osc_max_rpcs_in_flight = 1;
+        hobbled.osc_max_pages_per_rpc = 32;
+        hobbled.osc_max_dirty_mb = 1;
+        hobbled.llite_max_read_ahead_mb = 0;
+        hobbled.llite_max_read_ahead_per_file_mb = 0;
+        hobbled.llite_statahead_max = 0;
+        hobbled.osc_short_io_bytes = 0;
+        hobbled.mdc_max_rpcs_in_flight = 1;
+        hobbled.mdc_max_mod_rpcs_in_flight = 1;
+        let fast = sim.run(streams.clone(), &default, 9).wall_secs;
+        let slow = sim.run(streams, &hobbled, 9).wall_secs;
+        // Allow a sliver of slack: noise draws differ per config only via
+        // op-order, which both runs share; slack covers rounding.
+        prop_assert!(slow >= fast * 0.98, "hobbled {slow} < default {fast}");
+    }
+}

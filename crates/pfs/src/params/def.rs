@@ -1,0 +1,155 @@
+//! Parameter definitions: the schema of the `/proc`-style tunable tree.
+//!
+//! Each [`ParamDef`] carries both the *interface* facts (path, writability,
+//! type, default, bounds — what a sysadmin sees in `/proc/fs/lustre`) and the
+//! *ground-truth* metadata (purpose, performance impact, documentation
+//! coverage) that the synthetic manual is generated from and that the
+//! hallucination experiments (Fig. 2) are scored against.
+
+use serde::{Deserialize, Serialize};
+
+/// Value type of a parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// Integer-valued tunable.
+    Int,
+    /// Boolean (0/1) switch.
+    Bool,
+}
+
+/// A bound that is either a constant or an expression over other parameters
+/// and hardware facts (the paper's `dependent`/`expression` syntax).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Bound {
+    /// Fixed numeric bound.
+    Const(i64),
+    /// Expression evaluated at tuning time (see [`crate::params::expr`]).
+    Expr(String),
+}
+
+impl Bound {
+    /// Resolve against an environment; constants ignore the environment.
+    pub fn resolve(&self, env: &dyn super::expr::Env) -> Result<i64, super::expr::ExprError> {
+        match self {
+            Bound::Const(v) => Ok(*v),
+            Bound::Expr(src) => {
+                let e = super::expr::Expr::parse(src)?;
+                Ok(e.eval(env)?.floor() as i64)
+            }
+        }
+    }
+}
+
+/// How strongly a parameter influences I/O performance (ground truth used to
+/// score the importance-selection step of the extraction pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Impact {
+    /// No measurable I/O performance effect.
+    None,
+    /// Second-order effect (memory footprint, diagnostics).
+    Low,
+    /// Direct, significant effect on I/O performance.
+    High,
+}
+
+/// How thoroughly the (synthetic) manual documents a parameter. Parameters
+/// with `Sparse`/`Absent` coverage are filtered out by the sufficiency check,
+/// mirroring §4.2.2's "insufficient documentation" filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Coverage {
+    /// Dedicated manual section with purpose, impact and range.
+    Full,
+    /// Mentioned in passing; not enough to define purpose and range.
+    Sparse,
+    /// Not documented at all.
+    Absent,
+}
+
+/// Why a parameter is (or is not) a tuning target — ground truth for the
+/// multi-step filter of §4.2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuningClass {
+    /// Runtime-tunable, high-impact: the set STELLAR should select.
+    Target,
+    /// Binary trade-off (e.g. checksums): excluded by design.
+    BinaryTradeoff,
+    /// Writable but low/no performance impact.
+    LowImpact,
+    /// Not writable at runtime (mount-time or read-only).
+    NotWritable,
+    /// Documented too sparsely to pass the sufficiency check.
+    Undocumented,
+}
+
+/// Full definition of one parameter in the tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamDef {
+    /// Canonical dotted name, e.g. `osc.max_rpcs_in_flight`.
+    pub name: &'static str,
+    /// `/proc`-style path exposed by the target system.
+    pub proc_path: &'static str,
+    /// Whether the parameter can be written at runtime.
+    pub writable: bool,
+    /// Value type.
+    pub kind: ParamKind,
+    /// Default value.
+    pub default: i64,
+    /// Lower bound.
+    pub min: Bound,
+    /// Upper bound.
+    pub max: Bound,
+    /// Unit string for display ("MB", "pages", "RPCs", "bytes", "").
+    pub unit: &'static str,
+    /// Ground-truth purpose (one to three sentences; feeds the manual).
+    pub purpose: &'static str,
+    /// Ground-truth description of how the parameter affects I/O.
+    pub io_effect: &'static str,
+    /// Ground-truth performance impact class.
+    pub impact: Impact,
+    /// Manual documentation coverage.
+    pub coverage: Coverage,
+    /// Ground-truth classification for the extraction filter.
+    pub class: TuningClass,
+}
+
+impl ParamDef {
+    /// Whether this parameter should survive STELLAR's full extraction filter
+    /// (writable, documented, non-binary, high impact).
+    pub fn is_tuning_target(&self) -> bool {
+        self.class == TuningClass::Target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn bound_const_resolves() {
+        let env: BTreeMap<String, f64> = BTreeMap::new();
+        assert_eq!(Bound::Const(42).resolve(&env).unwrap(), 42);
+    }
+
+    #[test]
+    fn bound_expr_resolves() {
+        let mut env = BTreeMap::new();
+        env.insert("memory_mb".to_string(), 196608.0);
+        assert_eq!(
+            Bound::Expr("memory_mb / 2".into()).resolve(&env).unwrap(),
+            98304
+        );
+    }
+
+    #[test]
+    fn bound_expr_missing_ident_errors() {
+        let env: BTreeMap<String, f64> = BTreeMap::new();
+        assert!(Bound::Expr("memory_mb / 2".into()).resolve(&env).is_err());
+    }
+
+    #[test]
+    fn impact_ordering() {
+        assert!(Impact::High > Impact::Low);
+        assert!(Impact::Low > Impact::None);
+    }
+}

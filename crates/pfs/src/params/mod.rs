@@ -1,0 +1,12 @@
+//! The `/proc`-style parameter system: definitions, registry, expressions,
+//! and the runtime tuning configuration.
+
+pub mod config;
+pub mod def;
+pub mod expr;
+pub mod registry;
+
+pub use config::{ConfigError, TuningConfig, TUNABLE_NAMES};
+pub use def::{Bound, Coverage, Impact, ParamDef, ParamKind, TuningClass};
+pub use expr::{Env, Expr, ExprError};
+pub use registry::ParamRegistry;

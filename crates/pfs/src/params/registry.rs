@@ -1,0 +1,813 @@
+//! The standard parameter tree of the simulated file system.
+//!
+//! Mirrors the situation §2.1.1 describes for Lustre 2.15: a large population
+//! of parameters of which only a small, high-impact, runtime-tunable subset is
+//! worth tuning. The registry is the single source of truth — the synthetic
+//! manual, the RAG ground-truth scoring, and the simulator's configuration
+//! validation are all derived from it.
+
+use super::def::{Bound, Coverage, Impact, ParamDef, ParamKind, TuningClass};
+
+/// The parameter tree: definitions addressable by canonical name.
+#[derive(Debug, Clone)]
+pub struct ParamRegistry {
+    defs: Vec<ParamDef>,
+}
+
+impl ParamRegistry {
+    /// Build the standard registry used by every experiment.
+    pub fn standard() -> Self {
+        ParamRegistry {
+            defs: standard_defs(),
+        }
+    }
+
+    /// All definitions, in canonical order.
+    pub fn all(&self) -> &[ParamDef] {
+        &self.defs
+    }
+
+    /// Look up a definition by canonical name.
+    pub fn get(&self, name: &str) -> Option<&ParamDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+
+    /// Writable parameters only (the rough pre-filter of §4.2.2: "a rough
+    /// filter selects only writable parameters").
+    pub fn writable(&self) -> impl Iterator<Item = &ParamDef> {
+        self.defs.iter().filter(|d| d.writable)
+    }
+
+    /// The ground-truth tuning targets (what a perfect extraction selects).
+    pub fn tuning_targets(&self) -> impl Iterator<Item = &ParamDef> {
+        self.defs.iter().filter(|d| d.is_tuning_target())
+    }
+
+    /// Number of parameters in the tree.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the registry is empty (never, for the standard tree).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+fn standard_defs() -> Vec<ParamDef> {
+    use Bound::{Const, Expr};
+    vec![
+        // ------------------------------------------------------------------
+        // The 13 high-impact runtime tunables (the paper: "For Lustre,
+        // STELLAR chooses a subset of 13 parameters to tune").
+        // ------------------------------------------------------------------
+        ParamDef {
+            name: "stripe_size",
+            proc_path: "lod.*.stripesize",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 1 << 20,
+            min: Const(64 * 1024),
+            max: Const(512 << 20),
+            unit: "bytes",
+            purpose: "The number of bytes stored on each OST object before the \
+                      layout advances to the next object in the stripe pattern.",
+            io_effect: "Controls the granularity at which a file's data is \
+                        distributed across OSTs. Large sequential transfers \
+                        benefit from stripe sizes that are a multiple of the \
+                        transfer size; undersized stripes split every request \
+                        across servers and inflate RPC counts.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "stripe_count",
+            proc_path: "lod.*.stripecount",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 1,
+            min: Const(-1),
+            max: Expr("ost_count".into()),
+            unit: "OSTs",
+            purpose: "The number of Object Storage Targets (OSTs) across which \
+                      a file will be striped. A value of -1 stripes across all \
+                      available OSTs.",
+            io_effect: "Determines how many OSTs serve a single file's data. \
+                        Shared files written by many processes need wide \
+                        striping to aggregate server bandwidth; small files \
+                        should keep a stripe count of 1 because every \
+                        additional object adds per-OST metadata (object \
+                        glimpse on stat, object destroy on unlink).",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "osc.max_rpcs_in_flight",
+            proc_path: "osc.*.max_rpcs_in_flight",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 8,
+            min: Const(1),
+            max: Const(256),
+            unit: "RPCs",
+            purpose: "The maximum number of concurrent bulk RPCs an object \
+                      storage client (OSC) keeps in flight to one OST.",
+            io_effect: "Caps the depth of the data pipeline between a client \
+                        and each OST. Deep pipelines hide network and disk \
+                        latency for small or random I/O; the default of 8 \
+                        under-utilises a 10 GbE path when many processes on \
+                        one node share the OSC.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "osc.max_pages_per_rpc",
+            proc_path: "osc.*.max_pages_per_rpc",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 256,
+            min: Const(32),
+            max: Const(4096),
+            unit: "pages",
+            purpose: "The maximum number of 4 KiB pages packed into one bulk \
+                      read or write RPC.",
+            io_effect: "Sets the data transfer unit between client and OST. \
+                        Larger RPCs amortise per-RPC overhead for streaming \
+                        workloads; they provide no benefit when dirty data is \
+                        fragmented, as for random small writes.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "osc.max_dirty_mb",
+            proc_path: "osc.*.max_dirty_mb",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 32,
+            min: Const(1),
+            max: Const(2047),
+            unit: "MB",
+            purpose: "The amount of dirty (written but not yet flushed) page \
+                      cache each OSC may accumulate before writers must wait \
+                      for writeback.",
+            io_effect: "Controls write-behind depth per client-OST pair. \
+                        Larger values let applications overlap computation \
+                        with writeback and keep the RPC pipeline full; once \
+                        the limit is hit, writers stall at memory speed until \
+                        the OST drains outstanding data.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "osc.short_io_bytes",
+            proc_path: "osc.*.short_io_bytes",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 16384,
+            min: Const(0),
+            max: Const(16384),
+            unit: "bytes",
+            purpose: "Reads and writes at or below this size are sent inline \
+                      in the RPC request/reply instead of via a bulk transfer \
+                      setup. Zero disables the short I/O path.",
+            io_effect: "Removes the bulk handshake round for tiny transfers, \
+                        reducing per-operation latency for workloads dominated \
+                        by small files or small records.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "llite.max_cached_mb",
+            proc_path: "llite.*.max_cached_mb",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 65536,
+            min: Const(64),
+            max: Expr("memory_mb * 3 / 4".into()),
+            unit: "MB",
+            purpose: "The maximum amount of page cache the client may devote \
+                      to file data.",
+            io_effect: "Bounds how much recently read or written data can be \
+                        served from client memory. Workloads that re-read \
+                        their working set within this budget avoid OST reads \
+                        entirely.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "llite.max_read_ahead_mb",
+            proc_path: "llite.*.max_read_ahead_mb",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 64,
+            min: Const(0),
+            max: Expr("memory_mb / 2".into()),
+            unit: "MB",
+            purpose: "The total amount of readahead data the client may keep \
+                      in flight across all files. Zero disables readahead.",
+            io_effect: "The client-wide prefetch budget. Streaming readers \
+                        need enough budget for every active file's readahead \
+                        window; when many processes read concurrently the \
+                        default budget is exhausted and sequential reads \
+                        degrade to synchronous RPCs.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "llite.max_read_ahead_per_file_mb",
+            proc_path: "llite.*.max_read_ahead_per_file_mb",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 32,
+            min: Const(0),
+            max: Expr("llite.max_read_ahead_mb / 2".into()),
+            unit: "MB",
+            purpose: "The maximum readahead window for a single file. Its \
+                      maximal value is half of llite.max_read_ahead_mb.",
+            io_effect: "Caps how far ahead the sequential-read detector may \
+                        prefetch within one file. Larger windows keep deep \
+                        pipelines full for fast streaming reads of large \
+                        files.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "llite.max_read_ahead_whole_mb",
+            proc_path: "llite.*.max_read_ahead_whole_mb",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 2,
+            min: Const(0),
+            max: Const(64),
+            unit: "MB",
+            purpose: "Files at or below this size are read in their entirety \
+                      on first access instead of growing a readahead window.",
+            io_effect: "Turns the first read of a small file into a single \
+                        full-file fetch, eliminating window ramp-up for \
+                        workloads that scan many small files.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "llite.statahead_max",
+            proc_path: "llite.*.statahead_max",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 32,
+            min: Const(0),
+            max: Const(8192),
+            unit: "entries",
+            purpose: "The maximum number of directory entries whose attributes \
+                      the statahead thread prefetches ahead of a process that \
+                      is stat-ing entries in readdir order. Zero disables \
+                      statahead.",
+            io_effect: "Hides metadata server round-trips during directory \
+                        scans (ls -l, per-file stat loops). Deeper statahead \
+                        windows keep attribute prefetch ahead of consumption \
+                        in large directories; it also triggers asynchronous \
+                        glimpse requests so file sizes are resolved before \
+                        the application asks.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "mdc.max_rpcs_in_flight",
+            proc_path: "mdc.*.max_rpcs_in_flight",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 8,
+            min: Const(1),
+            max: Const(256),
+            unit: "RPCs",
+            purpose: "The maximum number of concurrent metadata RPCs the \
+                      client keeps in flight to the MDS.",
+            io_effect: "Caps metadata parallelism per client node. When many \
+                        processes on one node issue getattr/open in parallel, \
+                        the default of 8 serialises them; metadata-intensive \
+                        workloads gain directly from deeper windows.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        ParamDef {
+            name: "mdc.max_mod_rpcs_in_flight",
+            proc_path: "mdc.*.max_mod_rpcs_in_flight",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 7,
+            min: Const(1),
+            max: Expr("min(mdc.max_rpcs_in_flight - 1, 255)".into()),
+            unit: "RPCs",
+            purpose: "The maximum number of concurrent modifying metadata RPCs \
+                      (create, unlink, setattr) in flight to the MDS. Must be \
+                      strictly less than mdc.max_rpcs_in_flight.",
+            io_effect: "Caps parallel file creation and removal per client \
+                        node. File-per-process create storms and cleanup \
+                        phases are bounded by this window.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::Target,
+        },
+        // ------------------------------------------------------------------
+        // Binary trade-off parameters: impactful but excluded by design
+        // (§4.2.2: "binary parameters ... typically represent user trade-offs").
+        // ------------------------------------------------------------------
+        ParamDef {
+            name: "osc.checksums",
+            proc_path: "osc.*.checksums",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 1,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Enables wire checksums on bulk data between client and \
+                      OST.",
+            io_effect: "Disabling checksums removes per-page checksum \
+                        computation and measurably increases throughput, at \
+                        the cost of undetected network corruption. The \
+                        setting should be chosen from data-integrity \
+                        requirements, not for performance.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::BinaryTradeoff,
+        },
+        ParamDef {
+            name: "llite.checksum_pages",
+            proc_path: "llite.*.checksum_pages",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 0,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Enables in-memory checksumming of cached pages at the \
+                      llite layer.",
+            io_effect: "Adds a verification pass over every cached page; \
+                        protects against memory corruption at a significant \
+                        CPU cost. A data-integrity trade-off, not a tuning \
+                        knob.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::BinaryTradeoff,
+        },
+        ParamDef {
+            name: "llite.xattr_cache",
+            proc_path: "llite.*.xattr_cache",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 1,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Enables client-side caching of extended attributes.",
+            io_effect: "Avoids repeated xattr fetches; disabling it is only \
+                        appropriate when external modification of xattrs must \
+                        be visible immediately. A semantics trade-off.",
+            impact: Impact::Low,
+            coverage: Coverage::Full,
+            class: TuningClass::BinaryTradeoff,
+        },
+        ParamDef {
+            name: "llite.fast_read",
+            proc_path: "llite.*.fast_read",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 1,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Allows lockless reads from the client page cache.",
+            io_effect: "Skips distributed-lock revalidation on cached reads; \
+                        disabling trades performance for strict coherency \
+                        with concurrent remote writers.",
+            impact: Impact::Low,
+            coverage: Coverage::Full,
+            class: TuningClass::BinaryTradeoff,
+        },
+        // ------------------------------------------------------------------
+        // Writable but low-impact parameters (§2.1.1's lru_size example).
+        // ------------------------------------------------------------------
+        ParamDef {
+            name: "ldlm.lru_size",
+            proc_path: "ldlm.namespaces.*.lru_size",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(1 << 20),
+            unit: "locks",
+            purpose: "The number of client-side DLM locks kept in the LRU \
+                      cached-locks queue; zero selects automatic sizing.",
+            io_effect: "Primarily affects client memory usage for cached \
+                        locks rather than directly impacting I/O performance.",
+            impact: Impact::Low,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "ldlm.lru_max_age",
+            proc_path: "ldlm.namespaces.*.lru_max_age",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 3900000,
+            min: Const(1),
+            max: Const(36000000),
+            unit: "ms",
+            purpose: "The maximum age of an unused client lock before it is \
+                      cancelled from the LRU.",
+            io_effect: "A lock-cache retention policy; affects memory and \
+                        lock-server load, not data-path performance.",
+            impact: Impact::Low,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "osc.idle_timeout",
+            proc_path: "osc.*.idle_timeout",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 20,
+            min: Const(0),
+            max: Const(3600),
+            unit: "seconds",
+            purpose: "Seconds of inactivity after which an idle OSC \
+                      connection is disconnected.",
+            io_effect: "Reduces idle connection resources; reconnect cost is \
+                        negligible for active workloads.",
+            impact: Impact::Low,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "osc.grant_shrink_interval",
+            proc_path: "osc.*.grant_shrink_interval",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 1200,
+            min: Const(1),
+            max: Const(65535),
+            unit: "seconds",
+            purpose: "The interval at which unused OST space grant is \
+                      returned by the client.",
+            io_effect: "A space-accounting housekeeping interval with no \
+                        direct effect on I/O performance.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "ost.nrs_delay_min",
+            proc_path: "ost.OSS.ost_io.nrs_delay_min",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 5,
+            min: Const(0),
+            max: Const(65535),
+            unit: "seconds",
+            purpose: "The minimum artificial delay the NRS delay policy adds \
+                      to serviced requests.",
+            io_effect: "Part of a fault-injection policy used to simulate \
+                        high server load during testing; relevant to \
+                        experiments but not connected to production I/O \
+                        performance.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "ost.nrs_delay_max",
+            proc_path: "ost.OSS.ost_io.nrs_delay_max",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 300,
+            min: Const(0),
+            max: Const(65535),
+            unit: "seconds",
+            purpose: "The maximum artificial delay the NRS delay policy adds \
+                      to serviced requests.",
+            io_effect: "Fault-injection control; see ost.nrs_delay_min.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "ost.nrs_delay_pct",
+            proc_path: "ost.OSS.ost_io.nrs_delay_pct",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 100,
+            min: Const(0),
+            max: Const(100),
+            unit: "percent",
+            purpose: "The percentage of requests the NRS delay policy delays.",
+            io_effect: "Fault-injection control; see ost.nrs_delay_min.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        // ------------------------------------------------------------------
+        // Writable but sparsely/un-documented (filtered by the sufficiency
+        // check: "parameters that are not described in the documentation are
+        // likely to be of lesser importance").
+        // ------------------------------------------------------------------
+        ParamDef {
+            name: "mdc.batch_max",
+            proc_path: "mdc.*.batch_max",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(1024),
+            unit: "",
+            purpose: "Batched statahead RPC limit (undocumented internals).",
+            io_effect: "",
+            impact: Impact::Low,
+            coverage: Coverage::Sparse,
+            class: TuningClass::Undocumented,
+        },
+        ParamDef {
+            name: "osc.max_extent_pages",
+            proc_path: "osc.*.max_extent_pages",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 8192,
+            min: Const(1),
+            max: Const(32768),
+            unit: "pages",
+            purpose: "Internal cap on pages per cached extent.",
+            io_effect: "",
+            impact: Impact::Low,
+            coverage: Coverage::Sparse,
+            class: TuningClass::Undocumented,
+        },
+        ParamDef {
+            name: "llite.inode_cache",
+            proc_path: "llite.*.inode_cache",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 1,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Internal inode cache toggle.",
+            io_effect: "",
+            impact: Impact::Low,
+            coverage: Coverage::Absent,
+            class: TuningClass::Undocumented,
+        },
+        ParamDef {
+            name: "osc.resend_count",
+            proc_path: "osc.*.resend_count",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 10,
+            min: Const(0),
+            max: Const(50),
+            unit: "",
+            purpose: "Retries for failed RPCs.",
+            io_effect: "",
+            impact: Impact::Low,
+            coverage: Coverage::Sparse,
+            class: TuningClass::Undocumented,
+        },
+        ParamDef {
+            name: "mdc.lazystatfs",
+            proc_path: "llite.*.lazystatfs",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 1,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Non-blocking statfs behaviour toggle.",
+            io_effect: "",
+            impact: Impact::Low,
+            coverage: Coverage::Sparse,
+            class: TuningClass::Undocumented,
+        },
+        // ------------------------------------------------------------------
+        // Not runtime-writable: mount-time settings and read-only telemetry
+        // (§2.1.1's mount_point / mount_block_size examples).
+        // ------------------------------------------------------------------
+        ParamDef {
+            name: "mount_point",
+            proc_path: "(mount option)",
+            writable: false,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(0),
+            unit: "",
+            purpose: "The directory where the file system is mounted; fixed \
+                      before the file system is mounted.",
+            io_effect: "Not tunable at runtime.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::NotWritable,
+        },
+        ParamDef {
+            name: "mount_block_size",
+            proc_path: "(mkfs option)",
+            writable: false,
+            kind: ParamKind::Int,
+            default: 4096,
+            min: Const(512),
+            max: Const(65536),
+            unit: "bytes",
+            purpose: "The backing file system block size chosen at format \
+                      time.",
+            io_effect: "Fixed at mkfs time; not tunable at runtime.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::NotWritable,
+        },
+        ParamDef {
+            name: "osc.cur_dirty_bytes",
+            proc_path: "osc.*.cur_dirty_bytes",
+            writable: false,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(i64::MAX),
+            unit: "bytes",
+            purpose: "Read-only counter of currently dirty bytes on an OSC.",
+            io_effect: "Telemetry, not a tunable.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::NotWritable,
+        },
+        ParamDef {
+            name: "osc.stats",
+            proc_path: "osc.*.stats",
+            writable: false,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(0),
+            unit: "",
+            purpose: "Read-only RPC statistics.",
+            io_effect: "Telemetry, not a tunable.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::NotWritable,
+        },
+        ParamDef {
+            name: "ost.brw_stats",
+            proc_path: "osd-ldiskfs.*.brw_stats",
+            writable: false,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(0),
+            unit: "",
+            purpose: "Read-only histogram of bulk read/write sizes on the \
+                      OST.",
+            io_effect: "Telemetry, not a tunable.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::NotWritable,
+        },
+        ParamDef {
+            name: "mds.num_threads",
+            proc_path: "mds.MDS.mdt.threads_max",
+            writable: false,
+            kind: ParamKind::Int,
+            default: 64,
+            min: Const(8),
+            max: Const(1024),
+            unit: "threads",
+            purpose: "Size of the MDS service thread pool, set at service \
+                      start.",
+            io_effect: "Fixed at service start on this deployment; treated \
+                        as not runtime-tunable.",
+            impact: Impact::High,
+            coverage: Coverage::Full,
+            class: TuningClass::NotWritable,
+        },
+        ParamDef {
+            name: "debug",
+            proc_path: "debug",
+            writable: true,
+            kind: ParamKind::Int,
+            default: 0,
+            min: Const(0),
+            max: Const(i64::MAX),
+            unit: "mask",
+            purpose: "Kernel debug message mask.",
+            io_effect: "Heavy debug masks slow everything down; a diagnostic \
+                        facility, not a performance tunable.",
+            impact: Impact::Low,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+        ParamDef {
+            name: "panic_on_lbug",
+            proc_path: "panic_on_lbug",
+            writable: true,
+            kind: ParamKind::Bool,
+            default: 1,
+            min: Const(0),
+            max: Const(1),
+            unit: "",
+            purpose: "Whether an internal consistency failure panics the \
+                      node.",
+            io_effect: "Crash-handling policy; no I/O performance relevance.",
+            impact: Impact::None,
+            coverage: Coverage::Full,
+            class: TuningClass::LowImpact,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_13_targets() {
+        let reg = ParamRegistry::standard();
+        let targets: Vec<_> = reg.tuning_targets().map(|d| d.name).collect();
+        assert_eq!(targets.len(), 13, "targets: {targets:?}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = ParamRegistry::standard();
+        let mut names: Vec<_> = reg.all().iter().map(|d| d.name).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let reg = ParamRegistry::standard();
+        assert!(reg.get("stripe_count").is_some());
+        assert!(reg.get("osc.max_rpcs_in_flight").is_some());
+        assert!(reg.get("no.such.param").is_none());
+    }
+
+    #[test]
+    fn writable_filter_excludes_readonly() {
+        let reg = ParamRegistry::standard();
+        assert!(reg.writable().all(|d| d.writable));
+        assert!(reg.writable().count() < reg.len());
+        // mount params are excluded by the rough filter
+        assert!(!reg.writable().any(|d| d.name == "mount_point"));
+    }
+
+    #[test]
+    fn targets_are_all_writable_documented_nonbinary() {
+        let reg = ParamRegistry::standard();
+        for d in reg.tuning_targets() {
+            assert!(d.writable, "{}", d.name);
+            assert_eq!(d.coverage, Coverage::Full, "{}", d.name);
+            assert_ne!(d.kind, ParamKind::Bool, "{}", d.name);
+            assert_eq!(d.impact, Impact::High, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn binary_tradeoffs_present_but_not_targets() {
+        let reg = ParamRegistry::standard();
+        let cks = reg.get("osc.checksums").unwrap();
+        assert_eq!(cks.class, TuningClass::BinaryTradeoff);
+        assert!(!cks.is_tuning_target());
+    }
+
+    #[test]
+    fn dependent_bounds_parse() {
+        let reg = ParamRegistry::standard();
+        for d in reg.all() {
+            for b in [&d.min, &d.max] {
+                if let Bound::Expr(src) = b {
+                    assert!(
+                        super::super::expr::Expr::parse(src).is_ok(),
+                        "bad expr on {}: {src}",
+                        d.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_is_population_not_just_targets() {
+        // The point of the extraction pipeline is filtering a large tree.
+        let reg = ParamRegistry::standard();
+        assert!(reg.len() >= 35, "tree too small: {}", reg.len());
+    }
+}

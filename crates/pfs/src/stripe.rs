@@ -1,0 +1,213 @@
+//! RAID-0 style file striping across OST objects.
+//!
+//! A file's layout is fixed at creation from the active configuration:
+//! `stripe_size` bytes go to object 0, the next `stripe_size` bytes to
+//! object 1, and so on round-robin over `stripe_count` objects, each living
+//! on a distinct OST starting at `start_ost`.
+
+use serde::{Deserialize, Serialize};
+
+/// A file's stripe layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layout {
+    /// Bytes per stripe unit.
+    pub stripe_size: u64,
+    /// Number of objects (1..=ost_count).
+    pub stripe_count: u32,
+    /// First OST index (files are rotated across OSTs for balance).
+    pub start_ost: u32,
+}
+
+/// A contiguous piece of a file extent mapped onto one OST object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectExtent {
+    /// OST index holding this piece.
+    pub ost: u32,
+    /// Stripe object index within the file's layout (0..stripe_count).
+    pub obj_index: u32,
+    /// Byte offset *within the object*.
+    pub obj_offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Original file offset of this piece.
+    pub file_offset: u64,
+}
+
+impl Layout {
+    /// Create a layout; `stripe_count` is clamped to at least 1 and
+    /// `stripe_size` to at least 64 KiB (the Lustre minimum).
+    pub fn new(stripe_size: u64, stripe_count: u32, start_ost: u32, ost_count: u32) -> Self {
+        Layout {
+            stripe_size: stripe_size.max(64 * 1024),
+            stripe_count: stripe_count.clamp(1, ost_count.max(1)),
+            start_ost: start_ost % ost_count.max(1),
+        }
+    }
+
+    /// OST index of stripe object `obj_index`, given the cluster's OST count.
+    pub fn ost_of(&self, obj_index: u32, ost_count: u32) -> u32 {
+        (self.start_ost + obj_index) % ost_count.max(1)
+    }
+
+    /// Map a file extent `[offset, offset+len)` to object extents, in file
+    /// offset order. Zero-length extents map to nothing.
+    pub fn map(&self, offset: u64, len: u64, ost_count: u32) -> Vec<ObjectExtent> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let ss = self.stripe_size;
+        let sc = self.stripe_count as u64;
+        let mut cur = offset;
+        let end = offset + len;
+        while cur < end {
+            let stripe_index = cur / ss; // global stripe number
+            let within = cur % ss;
+            let take = (ss - within).min(end - cur);
+            let obj_index = (stripe_index % sc) as u32;
+            // The object sees stripes stripe_index/sc, each ss bytes.
+            let obj_offset = (stripe_index / sc) * ss + within;
+            out.push(ObjectExtent {
+                ost: self.ost_of(obj_index, ost_count),
+                obj_index,
+                obj_offset,
+                len: take,
+                file_offset: cur,
+            });
+            cur += take;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stripe_maps_identity() {
+        let l = Layout::new(1 << 20, 1, 0, 5);
+        let ext = l.map(12345, 1000, 5);
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].ost, 0);
+        assert_eq!(ext[0].obj_offset, 12345);
+        assert_eq!(ext[0].len, 1000);
+    }
+
+    #[test]
+    fn round_robin_across_objects() {
+        let l = Layout::new(1 << 20, 4, 0, 5);
+        // 4 MiB starting at 0 → one full stripe on each of 4 objects.
+        let ext = l.map(0, 4 << 20, 5);
+        assert_eq!(ext.len(), 4);
+        for (i, e) in ext.iter().enumerate() {
+            assert_eq!(e.obj_index, i as u32);
+            assert_eq!(e.obj_offset, 0);
+            assert_eq!(e.len, 1 << 20);
+        }
+        // Next 4 MiB wraps to the same objects at object offset 1 MiB.
+        let ext2 = l.map(4 << 20, 4 << 20, 5);
+        for (i, e) in ext2.iter().enumerate() {
+            assert_eq!(e.obj_index, i as u32);
+            assert_eq!(e.obj_offset, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn unaligned_extent_splits_at_stripe_boundary() {
+        let ss = 64 * 1024;
+        let l = Layout::new(ss, 2, 0, 2);
+        // [ss-24, ss+76) crosses the first stripe boundary.
+        let ext = l.map(ss - 24, 100, 2);
+        assert_eq!(ext.len(), 2);
+        assert_eq!(ext[0].obj_index, 0);
+        assert_eq!(ext[0].obj_offset, ss - 24);
+        assert_eq!(ext[0].len, 24);
+        assert_eq!(ext[1].obj_index, 1);
+        assert_eq!(ext[1].obj_offset, 0);
+        assert_eq!(ext[1].len, 76);
+    }
+
+    #[test]
+    fn start_ost_rotation() {
+        let l = Layout::new(1024, 2, 3, 5);
+        assert_eq!(l.ost_of(0, 5), 3);
+        assert_eq!(l.ost_of(1, 5), 4);
+        let l2 = Layout::new(1024, 2, 4, 5);
+        assert_eq!(l2.ost_of(1, 5), 0); // wraps
+    }
+
+    #[test]
+    fn zero_len_maps_to_nothing() {
+        let l = Layout::new(1024, 2, 0, 2);
+        assert!(l.map(0, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn mapping_is_exhaustive_and_ordered() {
+        let l = Layout::new(64 * 1024, 3, 1, 5);
+        let (off, len) = (123_456, 1_000_000);
+        let ext = l.map(off, len, 5);
+        let total: u64 = ext.iter().map(|e| e.len).sum();
+        assert_eq!(total, len);
+        let mut cur = off;
+        for e in &ext {
+            assert_eq!(e.file_offset, cur);
+            cur += e.len;
+        }
+        assert_eq!(cur, off + len);
+    }
+
+    #[test]
+    fn clamps_degenerate_inputs() {
+        let l = Layout::new(1, 0, 7, 5);
+        assert_eq!(l.stripe_size, 64 * 1024);
+        assert_eq!(l.stripe_count, 1);
+        assert_eq!(l.start_ost, 2); // 7 % 5
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Mapping covers the extent exactly, in order, with no gaps.
+        #[test]
+        fn map_partitions_extent(
+            ss_exp in 16u32..24, // 64K..8M stripe sizes
+            sc in 1u32..6,
+            start in 0u32..5,
+            off in 0u64..(1 << 30),
+            len in 1u64..(16 << 20),
+        ) {
+            let l = Layout::new(1u64 << ss_exp, sc, start, 5);
+            let ext = l.map(off, len, 5);
+            let total: u64 = ext.iter().map(|e| e.len).sum();
+            prop_assert_eq!(total, len);
+            let mut cur = off;
+            for e in &ext {
+                prop_assert_eq!(e.file_offset, cur);
+                prop_assert!(e.len > 0);
+                prop_assert!(e.ost < 5);
+                prop_assert!(e.obj_index < l.stripe_count);
+                // A piece never crosses a stripe boundary within its object.
+                prop_assert!(e.obj_offset % l.stripe_size + e.len <= l.stripe_size);
+                cur += e.len;
+            }
+        }
+
+        /// The same (file offset) always maps to the same object.
+        #[test]
+        fn mapping_is_deterministic_per_offset(
+            off in 0u64..(1 << 28),
+            sc in 1u32..6,
+        ) {
+            let l = Layout::new(1 << 20, sc, 0, 5);
+            let a = l.map(off, 1, 5);
+            let b = l.map(off, 1, 5);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

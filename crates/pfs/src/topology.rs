@@ -1,0 +1,192 @@
+//! Cluster hardware description.
+//!
+//! Defaults mirror the paper's evaluation platform (§5.1.1): ten CloudLab
+//! machines — five OSS nodes (one OST each), one combined MGS/MDS, and five
+//! client nodes running 50 MPI ranks — joined by a 10 Gbps switch, each with
+//! an Intel Xeon Silver 4114 and ~196 GB of memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Storage-device service characteristics of one OST's backing device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskProfile {
+    /// Sequential streaming bandwidth, bytes/second.
+    pub seq_bytes_per_sec: f64,
+    /// Positioning penalty charged when an object stream is non-sequential.
+    pub random_seek_us: f64,
+    /// Fixed per-request service overhead (request parsing, block layer).
+    pub per_op_us: f64,
+}
+
+impl DiskProfile {
+    /// A datacenter SATA/NVMe-class device matching mid-range CloudLab nodes.
+    pub fn cloudlab_ssd() -> Self {
+        DiskProfile {
+            seq_bytes_per_sec: 1.15e9,
+            random_seek_us: 180.0,
+            per_op_us: 25.0,
+        }
+    }
+}
+
+/// The simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of object storage server nodes.
+    pub oss_count: u32,
+    /// OSTs per OSS node.
+    pub osts_per_oss: u32,
+    /// Number of client nodes.
+    pub client_count: u32,
+    /// MPI ranks per client node.
+    pub ranks_per_client: u32,
+    /// Memory per client node, MB.
+    pub client_memory_mb: u64,
+    /// NIC bandwidth per node, bytes/second (10 Gbps ≈ 1.25e9 B/s).
+    pub nic_bytes_per_sec: f64,
+    /// One-way network latency plus RPC processing, microseconds.
+    pub rpc_rtt_us: f64,
+    /// Extra handshake cost of a bulk (non-inline) RPC, microseconds.
+    pub bulk_setup_us: f64,
+    /// MDS service thread pool size.
+    pub mds_threads: u32,
+    /// Mean MDS service time for a getattr, microseconds (other ops scale).
+    pub mds_getattr_us: f64,
+    /// Client memory copy bandwidth (page-cache insertion), bytes/second.
+    pub mem_bytes_per_sec: f64,
+    /// OST backing device profile.
+    pub disk: DiskProfile,
+    /// LDLM extent-lock revocation round trip, microseconds.
+    pub lock_revoke_us: f64,
+    /// Multiplicative service-time noise (σ of the lognormal), per operation.
+    pub op_noise_sigma: f64,
+    /// Multiplicative whole-run noise (σ of the lognormal), per replication.
+    pub run_noise_sigma: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's 10-node CloudLab deployment.
+    pub fn paper_cluster() -> Self {
+        ClusterSpec {
+            oss_count: 5,
+            osts_per_oss: 1,
+            client_count: 5,
+            ranks_per_client: 10,
+            client_memory_mb: 196_608,
+            nic_bytes_per_sec: 1.25e9,
+            rpc_rtt_us: 220.0,
+            bulk_setup_us: 160.0,
+            mds_threads: 64,
+            mds_getattr_us: 110.0,
+            mem_bytes_per_sec: 8.0e9,
+            disk: DiskProfile::cloudlab_ssd(),
+            lock_revoke_us: 450.0,
+            op_noise_sigma: 0.05,
+            run_noise_sigma: 0.03,
+        }
+    }
+
+    /// A 2-OSS, 2-client miniature for fast unit tests.
+    pub fn tiny() -> Self {
+        ClusterSpec {
+            oss_count: 2,
+            osts_per_oss: 1,
+            client_count: 2,
+            ranks_per_client: 2,
+            ..Self::paper_cluster()
+        }
+    }
+
+    /// Total number of OSTs.
+    pub fn ost_count(&self) -> u32 {
+        self.oss_count * self.osts_per_oss
+    }
+
+    /// Total number of MPI ranks.
+    pub fn total_ranks(&self) -> u32 {
+        self.client_count * self.ranks_per_client
+    }
+
+    /// Client node hosting `rank`.
+    pub fn client_of_rank(&self, rank: u32) -> u32 {
+        rank / self.ranks_per_client
+    }
+
+    /// OSS node hosting `ost`.
+    pub fn oss_of_ost(&self, ost: u32) -> u32 {
+        ost / self.osts_per_oss
+    }
+
+    /// Human-readable hardware summary (fed to the Tuning Agent's context,
+    /// standing in for "details about the hardware and storage system setup").
+    pub fn describe(&self) -> String {
+        format!(
+            "Cluster: {} OSS nodes x {} OST(s) each ({} OSTs total), 1 combined MGS/MDS \
+             ({} service threads), {} client nodes x {} MPI ranks ({} ranks total). \
+             Each node: {} GB RAM, {:.0} Gbps NIC. OST devices: {:.2} GB/s sequential, \
+             {:.0} us positioning penalty. Lustre-like client stack with OSC/MDC RPC \
+             windows, write-behind cache, readahead and statahead.",
+            self.oss_count,
+            self.osts_per_oss,
+            self.ost_count(),
+            self.mds_threads,
+            self.client_count,
+            self.ranks_per_client,
+            self.total_ranks(),
+            self.client_memory_mb / 1024,
+            self.nic_bytes_per_sec * 8.0 / 1e9,
+            self.disk.seq_bytes_per_sec / 1e9,
+            self.disk.random_seek_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_section_5_1_1() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.ost_count(), 5);
+        assert_eq!(c.total_ranks(), 50);
+        assert_eq!(c.client_count, 5);
+        // 10 Gbps
+        assert!((c.nic_bytes_per_sec - 1.25e9).abs() < 1.0);
+        // ~196 GB
+        assert_eq!(c.client_memory_mb, 196_608);
+    }
+
+    #[test]
+    fn rank_to_client_mapping() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.client_of_rank(0), 0);
+        assert_eq!(c.client_of_rank(9), 0);
+        assert_eq!(c.client_of_rank(10), 1);
+        assert_eq!(c.client_of_rank(49), 4);
+    }
+
+    #[test]
+    fn ost_to_oss_mapping() {
+        let mut c = ClusterSpec::paper_cluster();
+        c.osts_per_oss = 2;
+        assert_eq!(c.oss_of_ost(0), 0);
+        assert_eq!(c.oss_of_ost(1), 0);
+        assert_eq!(c.oss_of_ost(2), 1);
+    }
+
+    #[test]
+    fn describe_mentions_key_facts() {
+        let s = ClusterSpec::paper_cluster().describe();
+        assert!(s.contains("5 OSS"));
+        assert!(s.contains("50 ranks"));
+        assert!(s.contains("MGS/MDS"));
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = ClusterSpec::tiny();
+        assert_eq!(t.total_ranks(), 4);
+        assert_eq!(t.ost_count(), 2);
+    }
+}

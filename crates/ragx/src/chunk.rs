@@ -1,0 +1,90 @@
+//! Token-window chunking (LlamaIndex defaults: 1024-token chunks, 20-token
+//! overlap — §4.2.2).
+
+/// Default chunk size in tokens.
+pub const CHUNK_TOKENS: usize = 1024;
+/// Default overlap in tokens.
+pub const CHUNK_OVERLAP: usize = 20;
+
+/// Split `text` into whitespace tokens ("words"); the token estimate used
+/// throughout treats one word ≈ one token, which is close enough for a
+/// retrieval simulation.
+pub fn words(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+/// Chunk `text` into windows of `size` tokens with `overlap` tokens of
+/// context carried between consecutive chunks.
+pub fn chunk_text(text: &str, size: usize, overlap: usize) -> Vec<String> {
+    assert!(size > 0, "chunk size must be positive");
+    assert!(overlap < size, "overlap must be smaller than chunk size");
+    let w = words(text);
+    if w.is_empty() {
+        return Vec::new();
+    }
+    let step = size - overlap;
+    let mut chunks = Vec::with_capacity(w.len() / step + 1);
+    let mut start = 0;
+    loop {
+        let end = (start + size).min(w.len());
+        chunks.push(w[start..end].join(" "));
+        if end == w.len() {
+            break;
+        }
+        start += step;
+    }
+    chunks
+}
+
+/// Chunk with the LlamaIndex defaults.
+pub fn chunk_default(text: &str) -> Vec<String> {
+    chunk_text(text, CHUNK_TOKENS, CHUNK_OVERLAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_text_no_chunks() {
+        assert!(chunk_default("").is_empty());
+        assert!(chunk_default("   \n  ").is_empty());
+    }
+
+    #[test]
+    fn short_text_single_chunk() {
+        let chunks = chunk_default("hello world");
+        assert_eq!(chunks, vec!["hello world".to_string()]);
+    }
+
+    #[test]
+    fn chunks_overlap() {
+        let text: Vec<String> = (0..25).map(|i| format!("w{i}")).collect();
+        let text = text.join(" ");
+        let chunks = chunk_text(&text, 10, 2);
+        // step 8: [0..10), [8..18), [16..25)
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks[0].ends_with("w8 w9"));
+        assert!(chunks[1].starts_with("w8 w9"));
+        assert!(chunks[1].ends_with("w16 w17"));
+        assert!(chunks[2].starts_with("w16 w17"));
+    }
+
+    #[test]
+    fn every_word_appears() {
+        let text: Vec<String> = (0..5000).map(|i| format!("tok{i}")).collect();
+        let text = text.join(" ");
+        let chunks = chunk_default(&text);
+        assert!(chunks.len() > 1);
+        let joined = chunks.join(" ");
+        for i in (0..5000).step_by(617) {
+            assert!(joined.contains(&format!("tok{i}")));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn bad_overlap_panics() {
+        chunk_text("a b c", 2, 2);
+    }
+}

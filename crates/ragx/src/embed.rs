@@ -1,0 +1,112 @@
+//! Feature-hashing n-gram embedder — the offline stand-in for
+//! `text-embedding-3-large`.
+//!
+//! Each text maps to a fixed-dimension vector: unigrams and bigrams of
+//! lowercased words are hashed into buckets with signed contributions
+//! (the classic hashing trick), then L2-normalised so the index can rank by
+//! dot product = cosine similarity. Lexically similar passages land close,
+//! which is the property the extraction pipeline actually relies on.
+
+use simcore::rng::{combine, stable_hash};
+
+/// Embedding dimensionality.
+pub const EMBED_DIM: usize = 384;
+
+/// Deterministic text embedder.
+#[derive(Debug, Clone, Default)]
+pub struct Embedder;
+
+impl Embedder {
+    /// Embed `text` into a unit-norm vector (zero vector for empty text).
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0f32; EMBED_DIM];
+        let words: Vec<String> = text
+            .split(|c: char| !c.is_alphanumeric() && c != '_' && c != '.')
+            .filter(|w| !w.is_empty())
+            .map(|w| w.to_lowercase())
+            .collect();
+        for w in &words {
+            add_feature(&mut v, stable_hash(w), 1.0);
+        }
+        for pair in words.windows(2) {
+            let h = combine(stable_hash(&pair[0]), stable_hash(&pair[1]));
+            add_feature(&mut v, h, 0.5);
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+fn add_feature(v: &mut [f32], hash: u64, weight: f32) {
+    let bucket = (hash % EMBED_DIM as u64) as usize;
+    let sign = if (hash >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+    v[bucket] += sign * weight;
+}
+
+/// Cosine similarity of two unit vectors (plain dot product).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e() -> Embedder {
+        Embedder
+    }
+
+    #[test]
+    fn unit_norm() {
+        let v = e().embed("the stripe count parameter controls striping");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let v = e().embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = e().embed("max_rpcs_in_flight tuning");
+        let b = e().embed("max_rpcs_in_flight tuning");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn similar_texts_closer_than_dissimilar() {
+        let q = e().embed("How do I use the parameter llite.statahead_max?");
+        let on_topic = e().embed(
+            "llite.statahead_max controls the number of directory entries the \
+             statahead thread prefetches during directory scans",
+        );
+        let off_topic = e().embed(
+            "the object storage server allocates grant space to clients for \
+             writeback caching of bulk data",
+        );
+        assert!(cosine(&q, &on_topic) > cosine(&q, &off_topic));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let a = e().embed("Stripe Count");
+        let b = e().embed("stripe count");
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dotted_names_survive_tokenization() {
+        let a = e().embed("osc.max_dirty_mb");
+        let b = e().embed("unrelated words entirely");
+        assert!(cosine(&a, &a) > 0.99);
+        assert!(cosine(&a, &b) < 0.5);
+    }
+}

@@ -1,0 +1,273 @@
+//! The synthetic file-system operations manual.
+//!
+//! Stands in for the 600-page Lustre 2.x Operations Manual the paper indexes.
+//! Generated from the parameter registry's ground truth so the manual and the
+//! simulator can never drift apart, padded with the general chapters and
+//! repetitive operational prose that make retrieval non-trivial: a query
+//! about one parameter must find its section among hundreds of chunks of
+//! architecture description, installation walkthroughs and unrelated
+//! parameter sections.
+
+use pfs::params::{Bound, Coverage, Impact, ParamDef, ParamRegistry};
+
+/// Marker used to delimit a parameter's dedicated section; the sufficiency
+/// check looks for it in retrieved context.
+pub fn section_marker(name: &str) -> String {
+    format!("PARAMETER REFERENCE: {name}")
+}
+
+fn render_bound(b: &Bound, which: &str) -> String {
+    match b {
+        Bound::Const(v) => format!("The {which} accepted value is {v}."),
+        Bound::Expr(e) => format!(
+            "The {which} accepted value is not fixed: it is computed as \
+             `{e}` from the values of other parameters and the node's \
+             hardware configuration at the time the parameter is set."
+        ),
+    }
+}
+
+fn impact_sentence(d: &ParamDef) -> &'static str {
+    match d.impact {
+        Impact::High => {
+            "Administrators tuning I/O throughput or latency should treat \
+             this parameter as a primary lever: it has a direct and \
+             significant effect on I/O performance."
+        }
+        Impact::Low => {
+            "This parameter primarily affects resource accounting or \
+             memory footprint; it is not a primary I/O performance lever."
+        }
+        Impact::None => {
+            "This parameter exists for administrative or testing purposes \
+             and is not connected to production I/O performance."
+        }
+    }
+}
+
+fn param_section(d: &ParamDef) -> String {
+    let mut s = String::with_capacity(1200);
+    s.push_str(&format!("## {}\n\n", section_marker(d.name)));
+    s.push_str(&format!(
+        "Interface path: {} . Writable at runtime: {}. Value type: {}. \
+         Default: {}{}.\n\n",
+        d.proc_path,
+        if d.writable { "yes" } else { "no" },
+        match d.kind {
+            pfs::params::ParamKind::Int => "integer",
+            pfs::params::ParamKind::Bool => "boolean (0 or 1)",
+        },
+        d.default,
+        if d.unit.is_empty() {
+            String::new()
+        } else {
+            format!(" {}", d.unit)
+        },
+    ));
+    s.push_str(d.purpose);
+    s.push_str("\n\n");
+    if !d.io_effect.is_empty() {
+        s.push_str(d.io_effect);
+        s.push_str("\n\n");
+    }
+    s.push_str(&render_bound(&d.min, "minimum"));
+    s.push(' ');
+    s.push_str(&render_bound(&d.max, "maximum"));
+    s.push_str("\n\n");
+    s.push_str(impact_sentence(d));
+    s.push_str("\n\n");
+    s
+}
+
+fn general_chapters() -> String {
+    let mut s = String::new();
+    s.push_str(
+        "# Operations Manual for the Parallel File System\n\n\
+         ## Chapter 1: Architecture Overview\n\n\
+         The file system separates metadata from data. A metadata server (MDS) \
+         backed by a metadata target (MDT) owns the namespace: file names, \
+         directories, permissions and file layouts. Object storage servers \
+         (OSS) export object storage targets (OSTs) that hold file data as \
+         objects. Clients mount the file system through a network request \
+         processing layer and interact with the MDS through the metadata \
+         client (MDC) and with each OST through an object storage client \
+         (OSC). A management server (MGS) stores configuration for all nodes. \
+         File data is distributed across OSTs by a RAID-0 style striping \
+         pattern recorded in the file's layout at creation time. When a \
+         client writes a file, the logical file offset determines, through \
+         the stripe size and stripe count, which OST object receives each \
+         byte range. Parallelism across OSTs is the principal source of \
+         aggregate bandwidth.\n\n\
+         ## Chapter 2: Networking\n\n\
+         All node-to-node communication uses remote procedure calls (RPCs) \
+         over the fabric. Small requests are satisfied within a single \
+         request/reply exchange; bulk data transfers negotiate a bulk \
+         descriptor and move data with zero-copy semantics where supported. \
+         Each client bounds the number of concurrent bulk RPCs it keeps in \
+         flight to each OST and the number of concurrent metadata RPCs to \
+         the MDS; these windows, together with the number of pages packed \
+         into each bulk RPC, determine how deeply the data path is \
+         pipelined. Requests above the inline threshold pay an additional \
+         bulk handshake; very small transfers can be sent inline in the RPC \
+         itself, avoiding that handshake entirely.\n\n\
+         ## Chapter 3: Client Caching\n\n\
+         Clients cache both data and metadata aggressively. Written pages \
+         are held dirty in the client page cache and written back \
+         asynchronously, aggregated into large, offset-sorted bulk RPCs; \
+         writers block only when the dirty limit for an OSC is reached. \
+         Sequential readers trigger a readahead state machine that grows a \
+         per-file prefetch window; the aggregate volume of readahead in \
+         flight is bounded per client. Small files below a configurable \
+         threshold are fetched whole on first access. Directory scans \
+         benefit from the statahead thread, which detects a process \
+         traversing a directory in entry order and prefetches attributes \
+         (and, through asynchronous glimpse requests, file sizes from the \
+         OSTs) ahead of the application.\n\n\
+         ## Chapter 4: Locking\n\n\
+         A distributed lock manager (LDLM) provides cache coherency. Data \
+         extents are protected by extent locks granted per OST object; when \
+         two clients write overlapping or adjacent regions of a shared \
+         file, lock revocations force the holder to flush and release, \
+         which serialises conflicting writers. Metadata operations take \
+         inode bit locks granted by the MDS.\n\n\
+         ## Chapter 5: Installation and Formatting\n\n\
+         Targets are formatted with the backing file system of choice and \
+         registered with the MGS. The mount point and the backing block \
+         size are chosen at format time and cannot be altered at runtime. \
+         Service thread counts for the MDS and OSS pools are sized at \
+         service start according to the node's core count. After mounting, \
+         runtime parameters are inspected and modified through the \
+         parameter interface exposed under /proc and /sys; a parameter is \
+         writable only if its interface file is writable. Changes take \
+         effect immediately but are not persistent across remounts unless \
+         recorded in the configuration log.\n\n\
+         ## Chapter 6: Monitoring and Telemetry\n\n\
+         Per-target statistics files expose operation counts, latency \
+         histograms and bulk I/O size distributions. These files are \
+         read-only; they are reset by writing zero to the corresponding \
+         clear file. Administrators should sample statistics before and \
+         after a tuning change and compare distributions rather than \
+         averages. The brw_stats histogram on each OST is the fastest way \
+         to verify whether bulk RPCs arrive at the intended size: a tuning \
+         change to the pages-per-RPC limit should visibly shift the \
+         distribution's mode.\n\n",
+    );
+    // Operational filler: realistic troubleshooting/recovery prose that acts
+    // as retrieval distractor mass.
+    for (i, topic) in [
+        "recovery and failover",
+        "quota enforcement",
+        "changelog consumers",
+        "backup of metadata targets",
+        "network tuning for mixed fabrics",
+        "upgrade procedures between minor releases",
+        "security flavors and identity mapping",
+        "space balancing between OSTs",
+        "diagnosing slow clients",
+        "kernel memory pressure on routers",
+    ]
+    .iter()
+    .enumerate()
+    {
+        s.push_str(&format!(
+            "## Chapter {}: Notes on {topic}\n\n\
+             This chapter collects operational guidance on {topic}. The \
+             procedures below assume an otherwise healthy cluster and a \
+             maintenance window. Begin by capturing the current \
+             configuration with the parameter listing tool so the state \
+             can be restored. Proceed target by target, verifying after \
+             each step that clients reconnect and that no stale exports \
+             remain. Where the guidance interacts with runtime parameters, \
+             the relevant parameter reference sections elsewhere in this \
+             manual are authoritative; this chapter intentionally does not \
+             restate accepted value ranges. Common pitfalls include \
+             applying changes on only a subset of nodes, neglecting to \
+             record changes in the configuration log, and interpreting \
+             transient reconnection messages as failures. {}\n\n",
+            7 + i,
+            "Operators are reminded that performance conclusions require \
+             repeated measurements under controlled load."
+                .repeat(2),
+        ));
+    }
+    s
+}
+
+/// Generate the full manual text for a registry.
+pub fn generate_manual(registry: &ParamRegistry) -> String {
+    let mut s = general_chapters();
+    s.push_str("# Part II: Parameter Reference\n\n");
+    for d in registry.all() {
+        match d.coverage {
+            Coverage::Full => s.push_str(&param_section(d)),
+            Coverage::Sparse => {
+                // A passing mention without definition or range — enough to
+                // be retrieved, not enough to pass the sufficiency check.
+                s.push_str(&format!(
+                    "Note: the interface also exposes {} at {} for internal \
+                     use; consult support before modifying it.\n\n",
+                    d.name, d.proc_path
+                ));
+            }
+            Coverage::Absent => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfs::params::ParamRegistry;
+
+    #[test]
+    fn manual_is_substantial() {
+        let m = generate_manual(&ParamRegistry::standard());
+        let words = m.split_whitespace().count();
+        assert!(words > 4000, "manual too small: {words} words");
+    }
+
+    #[test]
+    fn fully_documented_params_have_sections() {
+        let reg = ParamRegistry::standard();
+        let m = generate_manual(&reg);
+        for d in reg.all() {
+            match d.coverage {
+                Coverage::Full => assert!(
+                    m.contains(&section_marker(d.name)),
+                    "missing section for {}",
+                    d.name
+                ),
+                Coverage::Sparse => {
+                    assert!(!m.contains(&section_marker(d.name)));
+                    assert!(m.contains(d.name), "sparse mention missing: {}", d.name);
+                }
+                Coverage::Absent => {
+                    assert!(!m.contains(d.name), "absent param leaked: {}", d.name)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_ranges_described_as_computed() {
+        let reg = ParamRegistry::standard();
+        let m = generate_manual(&reg);
+        assert!(m.contains("llite.max_read_ahead_mb / 2"));
+        assert!(m.contains("memory_mb / 2"));
+    }
+
+    #[test]
+    fn impact_marked_for_targets() {
+        let reg = ParamRegistry::standard();
+        let m = generate_manual(&reg);
+        // Count of "primary lever" phrases >= number of high-impact documented params.
+        let hits = m.matches("primary lever").count();
+        let high = reg
+            .all()
+            .iter()
+            .filter(|d| d.impact == Impact::High && d.coverage == Coverage::Full)
+            .count();
+        assert!(hits >= high, "{hits} < {high}");
+    }
+}

@@ -1,0 +1,363 @@
+//! Online statistics for the measurement harness.
+//!
+//! The paper's protocol (§5.1) reports the mean of eight replications with a
+//! 90% confidence interval; [`Accumulator`] implements Welford's online
+//! mean/variance plus a small-sample t-based CI. [`Histogram`] provides the
+//! log2-binned size distributions the Darshan tables and I/O reports use.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Two-sided t critical values at 90% confidence for df = 1..=30.
+/// (df > 30 falls back to the normal approximation 1.645.)
+const T90: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+
+impl Accumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator; 0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN-free input assumed; +inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the two-sided 90% confidence interval of the mean.
+    /// Zero for fewer than two observations.
+    pub fn ci90_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let df = (self.n - 1) as usize;
+        let t = if df <= 30 { T90[df - 1] } else { 1.645 };
+        t * self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// `(mean, ci90_half_width)` convenience pair.
+    pub fn mean_ci90(&self) -> (f64, f64) {
+        (self.mean(), self.ci90_half_width())
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Accumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log2-binned histogram of non-negative integer values (sizes, latencies).
+///
+/// Bin `i` counts values in `[2^i, 2^(i+1))`; bin 0 also includes 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: Vec<u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram covering the full u64 range (64 bins).
+    pub fn new() -> Self {
+        Histogram {
+            bins: vec![0; 64],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn add(&mut self, value: u64) {
+        let bin = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.bins[bin] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Count in the bin containing `value`.
+    pub fn count_at(&self, value: u64) -> u64 {
+        let bin = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.bins[bin]
+    }
+
+    /// Lower bound of the most populated bin (the modal size class).
+    pub fn modal_bin_floor(&self) -> u64 {
+        let (idx, _) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, c)| (*c, std::cmp::Reverse(i)))
+            .expect("64 bins");
+        if idx == 0 {
+            0
+        } else {
+            1u64 << idx
+        }
+    }
+
+    /// Fraction of values strictly below `threshold`.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Conservative: whole bins below the threshold's bin, since exact
+        // values within a bin are not retained.
+        let tbin = if threshold <= 1 {
+            0
+        } else {
+            63 - threshold.leading_zeros() as usize
+        };
+        let below: u64 = self.bins[..tbin].iter().sum();
+        below as f64 / self.total as f64
+    }
+
+    /// Iterate `(bin_floor, count)` over non-empty bins.
+    pub fn non_empty_bins(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_basic_moments() {
+        let mut a = Accumulator::new();
+        for &x in &[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            a.add(x);
+        }
+        assert_eq!(a.count(), 8);
+        assert!((a.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of that classic set is 32/7.
+        assert!((a.variance() - 32.0 / 7.0).abs() < 1e-9);
+        assert_eq!(a.min(), 2.0);
+        assert_eq!(a.max(), 9.0);
+    }
+
+    #[test]
+    fn ci90_matches_hand_computation() {
+        let mut a = Accumulator::new();
+        for &x in &[10.0, 12.0, 11.0, 13.0, 10.0, 12.0, 11.0, 13.0] {
+            a.add(x);
+        }
+        // df = 7 -> t = 1.895
+        let expected = 1.895 * a.std_dev() / (8f64).sqrt();
+        assert!((a.ci90_half_width() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_zero_for_tiny_samples() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.ci90_half_width(), 0.0);
+        a.add(1.0);
+        assert_eq!(a.ci90_half_width(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 % 11.0).collect();
+        let mut whole = Accumulator::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut left = Accumulator::new();
+        let mut right = Accumulator::new();
+        for &x in &xs[..37] {
+            left.add(x);
+        }
+        for &x in &xs[37..] {
+            right.add(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Accumulator::new();
+        a.add(5.0);
+        let b = Accumulator::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Accumulator::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new();
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(65536);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.count_at(0), 2); // 0 and 1 share bin 0
+        assert_eq!(h.count_at(2), 2); // 2 and 3 in [2,4)
+        assert_eq!(h.count_at(65536), 1);
+        assert_eq!(h.sum(), 65542);
+    }
+
+    #[test]
+    fn histogram_modal_and_fraction() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.add(2048); // bin [2048,4096)
+        }
+        for _ in 0..3 {
+            h.add(1 << 20);
+        }
+        assert_eq!(h.modal_bin_floor(), 2048);
+        assert!((h.fraction_below(1 << 20) - 10.0 / 13.0).abs() < 1e-12);
+        assert_eq!(h.fraction_below(1), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.add(10);
+        b.add(10);
+        b.add(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.count_at(10), 2);
+        assert_eq!(a.count_at(1000), 1);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        h.add(4);
+        h.add(8);
+        assert_eq!(h.mean(), 6.0);
+    }
+}

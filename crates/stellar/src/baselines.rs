@@ -1,0 +1,211 @@
+//! Tuning baselines.
+//!
+//! [`expert_oracle`] stands in for the paper's human expert (§5.2: full
+//! benchmark information, Darshan traces, "practically unbounded time"):
+//! coordinate descent over the 13 tunables with a curated value grid and a
+//! triple-digit evaluation budget. Its evaluation count doubles as the
+//! iteration-cost contrast with classical autotuners (§3: "hundreds to
+//! thousands of iterations").
+//!
+//! [`random_search`] is the naive black-box contrast.
+
+use crate::measure::evaluate;
+use pfs::params::{ParamRegistry, TuningConfig, TUNABLE_NAMES};
+use pfs::PfsSimulator;
+use rayon::prelude::*;
+use simcore::rng::{combine, stable_hash};
+use simcore::SimRng;
+use workloads::Workload;
+
+/// Candidate grid per parameter (expert-curated, like a real tuning sweep).
+pub fn candidate_values(name: &str, ost_count: u32) -> Vec<i64> {
+    match name {
+        "stripe_size" => vec![1 << 20, 4 << 20, 16 << 20, 64 << 20],
+        "stripe_count" => vec![1, 2, ost_count as i64, -1],
+        "osc.max_rpcs_in_flight" => vec![8, 32, 64, 128],
+        "osc.max_pages_per_rpc" => vec![256, 1024, 4096],
+        "osc.max_dirty_mb" => vec![32, 256, 512, 1024],
+        "osc.short_io_bytes" => vec![0, 16384],
+        "llite.max_cached_mb" => vec![65536],
+        "llite.max_read_ahead_mb" => vec![0, 64, 512, 1024],
+        "llite.max_read_ahead_per_file_mb" => vec![32, 256, 512],
+        "llite.max_read_ahead_whole_mb" => vec![2, 32],
+        "llite.statahead_max" => vec![0, 32, 8192],
+        "mdc.max_rpcs_in_flight" => vec![8, 64, 128],
+        "mdc.max_mod_rpcs_in_flight" => vec![7, 63, 127],
+        _ => vec![],
+    }
+}
+
+/// Result of a search baseline.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub config: TuningConfig,
+    /// Its evaluated mean wall time.
+    pub wall_secs: f64,
+    /// Number of full application evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// Human-expert stand-in: coordinate descent, `passes` sweeps over all
+/// parameters, each candidate evaluated as the mean of `reps` runs.
+pub fn expert_oracle(
+    sim: &PfsSimulator,
+    workload: &dyn Workload,
+    passes: usize,
+    reps: usize,
+) -> SearchResult {
+    let registry = ParamRegistry::standard();
+    let topo = sim.topology().clone();
+    let label = format!("expert:{}", workload.name());
+    let mut best = TuningConfig::lustre_default();
+    let mut best_wall = evaluate(sim, workload, &best, reps, &label);
+    let mut evaluations = reps;
+
+    for pass in 0..passes {
+        for name in TUNABLE_NAMES {
+            let candidates = candidate_values(name, topo.ost_count());
+            if candidates.len() <= 1 {
+                continue;
+            }
+            let scored: Vec<(f64, TuningConfig)> = candidates
+                .par_iter()
+                .filter_map(|&v| {
+                    let mut cfg = best.clone();
+                    cfg.set(name, v).ok()?;
+                    let cfg = cfg.clamped(&registry, &topo);
+                    if cfg.get(name).ok()? != v && name != "stripe_count" {
+                        // Clamped away: dependent bound rejected this value.
+                        return None;
+                    }
+                    let wall = evaluate(
+                        sim,
+                        workload,
+                        &cfg,
+                        reps,
+                        &format!("{label}:p{pass}:{name}:{v}"),
+                    );
+                    Some((wall, cfg))
+                })
+                .collect();
+            evaluations += scored.len() * reps;
+            for (wall, cfg) in scored {
+                if wall < best_wall {
+                    best_wall = wall;
+                    best = cfg;
+                }
+            }
+        }
+    }
+    SearchResult {
+        config: best,
+        wall_secs: best_wall,
+        evaluations,
+    }
+}
+
+/// Naive random search over the candidate grids.
+pub fn random_search(
+    sim: &PfsSimulator,
+    workload: &dyn Workload,
+    samples: usize,
+    seed: u64,
+) -> SearchResult {
+    let registry = ParamRegistry::standard();
+    let topo = sim.topology().clone();
+    let label = format!("random:{}", workload.name());
+    let mut rng = SimRng::new(combine(seed, stable_hash(&label)));
+    let configs: Vec<TuningConfig> = (0..samples)
+        .map(|_| {
+            let mut cfg = TuningConfig::lustre_default();
+            for name in TUNABLE_NAMES {
+                let cands = candidate_values(name, topo.ost_count());
+                if !cands.is_empty() {
+                    let v = cands[rng.index(cands.len())];
+                    let _ = cfg.set(name, v);
+                }
+            }
+            cfg.clamped(&registry, &topo)
+        })
+        .collect();
+    let scored: Vec<(f64, TuningConfig)> = configs
+        .into_par_iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let wall = evaluate(sim, workload, &cfg, 1, &format!("{label}:{i}"));
+            (wall, cfg)
+        })
+        .collect();
+    let evaluations = scored.len();
+    let (wall_secs, config) = scored
+        .into_iter()
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+        .expect("samples > 0");
+    SearchResult {
+        config,
+        wall_secs,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfs::topology::ClusterSpec;
+    use workloads::WorkloadKind;
+
+    #[test]
+    fn oracle_beats_default_on_ior() {
+        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let w = WorkloadKind::Ior16M.spec().scaled(0.1);
+        let default_wall = evaluate(
+            &sim,
+            w.as_ref(),
+            &TuningConfig::lustre_default(),
+            2,
+            "t-default",
+        );
+        let r = expert_oracle(&sim, w.as_ref(), 1, 1);
+        assert!(
+            r.wall_secs < default_wall * 0.5,
+            "oracle {:.2} !< default {default_wall:.2} * 0.5",
+            r.wall_secs
+        );
+        assert!(r.config.stripe_count != 1, "must discover wide striping");
+        assert!(r.evaluations > 20, "oracle consumed {}", r.evaluations);
+    }
+
+    #[test]
+    fn oracle_keeps_stripe_one_for_metadata() {
+        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let w = WorkloadKind::MdWorkbench8K.spec().scaled(0.15);
+        let r = expert_oracle(&sim, w.as_ref(), 1, 1);
+        assert_eq!(r.config.stripe_count, 1, "{:?}", r.config);
+    }
+
+    #[test]
+    fn candidate_grids_are_valid() {
+        let registry = ParamRegistry::standard();
+        let topo = ClusterSpec::paper_cluster();
+        for name in TUNABLE_NAMES {
+            for v in candidate_values(name, topo.ost_count()) {
+                let mut cfg = TuningConfig::lustre_default();
+                cfg.set(name, v).unwrap();
+                let clamped = cfg.clamped(&registry, &topo);
+                clamped
+                    .validate(&registry, &topo)
+                    .unwrap_or_else(|e| panic!("{name}={v}: {e:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn random_search_runs_and_counts() {
+        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let w = WorkloadKind::Macsio16M.spec().scaled(0.2);
+        let r = random_search(&sim, w.as_ref(), 6, 42);
+        assert_eq!(r.evaluations, 6);
+        assert!(r.wall_secs > 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! `stellar-tune` — command-line frontend for the STELLAR engine.
+//!
+//! ```text
+//! stellar-tune workloads                         list known workloads
+//! stellar-tune extract                           run the offline RAG extraction
+//! stellar-tune tune IOR_16M [options]            run one tuning run
+//! stellar-tune baseline IOR_16M [--scale f]      expert oracle + random search
+//! stellar-tune rules <file.json>                 pretty-print a rule set
+//!
+//! tune options:
+//!   --scale <f>        workload scale factor (default 1.0)
+//!   --attempts <n>     configuration budget (default 5)
+//!   --model <name>     claude-3.7-sonnet | gpt-4o | llama-3.1-70b
+//!   --rules <file>     load the global rule set from a JSON file
+//!   --save-rules <f>   write the updated rule set back
+//!   --seed <n>         experiment seed (default 42)
+//!   --no-analysis / --no-descriptions / --no-rules   ablation switches
+//! ```
+
+use agents::RuleSet;
+use llmsim::ModelProfile;
+use stellar::baselines::{expert_oracle, random_search};
+use stellar::{Stellar, StellarOptions};
+use workloads::{WorkloadKind, BENCHMARKS, REAL_APPS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("workloads") => cmd_workloads(),
+        Some("extract") => cmd_extract(),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("baseline") => cmd_baseline(&args[1..]),
+        Some("rules") => cmd_rules(&args[1..]),
+        _ => {
+            eprintln!("usage: stellar-tune <workloads|extract|tune|baseline|rules> ...");
+            eprintln!("see the crate docs or README for options");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_workload(args: &[String]) -> Result<WorkloadKind, i32> {
+    let Some(label) = args.first() else {
+        eprintln!("missing workload label; try `stellar-tune workloads`");
+        return Err(2);
+    };
+    WorkloadKind::from_label(label).ok_or_else(|| {
+        eprintln!("unknown workload `{label}`; try `stellar-tune workloads`");
+        2
+    })
+}
+
+fn cmd_workloads() -> i32 {
+    println!("benchmarks:");
+    for k in BENCHMARKS {
+        println!("  {:<16} {}", k.label(), k.spec().describe());
+    }
+    println!("real applications:");
+    for k in REAL_APPS {
+        println!("  {:<16} {}", k.label(), k.spec().describe());
+    }
+    0
+}
+
+fn cmd_extract() -> i32 {
+    let engine = Stellar::standard();
+    let report = engine.extraction_report();
+    println!(
+        "extracted {} of {} parameters ({} writable, {} documented, {} non-binary)",
+        report.selected, report.total_params, report.writable, report.sufficient,
+        report.non_binary
+    );
+    for p in engine.params() {
+        println!("  {:<34} default {}{}{}", p.name, p.default,
+                 if p.unit.is_empty() { "" } else { " " }, p.unit);
+    }
+    0
+}
+
+fn cmd_tune(args: &[String]) -> i32 {
+    let kind = match parse_workload(args) {
+        Ok(k) => k,
+        Err(c) => return c,
+    };
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let mut options = StellarOptions::default();
+    if let Some(n) = flag_value(args, "--attempts").and_then(|v| v.parse().ok()) {
+        options.tuning.max_attempts = n;
+    }
+    options.tuning.use_analysis = !has_flag(args, "--no-analysis");
+    options.tuning.use_descriptions = !has_flag(args, "--no-descriptions");
+    options.tuning.use_rules = !has_flag(args, "--no-rules");
+    if let Some(model) = flag_value(args, "--model") {
+        options.tuning_model = match model.as_str() {
+            "claude-3.7-sonnet" => ModelProfile::claude_37_sonnet(),
+            "gpt-4o" => ModelProfile::gpt_4o(),
+            "llama-3.1-70b" => ModelProfile::llama_31_70b(),
+            other => {
+                eprintln!("unknown model `{other}`");
+                return 2;
+            }
+        };
+    }
+
+    let mut rules = match flag_value(args, "--rules") {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(json) => match RuleSet::from_json(&json) {
+                Ok(rs) => rs,
+                Err(e) => {
+                    eprintln!("bad rule set {path}: {e}");
+                    return 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        },
+        None => RuleSet::new(),
+    };
+
+    let engine = Stellar::new(pfs::topology::ClusterSpec::paper_cluster(), options);
+    let workload = if (scale - 1.0).abs() < 1e-9 {
+        kind.spec()
+    } else {
+        kind.spec().scaled(scale)
+    };
+    let run = engine.tune(workload.as_ref(), &mut rules, seed);
+
+    println!("workload: {} (scale {scale})", run.workload);
+    println!("default: {:.3}s", run.default_wall);
+    for a in &run.attempts {
+        println!("  attempt {}: {:.3}s (x{:.2})", a.iteration, a.wall_secs, a.speedup);
+    }
+    println!("best: x{:.2} in {} attempts — {}", run.best_speedup,
+             run.attempts.len(), run.end_reason);
+    println!("{}", run.best_config.render());
+
+    if let Some(path) = flag_value(args, "--save-rules") {
+        if let Err(e) = std::fs::write(&path, rules.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("rule set ({} rules) written to {path}", rules.len());
+    }
+    0
+}
+
+fn cmd_baseline(args: &[String]) -> i32 {
+    let kind = match parse_workload(args) {
+        Ok(k) => k,
+        Err(c) => return c,
+    };
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let engine = Stellar::standard();
+    let w = if (scale - 1.0).abs() < 1e-9 {
+        kind.spec()
+    } else {
+        kind.spec().scaled(scale)
+    };
+    let default = stellar::measure::evaluate(
+        engine.sim(),
+        w.as_ref(),
+        &pfs::params::TuningConfig::lustre_default(),
+        2,
+        "cli-default",
+    );
+    println!("default: {default:.3}s");
+    let oracle = expert_oracle(engine.sim(), w.as_ref(), 2, 2);
+    println!(
+        "expert oracle: {:.3}s (x{:.2}) after {} evaluations",
+        oracle.wall_secs,
+        default / oracle.wall_secs,
+        oracle.evaluations
+    );
+    let rand = random_search(engine.sim(), w.as_ref(), 20, 7);
+    println!(
+        "random search (20 samples): {:.3}s (x{:.2})",
+        rand.wall_secs,
+        default / rand.wall_secs
+    );
+    0
+}
+
+fn cmd_rules(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: stellar-tune rules <file.json>");
+        return 2;
+    };
+    match std::fs::read_to_string(path) {
+        Ok(json) => match RuleSet::from_json(&json) {
+            Ok(rs) => {
+                println!("{} rules:", rs.len());
+                for r in &rs.rules {
+                    println!("- [{}] {}", r.parameter, r.rule_description);
+                    println!("    context: {}", r.tuning_context);
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("bad rule set: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! The STELLAR engine: offline extraction + the online tuning run driver.
+
+use agents::{
+    AnalysisAgent, ContextTag, IoReport, RuleSet, ToolCall, TuningAgent, TuningOptions,
+};
+use darshan::{tables::to_tables, Collector, Table};
+use llmsim::{LlmBackend, ModelProfile, ParamFact, SimLlm, UsageMeter};
+use pfs::params::{ParamRegistry, TuningConfig};
+use pfs::topology::ClusterSpec;
+use pfs::PfsSimulator;
+use ragx::{ExtractedParam, ExtractionReport, RagExtractor};
+use serde::{Deserialize, Serialize};
+use simcore::rng::{combine, stable_hash};
+use std::collections::BTreeMap;
+use workloads::Workload;
+
+/// Engine-level options.
+#[derive(Debug, Clone)]
+pub struct StellarOptions {
+    /// Tuning Agent model (Claude-3.7-Sonnet in the paper).
+    pub tuning_model: ModelProfile,
+    /// Analysis Agent model (GPT-4o in the paper).
+    pub analysis_model: ModelProfile,
+    /// Agent behaviour switches (ablations, attempt budget).
+    pub tuning: TuningOptions,
+}
+
+impl Default for StellarOptions {
+    fn default() -> Self {
+        StellarOptions {
+            tuning_model: ModelProfile::claude_37_sonnet(),
+            analysis_model: ModelProfile::gpt_4o(),
+            tuning: TuningOptions::default(),
+        }
+    }
+}
+
+/// One configuration attempt within a tuning run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttemptRecord {
+    /// 1-based attempt index.
+    pub iteration: usize,
+    /// Configuration tried.
+    pub config: TuningConfig,
+    /// Measured wall time.
+    pub wall_secs: f64,
+    /// Speedup vs the initial default run.
+    pub speedup: f64,
+}
+
+/// A complete Tuning Run (initial execution through End Tuning).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TuningRun {
+    /// Workload label.
+    pub workload: String,
+    /// Wall time of the initial default-configuration run (iteration 0).
+    pub default_wall: f64,
+    /// Tuned attempts in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Best wall time achieved (including the default if nothing beat it).
+    pub best_wall: f64,
+    /// Best configuration.
+    pub best_config: TuningConfig,
+    /// Best speedup vs default.
+    pub best_speedup: f64,
+    /// The agent's justification for ending.
+    pub end_reason: String,
+    /// Rules learned by Reflect & Summarize.
+    pub new_rules: Vec<agents::Rule>,
+    /// Narrated decision log (Fig. 10 material).
+    pub transcript: Vec<String>,
+    /// Tuning Agent token usage.
+    pub tuning_usage: UsageMeter,
+    /// Analysis Agent token usage.
+    pub analysis_usage: UsageMeter,
+}
+
+/// The engine.
+pub struct Stellar {
+    sim: PfsSimulator,
+    options: StellarOptions,
+    params: Vec<ExtractedParam>,
+    truths: BTreeMap<String, ParamFact>,
+    extraction_report: ExtractionReport,
+}
+
+impl Stellar {
+    /// Build the engine: construct the simulator for `topo` and run the
+    /// offline RAG extraction phase.
+    pub fn new(topo: ClusterSpec, options: StellarOptions) -> Self {
+        let sim = PfsSimulator::new(topo);
+        let extractor = RagExtractor::standard();
+        let mut extraction_backend = SimLlm::new(options.analysis_model.clone(), 0x0FF1);
+        let (params, extraction_report) = extractor.extract(&mut extraction_backend);
+        let registry = ParamRegistry::standard();
+        let mut truths = BTreeMap::new();
+        for p in &params {
+            if let Some(t) = ragx::truth::truth_fact(&registry, &p.name) {
+                truths.insert(p.name.clone(), t);
+            }
+        }
+        Stellar {
+            sim,
+            options,
+            params,
+            truths,
+            extraction_report,
+        }
+    }
+
+    /// Engine with the paper's cluster and default options.
+    pub fn standard() -> Self {
+        Self::new(ClusterSpec::paper_cluster(), StellarOptions::default())
+    }
+
+    /// The simulator (for baselines and measurement).
+    pub fn sim(&self) -> &PfsSimulator {
+        &self.sim
+    }
+
+    /// The extracted tunables.
+    pub fn params(&self) -> &[ExtractedParam] {
+        &self.params
+    }
+
+    /// The offline extraction accounting.
+    pub fn extraction_report(&self) -> &ExtractionReport {
+        &self.extraction_report
+    }
+
+    /// Run one traced execution, returning wall time and the dataframes.
+    fn traced_run(
+        &self,
+        workload: &dyn Workload,
+        cfg: &TuningConfig,
+        seed: u64,
+    ) -> (f64, String, Vec<Table>) {
+        let streams = workload.generate(self.sim.topology(), seed);
+        let nprocs = self.sim.topology().total_ranks();
+        let mut collector = Collector::new(workload.name(), nprocs);
+        let result = self.sim.run_traced(streams, cfg, seed, &mut collector);
+        let log = collector.finish();
+        let (header, tables) = to_tables(&log);
+        (result.wall_secs, header, tables)
+    }
+
+    /// Execute a complete Tuning Run against `workload`, consulting and
+    /// updating the global `rule_set`.
+    pub fn tune(&self, workload: &dyn Workload, rule_set: &mut RuleSet, seed: u64) -> TuningRun {
+        let run_seed = combine(seed, stable_hash(&workload.name()));
+        let registry = ParamRegistry::standard();
+        let topo = self.sim.topology().clone();
+
+        let mut analysis_backend =
+            SimLlm::new(self.options.analysis_model.clone(), combine(run_seed, 1));
+        let mut tuning_backend =
+            SimLlm::new(self.options.tuning_model.clone(), combine(run_seed, 2));
+
+        // Initial run under the default configuration (+ Darshan).
+        let default_cfg = TuningConfig::lustre_default();
+        let (default_wall, header, mut tables) =
+            self.traced_run(workload, &default_cfg, combine(run_seed, 100));
+
+        // Analysis Agent: initial I/O report.
+        let report: Option<IoReport> = if self.options.tuning.use_analysis {
+            let mut agent = AnalysisAgent::new(&mut analysis_backend);
+            Some(agent.initial_report(&header, &tables))
+        } else {
+            None
+        };
+
+        // Rule-set retrieval for this workload's context.
+        let matched_rules: Vec<agents::Rule> = if self.options.tuning.use_rules {
+            let tags = report
+                .as_ref()
+                .map(ContextTag::tags_for)
+                .unwrap_or_default();
+            rule_set.matching(&tags).into_iter().cloned().collect()
+        } else {
+            Vec::new()
+        };
+
+        // Tuning Agent loop.
+        let mut agent = TuningAgent::new(
+            &mut tuning_backend,
+            self.options.tuning.clone(),
+            topo.clone(),
+            self.params.clone(),
+            &self.truths,
+            report.clone(),
+            matched_rules,
+            default_wall,
+        );
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let end_reason;
+        loop {
+            match agent.decide() {
+                ToolCall::Analyze(q) => {
+                    let mut analysis = AnalysisAgent::new(&mut analysis_backend);
+                    let answer = analysis.answer(q, &tables);
+                    agent.accept_answer(answer);
+                }
+                ToolCall::RunConfig { config, .. } => {
+                    // Hygiene between runs: a fresh simulator state per
+                    // execution (delete files, drop caches, remount).
+                    let config = config.clamped(&registry, &topo);
+                    let iteration = attempts.len() + 1;
+                    let (wall, _h, t) = self.traced_run(
+                        workload,
+                        &config,
+                        combine(run_seed, 100 + iteration as u64),
+                    );
+                    tables = t;
+                    agent.record_result(config.clone(), wall);
+                    attempts.push(AttemptRecord {
+                        iteration,
+                        config,
+                        wall_secs: wall,
+                        speedup: default_wall / wall.max(1e-9),
+                    });
+                }
+                ToolCall::EndTuning { reason } => {
+                    end_reason = reason;
+                    break;
+                }
+            }
+        }
+
+        // Best over default + attempts.
+        let (best_wall, best_config) = attempts
+            .iter()
+            .map(|a| (a.wall_secs, a.config.clone()))
+            .chain(std::iter::once((default_wall, default_cfg.clone())))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .expect("non-empty");
+
+        // Reflect & Summarize, then merge into the global rule set.
+        let transcript = agent.transcript().to_vec();
+        let history = agent.history().to_vec();
+        drop(agent);
+        let new_rules = match &report {
+            Some(r) => agents::reflect::reflect(&mut tuning_backend, r, &history, default_wall),
+            None => Vec::new(),
+        };
+        rule_set.merge(new_rules.clone());
+
+        TuningRun {
+            workload: workload.name(),
+            default_wall,
+            attempts,
+            best_wall,
+            best_speedup: default_wall / best_wall.max(1e-9),
+            best_config,
+            end_reason,
+            new_rules,
+            transcript,
+            tuning_usage: tuning_backend.usage().clone(),
+            analysis_usage: analysis_backend.usage().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::WorkloadKind;
+
+    fn engine() -> Stellar {
+        Stellar::standard()
+    }
+
+    #[test]
+    fn offline_phase_extracts_13_params() {
+        let e = engine();
+        assert_eq!(e.params().len(), 13);
+        assert_eq!(e.extraction_report().selected, 13);
+    }
+
+    #[test]
+    fn tuning_run_improves_ior_16m_within_five_attempts() {
+        let e = engine();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.1);
+        let mut rules = RuleSet::new();
+        let run = e.tune(w.as_ref(), &mut rules, 1);
+        assert!(run.attempts.len() <= 5, "{} attempts", run.attempts.len());
+        assert!(
+            run.best_speedup > 3.0,
+            "speedup {:.2} (attempts: {:?})",
+            run.best_speedup,
+            run.attempts
+                .iter()
+                .map(|a| a.speedup)
+                .collect::<Vec<_>>()
+        );
+        assert!(!run.end_reason.is_empty());
+        assert!(!run.new_rules.is_empty(), "should learn rules");
+        assert!(!rules.is_empty(), "global rule set updated");
+    }
+
+    #[test]
+    fn tuning_run_improves_mdworkbench() {
+        let e = engine();
+        let w = WorkloadKind::MdWorkbench8K.spec().scaled(0.3);
+        let mut rules = RuleSet::new();
+        let run = e.tune(w.as_ref(), &mut rules, 2);
+        assert!(run.best_speedup > 1.1, "speedup {:.3}", run.best_speedup);
+        // Metadata workload must keep stripe_count = 1.
+        assert_eq!(run.best_config.stripe_count, 1);
+        assert!(run.best_config.llite_statahead_max > 32);
+    }
+
+    #[test]
+    fn rules_improve_first_attempt() {
+        let e = engine();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.1);
+        let mut rules = RuleSet::new();
+        let cold = e.tune(w.as_ref(), &mut rules, 3);
+        assert!(!rules.is_empty());
+        let warm = e.tune(w.as_ref(), &mut rules, 4);
+        let cold_first = cold.attempts.first().map(|a| a.speedup).unwrap_or(1.0);
+        let warm_first = warm.attempts.first().map(|a| a.speedup).unwrap_or(1.0);
+        assert!(
+            warm_first >= cold_first * 0.85,
+            "warm first guess {warm_first:.2} vs cold {cold_first:.2}              (must be at least comparable despite run noise)"
+        );
+        assert!(
+            warm.attempts.len() <= cold.attempts.len(),
+            "rules should not lengthen tuning"
+        );
+    }
+
+    #[test]
+    fn usage_metering_present() {
+        let e = engine();
+        let w = WorkloadKind::Macsio16M.spec().scaled(0.2);
+        let mut rules = RuleSet::new();
+        let run = e.tune(w.as_ref(), &mut rules, 5);
+        assert!(run.tuning_usage.calls > 0);
+        assert!(run.analysis_usage.calls > 0);
+        assert!(run.tuning_usage.input_tokens > 1000);
+    }
+
+    #[test]
+    fn transcript_narrates_the_run() {
+        let e = engine();
+        let w = WorkloadKind::MdWorkbench8K.spec().scaled(0.15);
+        let mut rules = RuleSet::new();
+        let run = e.tune(w.as_ref(), &mut rules, 6);
+        let text = run.transcript.join("\n");
+        assert!(text.contains("Configuration Runner"));
+        assert!(text.contains("[result]"));
+    }
+}

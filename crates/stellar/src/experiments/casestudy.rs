@@ -1,0 +1,60 @@
+//! Fig. 10 — the narrated MDWorkbench_8K case study: initial report,
+//! follow-up questions, first prediction, exploration, and the learned rule.
+
+use crate::engine::Stellar;
+use crate::experiments::scaled;
+use agents::RuleSet;
+use workloads::WorkloadKind;
+
+/// Produce the case-study timeline as printable text.
+pub fn case_study(scale: f64) -> String {
+    let engine = Stellar::standard();
+    let w = scaled(WorkloadKind::MdWorkbench8K, scale);
+    let mut rules = RuleSet::new();
+    let run = engine.tune(w.as_ref(), &mut rules, 0xCA5E);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "CASE STUDY: tuning {} (default run: {:.3}s)\n\
+         ================================================================\n",
+        run.workload, run.default_wall
+    ));
+    for line in &run.transcript {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "----------------------------------------------------------------\n\
+         concluded: {}\n\
+         best configuration (x{:.2} speedup):\n{}\n",
+        run.end_reason,
+        run.best_speedup,
+        run.best_config.render()
+    ));
+    if let Some(rule) = run.new_rules.first() {
+        out.push_str(&format!(
+            "----------------------------------------------------------------\n\
+             example generated rule:\n{}\n",
+            serde_json::to_string_pretty(rule).expect("rule serialises")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_contains_the_fig10_beats() {
+        let text = case_study(0.15);
+        // Initial analysis, follow-up questions, configuration runs with
+        // rationale, end reasoning, and a learned rule.
+        assert!(text.contains("CASE STUDY"));
+        assert!(text.contains("[analysis]"), "{text}");
+        assert!(text.contains("Configuration Runner"));
+        assert!(text.contains("statahead"), "statahead should be tuned");
+        assert!(text.contains("concluded:"));
+        assert!(text.contains("Tuning Context"), "rule JSON present");
+    }
+}

@@ -1,0 +1,328 @@
+//! Figure drivers: Fig. 2 (hallucination), Fig. 5 (tuning vs baselines),
+//! Fig. 6 (rule-set interpolation), Fig. 7 (rule-set extrapolation),
+//! Fig. 8 (ablations), Fig. 9 (model comparison), plus the §4.2 parameter
+//! table.
+
+use crate::baselines::expert_oracle;
+use crate::engine::{Stellar, StellarOptions};
+use crate::experiments::scaled;
+use crate::measure::measure;
+use agents::{RuleSet, TuningOptions};
+use llmsim::{ModelProfile, SimLlm};
+use pfs::params::ParamRegistry;
+use ragx::truth::{score_parametric, score_rag, FactScore};
+use ragx::{ExtractedParam, ExtractionReport, RagExtractor};
+use serde::{Deserialize, Serialize};
+use workloads::{WorkloadKind, BENCHMARKS, REAL_APPS};
+
+/// Fig. 2: parametric-memory hallucination vs RAG extraction, scored over
+/// the 13 tuning targets.
+pub fn fig2() -> Vec<FactScore> {
+    let registry = ParamRegistry::standard();
+    let extractor = RagExtractor::standard();
+    let mut rows: Vec<FactScore> = [
+        ModelProfile::gpt_45(),
+        ModelProfile::gemini_25_pro(),
+        ModelProfile::claude_37_sonnet(),
+    ]
+    .iter()
+    .map(|p| score_parametric(&registry, p))
+    .collect();
+    rows.push(score_rag(&extractor));
+    rows
+}
+
+/// §4.2's output: the extracted parameter set and filter accounting.
+pub fn params_table() -> (Vec<ExtractedParam>, ExtractionReport) {
+    let extractor = RagExtractor::standard();
+    let mut backend = SimLlm::new(ModelProfile::gpt_4o(), 0x7AB1E);
+    extractor.extract(&mut backend)
+}
+
+/// One row of Fig. 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Row {
+    /// Workload label.
+    pub workload: String,
+    /// Default configuration: mean wall ± 90% CI.
+    pub default_mean: f64,
+    /// CI half-width.
+    pub default_ci: f64,
+    /// Expert (oracle) configuration: mean wall ± CI.
+    pub expert_mean: f64,
+    /// CI half-width.
+    pub expert_ci: f64,
+    /// Evaluations the expert consumed (iteration-cost contrast).
+    pub expert_evaluations: usize,
+    /// STELLAR best configuration: mean wall ± CI.
+    pub stellar_mean: f64,
+    /// CI half-width.
+    pub stellar_ci: f64,
+    /// Configurations STELLAR tried (≤ 5).
+    pub stellar_attempts: usize,
+}
+
+/// Fig. 5: default vs expert vs STELLAR (no rule set) on the five benchmarks.
+pub fn fig5(scale: f64, reps: usize, oracle_passes: usize, oracle_reps: usize) -> Vec<Fig5Row> {
+    let engine = Stellar::standard();
+    BENCHMARKS
+        .iter()
+        .map(|&kind| {
+            let w = scaled(kind, scale);
+            let (default_acc, _) = measure(
+                engine.sim(),
+                w.as_ref(),
+                &pfs::params::TuningConfig::lustre_default(),
+                reps,
+                "fig5-default",
+            );
+            let oracle = expert_oracle(engine.sim(), w.as_ref(), oracle_passes, oracle_reps);
+            let (expert_acc, _) =
+                measure(engine.sim(), w.as_ref(), &oracle.config, reps, "fig5-expert");
+            let mut rules = RuleSet::new();
+            let run = engine.tune(w.as_ref(), &mut rules, 0xF15);
+            let (stellar_acc, _) = measure(
+                engine.sim(),
+                w.as_ref(),
+                &run.best_config,
+                reps,
+                "fig5-stellar",
+            );
+            Fig5Row {
+                workload: kind.label().to_string(),
+                default_mean: default_acc.mean(),
+                default_ci: default_acc.ci90_half_width(),
+                expert_mean: expert_acc.mean(),
+                expert_ci: expert_acc.ci90_half_width(),
+                expert_evaluations: oracle.evaluations,
+                stellar_mean: stellar_acc.mean(),
+                stellar_ci: stellar_acc.ci90_half_width(),
+                stellar_attempts: run.attempts.len(),
+            }
+        })
+        .collect()
+}
+
+/// Per-iteration speedup series for one workload, with and without the
+/// global rule set (Figs. 6 and 7). Iteration 0 is the untuned run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterSeries {
+    /// Workload label.
+    pub workload: String,
+    /// Speedups per iteration without the rule set (index 0 = 1.0).
+    pub without_rules: Vec<f64>,
+    /// Speedups per iteration with the rule set.
+    pub with_rules: Vec<f64>,
+}
+
+fn series_of(run: &crate::engine::TuningRun) -> Vec<f64> {
+    let mut v = vec![1.0];
+    v.extend(run.attempts.iter().map(|a| a.speedup));
+    v
+}
+
+/// Fig. 6 — rule-set interpolation: tune every benchmark cold (accumulating
+/// the global rule set), then re-tune each with the accumulated set.
+/// Returns the series and the final rule set (reused by Fig. 7).
+pub fn fig6(scale: f64) -> (Vec<IterSeries>, RuleSet) {
+    let engine = Stellar::standard();
+    let mut rules = RuleSet::new();
+    let cold: Vec<_> = BENCHMARKS
+        .iter()
+        .map(|&kind| {
+            let w = scaled(kind, scale);
+            engine.tune(w.as_ref(), &mut rules, 0xF16)
+        })
+        .collect();
+    // Second pass with the accumulated global rule set. Rule-set updates
+    // from the warm pass merge too (the paper re-tunes "with the global
+    // Rule Set applied").
+    let mut warm_rules = rules.clone();
+    let series = BENCHMARKS
+        .iter()
+        .zip(cold.iter())
+        .map(|(&kind, cold_run)| {
+            let w = scaled(kind, scale);
+            let warm = engine.tune(w.as_ref(), &mut warm_rules, 0xF16 + 1);
+            IterSeries {
+                workload: kind.label().to_string(),
+                without_rules: series_of(cold_run),
+                with_rules: series_of(&warm),
+            }
+        })
+        .collect();
+    (series, rules)
+}
+
+/// Fig. 7 — rule-set extrapolation: the three previously unseen real
+/// applications, tuned with and without the benchmark-derived rule set.
+pub fn fig7(scale: f64, benchmark_rules: &RuleSet) -> Vec<IterSeries> {
+    let engine = Stellar::standard();
+    REAL_APPS
+        .iter()
+        .map(|&kind| {
+            let w = scaled(kind, scale);
+            let mut no_rules = RuleSet::new();
+            let cold = engine.tune(w.as_ref(), &mut no_rules, 0xF17);
+            let mut with = benchmark_rules.clone();
+            let warm = engine.tune(w.as_ref(), &mut with, 0xF17 + 1);
+            IterSeries {
+                workload: kind.label().to_string(),
+                without_rules: series_of(&cold),
+                with_rules: series_of(&warm),
+            }
+        })
+        .collect()
+}
+
+/// One ablation variant of Fig. 8.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Variant label ("Full", "No Descriptions", "No Analysis").
+    pub variant: String,
+    /// Speedups per iteration (index 0 = untuned).
+    pub speedups: Vec<f64>,
+    /// Best speedup achieved.
+    pub best: f64,
+}
+
+/// Fig. 8 — component ablations on MDWorkbench_8K.
+pub fn fig8(scale: f64) -> Vec<Fig8Row> {
+    let w = || scaled(WorkloadKind::MdWorkbench8K, scale);
+    let variants: [(&str, TuningOptions); 3] = [
+        ("Full", TuningOptions::default()),
+        (
+            "No Descriptions",
+            TuningOptions {
+                use_descriptions: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "No Analysis",
+            TuningOptions {
+                use_analysis: false,
+                ..Default::default()
+            },
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, tuning)| {
+            let engine = Stellar::new(
+                pfs::topology::ClusterSpec::paper_cluster(),
+                StellarOptions {
+                    tuning,
+                    ..Default::default()
+                },
+            );
+            let mut rules = RuleSet::new();
+            let run = engine.tune(w().as_ref(), &mut rules, 0xF18);
+            Fig8Row {
+                variant: label.to_string(),
+                speedups: series_of(&run),
+                best: run.best_speedup,
+            }
+        })
+        .collect()
+}
+
+/// One model row of Fig. 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Tuning Agent model name.
+    pub model: String,
+    /// Speedups per iteration on IOR_16M.
+    pub speedups: Vec<f64>,
+    /// Best speedup.
+    pub best: f64,
+    /// Attempts used.
+    pub attempts: usize,
+}
+
+/// Fig. 9 — different LLMs as the Tuning Agent on IOR_16M (≤ 5 iterations).
+pub fn fig9(scale: f64) -> Vec<Fig9Row> {
+    ModelProfile::tuning_agents()
+        .into_iter()
+        .map(|profile| {
+            let engine = Stellar::new(
+                pfs::topology::ClusterSpec::paper_cluster(),
+                StellarOptions {
+                    tuning_model: profile.clone(),
+                    ..Default::default()
+                },
+            );
+            let w = scaled(WorkloadKind::Ior16M, scale);
+            let mut rules = RuleSet::new();
+            let run = engine.tune(w.as_ref(), &mut rules, 0xF19);
+            Fig9Row {
+                model: profile.name.to_string(),
+                speedups: series_of(&run),
+                best: run.best_speedup,
+                attempts: run.attempts.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.08;
+
+    #[test]
+    fn fig2_rag_dominates() {
+        let rows = fig2();
+        assert_eq!(rows.len(), 4);
+        let rag = rows.last().unwrap();
+        assert!(rag.source.contains("RAG"));
+        assert_eq!(rag.range_correct, 13);
+        for model_row in &rows[..3] {
+            assert!(model_row.range_wrong > 0, "{model_row:?}");
+        }
+    }
+
+    #[test]
+    fn params_table_selects_13() {
+        let (params, report) = params_table();
+        assert_eq!(params.len(), 13);
+        assert_eq!(report.selected, 13);
+        assert!(report.total_params > 30);
+    }
+
+    #[test]
+    fn fig8_full_beats_ablations() {
+        let rows = fig8(0.2);
+        assert_eq!(rows.len(), 3);
+        let full = rows.iter().find(|r| r.variant == "Full").unwrap().best;
+        let no_desc = rows
+            .iter()
+            .find(|r| r.variant == "No Descriptions")
+            .unwrap()
+            .best;
+        let no_analysis = rows
+            .iter()
+            .find(|r| r.variant == "No Analysis")
+            .unwrap()
+            .best;
+        assert!(
+            full > no_desc,
+            "full {full:.3} !> no_desc {no_desc:.3}"
+        );
+        assert!(
+            full > no_analysis,
+            "full {full:.3} !> no_analysis {no_analysis:.3}"
+        );
+    }
+
+    #[test]
+    fn fig9_all_models_achieve_speedup() {
+        let rows = fig9(SCALE);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.attempts <= 5, "{}: {} attempts", r.model, r.attempts);
+            assert!(r.best > 2.5, "{}: x{:.2}", r.model, r.best);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # stellar — the Storage Tuning Engine, end to end
+//!
+//! Wires the substrates together into the system of Fig. 1:
+//!
+//! * **Offline** — [`engine::Stellar::new`] builds the RAG extractor over the
+//!   synthetic manual and runs the §4.2 pipeline, yielding the 13 tunables
+//!   with grounded descriptions and dependent ranges.
+//! * **Online** — [`engine::Stellar::tune`] executes a *Tuning Run*: initial
+//!   default execution under Darshan, Analysis Agent report, Tuning Agent
+//!   trial-and-error loop (≤ 5 configurations), Reflect & Summarize, and
+//!   global rule-set accumulation. Between runs the simulator state is
+//!   rebuilt from scratch (the paper's delete/clear/remount hygiene).
+//! * **Baselines** — [`baselines::expert_oracle`] (the human-expert stand-in:
+//!   coordinate descent with a large evaluation budget) and
+//!   [`baselines::random_search`] (the iteration-hungry classical contrast).
+//! * **Experiments** — [`experiments`] contains one driver per paper figure
+//!   and table; the `bench` crate's binaries print their outputs.
+
+pub mod baselines;
+pub mod engine;
+pub mod experiments;
+pub mod measure;
+
+pub use engine::{AttemptRecord, Stellar, StellarOptions, TuningRun};

@@ -1,0 +1,205 @@
+//! AMReX plotfile-dump I/O kernel (§5.1.3: "highly concurrent,
+//! block-structured adaptive mesh refinement").
+//!
+//! Models AMReX's native plotfile output: per refinement level, all ranks
+//! append their grid (FAB) data to a small set of shared level files through
+//! aggregated sequential writes; rank 0 additionally writes header metadata.
+//! Several timesteps dump in sequence with computation in between — the
+//! bursty checkpoint pattern the paper's intro motivates.
+
+use crate::{scale_count, Workload};
+use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
+use pfs::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// AMReX I/O kernel configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AmrexIo {
+    /// Number of refinement levels.
+    pub levels: u32,
+    /// Grid (FAB) bytes per rank at level 0; each finer level doubles it.
+    pub base_grid_bytes: u64,
+    /// Plotfile dumps (timesteps).
+    pub steps: u32,
+    /// Compute time between dumps, nanoseconds.
+    pub compute_ns: u64,
+}
+
+const LEVEL_FILE_BASE: u32 = 1_000;
+const HEADER_FILE_BASE: u32 = 900;
+
+impl AmrexIo {
+    /// Standard instance (per-rank totals chosen so a dump is a multi-GB
+    /// cluster-wide burst at 50 ranks, as in real AMReX runs).
+    pub fn standard() -> Self {
+        AmrexIo {
+            levels: 3,
+            base_grid_bytes: 8 << 20,
+            steps: 3,
+            compute_ns: 150_000_000,
+        }
+    }
+
+    fn level_bytes(&self, level: u32) -> u64 {
+        self.base_grid_bytes << level
+    }
+}
+
+impl Workload for AmrexIo {
+    fn name(&self) -> String {
+        "AMReX".into()
+    }
+
+    fn generate(&self, topo: &ClusterSpec, _seed: u64) -> Vec<RankStream> {
+        let nranks = topo.total_ranks();
+        let mut streams = Vec::with_capacity(nranks as usize);
+        for rank in 0..nranks {
+            let mut s = RankStream::new(rank, Module::MpiIo);
+            for step in 0..self.steps {
+                // Physics between dumps.
+                s.push(IoOp::Compute {
+                    nanos: self.compute_ns,
+                });
+                // Header metadata (rank 0 only): many small stdio writes.
+                if rank == 0 {
+                    let header = FileId(HEADER_FILE_BASE + step);
+                    s.push(IoOp::Create {
+                        file: header,
+                        dir: DirId(0),
+                    });
+                    for i in 0..16u64 {
+                        s.push(IoOp::Write {
+                            file: header,
+                            offset: i * 512,
+                            len: 512,
+                        });
+                    }
+                    s.push(IoOp::Close { file: header });
+                }
+                s.push(IoOp::Barrier);
+                // Level data: shared file per level per step, each rank's
+                // FABs land in a contiguous region (AMReX precomputes
+                // offsets), written sequentially in 4 MiB chunks.
+                for level in 0..self.levels {
+                    let file = FileId(LEVEL_FILE_BASE + step * self.levels + level);
+                    if rank == 0 {
+                        s.push(IoOp::Create {
+                            file,
+                            dir: DirId(0),
+                        });
+                    } else {
+                        s.push(IoOp::Open { file });
+                    }
+                    let bytes = self.level_bytes(level);
+                    let base = rank as u64 * bytes;
+                    let chunk = (4u64 << 20).min(bytes);
+                    let mut off = 0;
+                    while off < bytes {
+                        let take = chunk.min(bytes - off);
+                        s.push(IoOp::Write {
+                            file,
+                            offset: base + off,
+                            len: take,
+                        });
+                        off += take;
+                    }
+                    s.push(IoOp::Close { file });
+                }
+                s.push(IoOp::Barrier);
+            }
+            streams.push(s);
+        }
+        streams
+    }
+
+    fn scaled(&self, factor: f64) -> Box<dyn Workload> {
+        let mut w = self.clone();
+        w.base_grid_bytes =
+            (scale_count(self.base_grid_bytes >> 20, factor, 1)) << 20;
+        w.steps = scale_count(self.steps as u64, factor.sqrt(), 1) as u32;
+        Box::new(w)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "AMReX plotfile dumps: {} timesteps, {} AMR levels, {} MiB grid data \
+             per rank at level 0 (doubling per level), aggregated sequential \
+             writes to shared per-level files plus rank-0 header I/O",
+            self.steps,
+            self.levels,
+            self.base_grid_bytes >> 20
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClusterSpec {
+        ClusterSpec::tiny()
+    }
+
+    #[test]
+    fn per_rank_bytes() {
+        let w = AmrexIo::standard();
+        let streams = w.generate(&topo(), 1);
+        // Rank 1 writes only grid data: steps * (8+16+32) MiB.
+        let expected = 3 * ((8u64 + 16 + 32) << 20);
+        assert_eq!(streams[1].bytes_written(), expected);
+        // Rank 0 adds 3 * 16 * 512 header bytes.
+        assert_eq!(streams[0].bytes_written(), expected + 3 * 16 * 512);
+    }
+
+    #[test]
+    fn rank_regions_disjoint_per_level_file() {
+        let w = AmrexIo::standard();
+        let streams = w.generate(&topo(), 1);
+        use std::collections::HashMap;
+        let mut extents: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+        for s in &streams {
+            for op in &s.ops {
+                if let IoOp::Write { file, offset, len } = op {
+                    if file.0 >= LEVEL_FILE_BASE {
+                        extents.entry(file.0).or_default().push((*offset, offset + len));
+                    }
+                }
+            }
+        }
+        for (f, mut v) in extents {
+            v.sort();
+            for w in v.windows(2) {
+                assert!(w[0].1 <= w[1].0, "file {f}: {:?} overlaps {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn compute_phases_present() {
+        let w = AmrexIo::standard();
+        let streams = w.generate(&topo(), 1);
+        let computes = streams[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::Compute { .. }))
+            .count();
+        assert_eq!(computes, 3);
+    }
+
+    #[test]
+    fn barriers_uniform() {
+        let w = AmrexIo::standard();
+        let streams = w.generate(&topo(), 1);
+        let counts: Vec<usize> = streams.iter().map(|s| s.barrier_count()).collect();
+        assert!(counts.windows(2).all(|x| x[0] == x[1]));
+    }
+
+    #[test]
+    fn scaled_shrinks() {
+        let w = AmrexIo::standard();
+        let small = w.scaled(0.25);
+        let a = w.generate(&topo(), 1)[1].bytes_written();
+        let b = small.generate(&topo(), 1)[1].bytes_written();
+        assert!(b < a);
+    }
+}

@@ -1,0 +1,317 @@
+//! The IO500 composite benchmark: IOR-Easy, IOR-Hard, MDTest-Easy,
+//! MDTest-Hard phases run in sequence (§5.1.2: "sequential read/write with
+//! large access sizes (IOR-Easy), random read/write with small access sizes
+//! (IOR-Hard), and metadata-intensive workloads for empty (MDTest-Easy) and
+//! small files (MDTest-Hard)").
+//!
+//! Phase geometries follow the real benchmark: IOR-Easy is file-per-process
+//! with large aligned transfers; IOR-Hard is a single shared file with
+//! 47008-byte *unaligned* interleaved records; MDTest-Easy creates empty
+//! files in per-process directories; MDTest-Hard creates 3901-byte files in
+//! one shared directory.
+
+use crate::{scale_count, Workload};
+use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
+use pfs::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// IO500 configuration (sizes are per rank, pre-scaled for simulation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Io500 {
+    /// IOR-Easy: bytes per rank (sequential, 2 MiB transfers, file-per-proc).
+    pub easy_bytes_per_rank: u64,
+    /// IOR-Hard: records per rank (47008-byte shared-file interleaved).
+    pub hard_records_per_rank: u64,
+    /// MDTest-Easy: empty files per rank (private dirs).
+    pub md_easy_files_per_rank: u32,
+    /// MDTest-Hard: 3901-byte files per rank (shared dir).
+    pub md_hard_files_per_rank: u32,
+}
+
+/// IOR-Hard record size (the benchmark's fixed, deliberately unaligned size).
+pub const HARD_RECORD: u64 = 47_008;
+/// MDTest-Hard file size.
+pub const MD_HARD_SIZE: u64 = 3_901;
+/// IOR-Easy transfer size.
+pub const EASY_TRANSFER: u64 = 2 << 20;
+
+// Namespace carving for file/dir ids.
+const EASY_FILE_BASE: u32 = 10_000;
+const HARD_FILE: FileId = FileId(1);
+const MD_EASY_FILE_BASE: u32 = 100_000;
+const MD_HARD_FILE_BASE: u32 = 500_000;
+const MD_EASY_DIR_BASE: u32 = 100;
+const MD_HARD_DIR: DirId = DirId(99);
+
+impl Io500 {
+    /// Standard (simulation-scaled) IO500 instance.
+    pub fn standard() -> Self {
+        Io500 {
+            easy_bytes_per_rank: 64 << 20,
+            hard_records_per_rank: 600,
+            md_easy_files_per_rank: 150,
+            md_hard_files_per_rank: 80,
+        }
+    }
+}
+
+impl Workload for Io500 {
+    fn name(&self) -> String {
+        "IO500".into()
+    }
+
+    fn generate(&self, topo: &ClusterSpec, _seed: u64) -> Vec<RankStream> {
+        let nranks = topo.total_ranks();
+        let mut streams = Vec::with_capacity(nranks as usize);
+        for rank in 0..nranks {
+            let mut s = RankStream::new(rank, Module::MpiIo);
+
+            // ---- Phase 1: IOR-Easy write (file per process, sequential).
+            let easy_file = FileId(EASY_FILE_BASE + rank);
+            s.push(IoOp::Create {
+                file: easy_file,
+                dir: DirId(0),
+            });
+            let transfers = self.easy_bytes_per_rank / EASY_TRANSFER;
+            for i in 0..transfers {
+                s.push(IoOp::Write {
+                    file: easy_file,
+                    offset: i * EASY_TRANSFER,
+                    len: EASY_TRANSFER,
+                });
+            }
+            s.push(IoOp::Close { file: easy_file });
+            s.push(IoOp::Barrier);
+
+            // ---- Phase 2: IOR-Hard write (shared file, interleaved 47008B).
+            if rank == 0 {
+                s.push(IoOp::Create {
+                    file: HARD_FILE,
+                    dir: DirId(0),
+                });
+            } else {
+                s.push(IoOp::Open { file: HARD_FILE });
+            }
+            for seg in 0..self.hard_records_per_rank {
+                let offset = (seg * nranks as u64 + rank as u64) * HARD_RECORD;
+                s.push(IoOp::Write {
+                    file: HARD_FILE,
+                    offset,
+                    len: HARD_RECORD,
+                });
+            }
+            s.push(IoOp::Close { file: HARD_FILE });
+            s.push(IoOp::Barrier);
+
+            // ---- Phase 3: IOR-Easy read (task-shifted by one rank).
+            let read_of = (rank + 1) % nranks;
+            let read_file = FileId(EASY_FILE_BASE + read_of);
+            s.push(IoOp::Open { file: read_file });
+            for i in 0..transfers {
+                s.push(IoOp::Read {
+                    file: read_file,
+                    offset: i * EASY_TRANSFER,
+                    len: EASY_TRANSFER,
+                });
+            }
+            s.push(IoOp::Close { file: read_file });
+            s.push(IoOp::Barrier);
+
+            // ---- Phase 4: IOR-Hard read (shifted segments).
+            s.push(IoOp::Open { file: HARD_FILE });
+            let hard_read_of = (rank + 1) % nranks;
+            for seg in 0..self.hard_records_per_rank {
+                let offset = (seg * nranks as u64 + hard_read_of as u64) * HARD_RECORD;
+                s.push(IoOp::Read {
+                    file: HARD_FILE,
+                    offset,
+                    len: HARD_RECORD,
+                });
+            }
+            s.push(IoOp::Close { file: HARD_FILE });
+            s.push(IoOp::Barrier);
+
+            // ---- Phase 5: MDTest-Easy (empty files, private dir).
+            let easy_dir = DirId(MD_EASY_DIR_BASE + rank);
+            s.push(IoOp::Mkdir { dir: easy_dir });
+            let md_easy_base = MD_EASY_FILE_BASE + rank * self.md_easy_files_per_rank;
+            for f in 0..self.md_easy_files_per_rank {
+                let file = FileId(md_easy_base + f);
+                s.push(IoOp::Create {
+                    file,
+                    dir: easy_dir,
+                });
+                s.push(IoOp::Close { file });
+            }
+            for f in 0..self.md_easy_files_per_rank {
+                s.push(IoOp::Stat {
+                    file: FileId(md_easy_base + f),
+                });
+            }
+            for f in 0..self.md_easy_files_per_rank {
+                s.push(IoOp::Unlink {
+                    file: FileId(md_easy_base + f),
+                });
+            }
+            s.push(IoOp::Barrier);
+
+            // ---- Phase 6: MDTest-Hard (small files, one shared directory).
+            if rank == 0 {
+                s.push(IoOp::Mkdir { dir: MD_HARD_DIR });
+            }
+            s.push(IoOp::Barrier);
+            let md_hard_base = MD_HARD_FILE_BASE + rank * self.md_hard_files_per_rank;
+            for f in 0..self.md_hard_files_per_rank {
+                let file = FileId(md_hard_base + f);
+                s.push(IoOp::Create {
+                    file,
+                    dir: MD_HARD_DIR,
+                });
+                s.push(IoOp::Write {
+                    file,
+                    offset: 0,
+                    len: MD_HARD_SIZE,
+                });
+                s.push(IoOp::Close { file });
+            }
+            s.push(IoOp::Barrier);
+            for f in 0..self.md_hard_files_per_rank {
+                let file = FileId(md_hard_base + f);
+                s.push(IoOp::Stat { file });
+                s.push(IoOp::Open { file });
+                s.push(IoOp::Read {
+                    file,
+                    offset: 0,
+                    len: MD_HARD_SIZE,
+                });
+                s.push(IoOp::Close { file });
+            }
+            s.push(IoOp::Barrier);
+            for f in 0..self.md_hard_files_per_rank {
+                s.push(IoOp::Unlink {
+                    file: FileId(md_hard_base + f),
+                });
+            }
+            s.push(IoOp::Barrier);
+
+            streams.push(s);
+        }
+        streams
+    }
+
+    fn scaled(&self, factor: f64) -> Box<dyn Workload> {
+        Box::new(Io500 {
+            easy_bytes_per_rank: (scale_count(
+                self.easy_bytes_per_rank / EASY_TRANSFER,
+                factor,
+                1,
+            )) * EASY_TRANSFER,
+            hard_records_per_rank: scale_count(self.hard_records_per_rank, factor, 2),
+            md_easy_files_per_rank: scale_count(self.md_easy_files_per_rank as u64, factor, 2)
+                as u32,
+            md_hard_files_per_rank: scale_count(self.md_hard_files_per_rank as u64, factor, 2)
+                as u32,
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "IO500 composite: IOR-Easy ({} MiB/rank sequential, file-per-process), \
+             IOR-Hard ({} x 47008 B interleaved records to a shared file), \
+             MDTest-Easy ({} empty files/rank), MDTest-Hard ({} x 3901 B files/rank \
+             in one shared directory)",
+            self.easy_bytes_per_rank >> 20,
+            self.hard_records_per_rank,
+            self.md_easy_files_per_rank,
+            self.md_hard_files_per_rank
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClusterSpec {
+        ClusterSpec::tiny()
+    }
+
+    #[test]
+    fn phases_present_and_barriers_uniform() {
+        let w = Io500::standard();
+        let streams = w.generate(&topo(), 1);
+        let counts: Vec<usize> = streams.iter().map(|s| s.barrier_count()).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        // Writes include easy + hard + mdtest-hard.
+        let s = &streams[0];
+        let easy = (64u64 << 20) / EASY_TRANSFER;
+        let expected_writes = easy + 600 + 80;
+        let writes = s
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::Write { .. }))
+            .count() as u64;
+        assert_eq!(writes, expected_writes);
+    }
+
+    #[test]
+    fn hard_phase_interleaves_ranks() {
+        let w = Io500::standard();
+        let streams = w.generate(&topo(), 1);
+        // Rank 0 seg 0 at 0; rank 1 seg 0 at 47008; rank 0 seg 1 at 4*47008.
+        let hard_offsets = |s: &RankStream| -> Vec<u64> {
+            s.ops
+                .iter()
+                .filter_map(|o| match o {
+                    IoOp::Write { file, offset, .. } if *file == HARD_FILE => Some(*offset),
+                    _ => None,
+                })
+                .collect()
+        };
+        let r0 = hard_offsets(&streams[0]);
+        let r1 = hard_offsets(&streams[1]);
+        assert_eq!(r0[0], 0);
+        assert_eq!(r1[0], HARD_RECORD);
+        assert_eq!(r0[1], 4 * HARD_RECORD);
+    }
+
+    #[test]
+    fn md_hard_uses_shared_directory() {
+        let w = Io500::standard();
+        let streams = w.generate(&topo(), 1);
+        for s in &streams {
+            let dirs: Vec<DirId> = s
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    IoOp::Create { file, dir } if file.0 >= MD_HARD_FILE_BASE => Some(*dir),
+                    _ => None,
+                })
+                .collect();
+            assert!(dirs.iter().all(|d| *d == MD_HARD_DIR));
+        }
+    }
+
+    #[test]
+    fn md_easy_files_are_empty() {
+        let w = Io500::standard();
+        let streams = w.generate(&topo(), 1);
+        // No writes to MDTest-Easy file ids.
+        for s in &streams {
+            assert!(!s.ops.iter().any(|o| matches!(
+                o,
+                IoOp::Write { file, .. }
+                    if file.0 >= MD_EASY_FILE_BASE && file.0 < MD_HARD_FILE_BASE
+            )));
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_everything() {
+        let w = Io500::standard();
+        let small = w.scaled(0.1);
+        let a = w.generate(&topo(), 1)[0].ops.len();
+        let b = small.generate(&topo(), 1)[0].ops.len();
+        assert!(b < a / 4, "{b} vs {a}");
+    }
+}

@@ -1,0 +1,347 @@
+//! The IOR parallel I/O benchmark (LLNL), reduced to its op stream.
+//!
+//! §5.1.2: *"The first, labeled IOR_64K, has each MPI process concurrently
+//! write/read a 128 MB block using 64 KB transfer size. The I/Os were
+//! conducted randomly to a shared file. The second, labeled IOR_16M, has each
+//! MPI process write/read three 128 MB blocks using a large transfer size of
+//! 16 MB with a sequential access pattern to a shared file."*
+
+use crate::{scale_count, Workload};
+use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
+use pfs::topology::ClusterSpec;
+use simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Access pattern within each rank's block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Offsets ascend through the block.
+    Sequential,
+    /// Offsets are a random permutation of the block's transfer slots.
+    Random,
+}
+
+/// IOR configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ior {
+    /// Label ("IOR_64K", "IOR_16M", ...).
+    pub label: String,
+    /// Transfer size in bytes (`-t`).
+    pub transfer: u64,
+    /// Block size in bytes (`-b`).
+    pub block: u64,
+    /// Blocks (segments) per rank (`-s`).
+    pub blocks_per_rank: u64,
+    /// Access pattern (`-z` for random).
+    pub pattern: Pattern,
+    /// Whether a read-back phase follows the write phase (`-r`).
+    pub read_phase: bool,
+    /// Task shift for the read phase (`-C`): rank r reads rank (r+shift)'s
+    /// data, defeating the client page cache.
+    pub task_shift: u32,
+}
+
+/// The shared file IOR uses.
+pub const IOR_FILE: FileId = FileId(1);
+
+impl Ior {
+    /// The paper's `IOR_64K`: random 64 KiB transfers, one 128 MiB block.
+    pub fn ior_64k() -> Self {
+        Ior {
+            label: "IOR_64K".into(),
+            transfer: 64 * 1024,
+            block: 128 << 20,
+            blocks_per_rank: 1,
+            pattern: Pattern::Random,
+            read_phase: true,
+            task_shift: 10,
+        }
+    }
+
+    /// The paper's `IOR_16M`: sequential 16 MiB transfers, three 128 MiB
+    /// blocks.
+    pub fn ior_16m() -> Self {
+        Ior {
+            label: "IOR_16M".into(),
+            transfer: 16 << 20,
+            block: 128 << 20,
+            blocks_per_rank: 3,
+            pattern: Pattern::Sequential,
+            read_phase: true,
+            task_shift: 10,
+        }
+    }
+
+    /// Transfers per block.
+    fn transfers_per_block(&self) -> u64 {
+        self.block / self.transfer
+    }
+
+    /// Byte extent owned by `rank` for block `b` in the shared file
+    /// (IOR segmented layout: segment b holds rank 0..n contiguous blocks).
+    fn block_base(&self, rank: u64, b: u64, nranks: u64) -> u64 {
+        (b * nranks + rank) * self.block
+    }
+}
+
+impl Workload for Ior {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn generate(&self, topo: &ClusterSpec, seed: u64) -> Vec<RankStream> {
+        let nranks = topo.total_ranks() as u64;
+        let tpb = self.transfers_per_block();
+        let mut streams = Vec::with_capacity(nranks as usize);
+        for rank in 0..nranks {
+            let mut s = RankStream::new(rank as u32, Module::MpiIo);
+            if rank == 0 {
+                s.push(IoOp::Create {
+                    file: IOR_FILE,
+                    dir: DirId(0),
+                });
+            } else {
+                s.push(IoOp::Open { file: IOR_FILE });
+            }
+            s.push(IoOp::Barrier);
+
+            // Write phase.
+            let mut rng = SimRng::new(seed).derive(&self.label, rank);
+            for b in 0..self.blocks_per_rank {
+                let base = self.block_base(rank, b, nranks);
+                let mut slots: Vec<u64> = (0..tpb).collect();
+                if self.pattern == Pattern::Random {
+                    // Fisher-Yates with the rank's derived stream.
+                    for i in (1..slots.len()).rev() {
+                        let j = rng.index(i + 1);
+                        slots.swap(i, j);
+                    }
+                }
+                for &slot in &slots {
+                    s.push(IoOp::Write {
+                        file: IOR_FILE,
+                        offset: base + slot * self.transfer,
+                        len: self.transfer,
+                    });
+                }
+            }
+            s.push(IoOp::Close { file: IOR_FILE });
+            s.push(IoOp::Barrier);
+
+            // Read phase (task-shifted).
+            if self.read_phase {
+                s.push(IoOp::Open { file: IOR_FILE });
+                let reader_of = (rank + self.task_shift as u64) % nranks;
+                for b in 0..self.blocks_per_rank {
+                    let base = self.block_base(reader_of, b, nranks);
+                    let mut slots: Vec<u64> = (0..tpb).collect();
+                    if self.pattern == Pattern::Random {
+                        for i in (1..slots.len()).rev() {
+                            let j = rng.index(i + 1);
+                            slots.swap(i, j);
+                        }
+                    }
+                    for &slot in &slots {
+                        s.push(IoOp::Read {
+                            file: IOR_FILE,
+                            offset: base + slot * self.transfer,
+                            len: self.transfer,
+                        });
+                    }
+                }
+                s.push(IoOp::Close { file: IOR_FILE });
+                s.push(IoOp::Barrier);
+            }
+            streams.push(s);
+        }
+        streams
+    }
+
+    fn scaled(&self, factor: f64) -> Box<dyn Workload> {
+        let mut w = self.clone();
+        // Scale the block count first; below one block, shrink the block.
+        if self.blocks_per_rank > 1 {
+            w.blocks_per_rank = scale_count(self.blocks_per_rank, factor, 1);
+            if w.blocks_per_rank == 1 && factor * (self.blocks_per_rank as f64) < 1.0 {
+                let f = factor * self.blocks_per_rank as f64;
+                w.block = ((self.block as f64 * f) as u64 / self.transfer).max(1) * self.transfer;
+            }
+        } else {
+            w.block =
+                ((self.block as f64 * factor) as u64 / self.transfer).max(1) * self.transfer;
+        }
+        Box::new(w)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "IOR: each rank {}s {} blocks of {} MiB with {} KiB transfers to a shared file{}",
+            match self.pattern {
+                Pattern::Sequential => "sequentially write",
+                Pattern::Random => "randomly write",
+            },
+            self.blocks_per_rank,
+            self.block >> 20,
+            self.transfer >> 10,
+            if self.read_phase {
+                ", then reads back with task shift"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClusterSpec {
+        ClusterSpec::tiny() // 4 ranks
+    }
+
+    #[test]
+    fn ior_64k_shape() {
+        let w = Ior::ior_64k();
+        let streams = w.generate(&topo(), 1);
+        assert_eq!(streams.len(), 4);
+        let tpb = (128u64 << 20) / (64 * 1024);
+        for s in &streams {
+            assert_eq!(s.bytes_written(), 128 << 20);
+            assert_eq!(s.bytes_read(), 128 << 20);
+            let writes = s
+                .ops
+                .iter()
+                .filter(|o| matches!(o, IoOp::Write { .. }))
+                .count() as u64;
+            assert_eq!(writes, tpb);
+        }
+    }
+
+    #[test]
+    fn ior_16m_sequential_offsets_ascend() {
+        let w = Ior::ior_16m();
+        let streams = w.generate(&topo(), 1);
+        let s = &streams[0];
+        let mut last = None;
+        for op in &s.ops {
+            if let IoOp::Write { offset, .. } = op {
+                if let Some(prev) = last {
+                    assert!(*offset > prev);
+                }
+                last = Some(*offset);
+            }
+        }
+    }
+
+    #[test]
+    fn ior_random_is_permutation() {
+        let w = Ior::ior_64k();
+        let streams = w.generate(&topo(), 1);
+        let mut offsets: Vec<u64> = streams[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                IoOp::Write { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        let n = offsets.len() as u64;
+        offsets.sort();
+        offsets.dedup();
+        assert_eq!(offsets.len() as u64, n, "offsets must be unique");
+        // Not sorted originally (vanishingly unlikely for 2048 slots).
+        let resorted: Vec<u64> = {
+            let mut v: Vec<u64> = streams[0]
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    IoOp::Write { offset, .. } => Some(*offset),
+                    _ => None,
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        let original: Vec<u64> = streams[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                IoOp::Write { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_ne!(original, resorted);
+    }
+
+    #[test]
+    fn blocks_do_not_overlap_across_ranks() {
+        let w = Ior::ior_16m();
+        let t = topo();
+        let streams = w.generate(&t, 1);
+        let mut extents: Vec<(u64, u64)> = Vec::new();
+        for s in &streams {
+            for op in &s.ops {
+                if let IoOp::Write { offset, len, .. } = op {
+                    extents.push((*offset, offset + len));
+                }
+            }
+        }
+        extents.sort();
+        for w in extents.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn task_shift_reads_other_ranks_data() {
+        let w = Ior::ior_16m();
+        let t = topo(); // 4 ranks, shift 10 % 4 = 2
+        let streams = w.generate(&t, 1);
+        let first_write = streams[0]
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                IoOp::Write { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .unwrap();
+        let first_read = streams[0]
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                IoOp::Read { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .unwrap();
+        assert_ne!(first_write, first_read);
+    }
+
+    #[test]
+    fn barriers_uniform() {
+        let w = Ior::ior_64k();
+        let streams = w.generate(&topo(), 1);
+        let counts: Vec<usize> = streams.iter().map(|s| s.barrier_count()).collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(counts[0], 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = Ior::ior_64k();
+        let a = w.generate(&topo(), 42);
+        let b = w.generate(&topo(), 42);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_bytes() {
+        let w = Ior::ior_16m();
+        let small = w.scaled(0.25);
+        let streams = small.generate(&topo(), 1);
+        assert!(streams[0].bytes_written() < 3 * (128 << 20));
+        assert!(streams[0].bytes_written() > 0);
+    }
+}

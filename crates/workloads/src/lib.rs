@@ -1,0 +1,72 @@
+//! # workloads — benchmark and application op-stream generators
+//!
+//! Reimplements, against the simulator's operation vocabulary, every workload
+//! the paper evaluates (§5.1.2–§5.1.3):
+//!
+//! * [`ior::Ior`] — the IOR parallel I/O benchmark. Two named configurations:
+//!   `IOR_64K` (random 64 KiB transfers into a 128 MiB block per process,
+//!   shared file) and `IOR_16M` (sequential 16 MiB transfers, three 128 MiB
+//!   blocks per process, shared file), both with a task-shifted read-back
+//!   phase (IOR's `-C` reorder, which defeats the client cache).
+//! * [`mdworkbench::MdWorkbench`] — the metadata benchmark: per-process
+//!   directories pre-filled with small files, then rounds of
+//!   open/write/close/stat/open/read/close/unlink per file.
+//! * [`io500::Io500`] — the IO500 composite: IOR-Easy, IOR-Hard, MDTest-Easy,
+//!   MDTest-Hard phases in sequence.
+//! * [`amrex::AmrexIo`] — a block-structured AMR plotfile dump kernel
+//!   (aggregated large sequential writes to per-level shared files plus small
+//!   header I/O).
+//! * [`macsio::Macsio`] — the multi-physics I/O proxy with configurable
+//!   object sizes (`MACSio_512K`, `MACSio_16M`), multiple-independent-file
+//!   mode grouped per client node.
+//!
+//! All generators implement [`Workload`], are deterministic given a seed, and
+//! support [`Workload::scaled`] down-scaling so unit tests stay fast while
+//! benches run at paper scale.
+
+pub mod amrex;
+pub mod ior;
+pub mod io500;
+pub mod macsio;
+pub mod mdworkbench;
+pub mod suite;
+
+pub use suite::{WorkloadKind, BENCHMARKS, REAL_APPS};
+
+use pfs::ops::RankStream;
+use pfs::topology::ClusterSpec;
+
+/// A workload: generates per-rank operation streams for a cluster.
+///
+/// `Send + Sync` so measurement harnesses can evaluate replications in
+/// parallel.
+pub trait Workload: Send + Sync {
+    /// Human-readable workload name (matches the paper's labels).
+    fn name(&self) -> String;
+
+    /// Generate one stream per rank. Deterministic in `seed`.
+    fn generate(&self, topo: &ClusterSpec, seed: u64) -> Vec<RankStream>;
+
+    /// A copy with workload size scaled by `factor` (for fast tests).
+    fn scaled(&self, factor: f64) -> Box<dyn Workload>;
+
+    /// One-paragraph description fed to agent context and docs.
+    fn describe(&self) -> String;
+}
+
+/// Apply a scale factor to a count, keeping at least `min`.
+pub(crate) fn scale_count(n: u64, factor: f64, min: u64) -> u64 {
+    ((n as f64 * factor).round() as u64).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_count_floors() {
+        assert_eq!(scale_count(100, 0.1, 1), 10);
+        assert_eq!(scale_count(3, 0.1, 1), 1);
+        assert_eq!(scale_count(10, 1.0, 1), 10);
+    }
+}

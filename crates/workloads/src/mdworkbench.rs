@@ -1,0 +1,238 @@
+//! MDWorkbench (Kunkel & Markomanolis): metadata latency benchmark.
+//!
+//! §5.1.2: *"creates 10 directories per process and fills each directory with
+//! 400 files, each sized 2 KB [/8 KB]. Both MDWorkbench workloads ran for
+//! three rounds, where each round conducted open, write, close, stat, open,
+//! read, close, and unlink operations on each file."*
+//!
+//! Note on the op sequence: a file unlinked in round k is recreated at the
+//! start of round k+1 (MDWorkbench's working-set semantics), so each round
+//! performs create/write/close then stat/open/read/close/unlink per file.
+
+use crate::{scale_count, Workload};
+use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
+use pfs::topology::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// MDWorkbench configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdWorkbench {
+    /// Label ("MDWorkbench_2K", "MDWorkbench_8K").
+    pub label: String,
+    /// Directories per rank.
+    pub dirs_per_rank: u32,
+    /// Files per directory.
+    pub files_per_dir: u32,
+    /// File size in bytes.
+    pub file_size: u64,
+    /// Benchmark rounds over the working set.
+    pub rounds: u32,
+}
+
+impl MdWorkbench {
+    /// The paper's `MDWorkbench_2K`: 10 directories per process, 400 files
+    /// per directory, 2 KiB files, three rounds.
+    pub fn mdw_2k() -> Self {
+        MdWorkbench {
+            label: "MDWorkbench_2K".into(),
+            dirs_per_rank: 10,
+            files_per_dir: 400,
+            file_size: 2 * 1024,
+            rounds: 3,
+        }
+    }
+
+    /// The paper's `MDWorkbench_8K`: as `mdw_2k` but with 8 KiB files.
+    pub fn mdw_8k() -> Self {
+        MdWorkbench {
+            label: "MDWorkbench_8K".into(),
+            dirs_per_rank: 10,
+            files_per_dir: 400,
+            file_size: 8 * 1024,
+            rounds: 3,
+        }
+    }
+
+    /// Files per rank.
+    pub fn files_per_rank(&self) -> u32 {
+        self.dirs_per_rank * self.files_per_dir
+    }
+}
+
+impl Workload for MdWorkbench {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn generate(&self, topo: &ClusterSpec, _seed: u64) -> Vec<RankStream> {
+        let nranks = topo.total_ranks();
+        let fpr = self.files_per_rank();
+        let mut streams = Vec::with_capacity(nranks as usize);
+        for rank in 0..nranks {
+            let mut s = RankStream::new(rank, Module::Posix);
+            // Private directory tree per rank: no shared-dir contention,
+            // matching MDWorkbench's default per-process working sets.
+            let dir_base = 1 + rank * self.dirs_per_rank;
+            let file_base = 1 + rank * fpr;
+            for d in 0..self.dirs_per_rank {
+                s.push(IoOp::Mkdir {
+                    dir: DirId(dir_base + d),
+                });
+            }
+            s.push(IoOp::Barrier);
+            for round in 0..self.rounds {
+                for d in 0..self.dirs_per_rank {
+                    let dir = DirId(dir_base + d);
+                    // Phase 1: (re)create and write every file in the dir.
+                    for f in 0..self.files_per_dir {
+                        let file = FileId(file_base + d * self.files_per_dir + f);
+                        s.push(IoOp::Create { file, dir });
+                        s.push(IoOp::Write {
+                            file,
+                            offset: 0,
+                            len: self.file_size,
+                        });
+                        s.push(IoOp::Close { file });
+                    }
+                    // Phase 2: stat, open, read, close, unlink each file,
+                    // in creation order (this is what statahead accelerates).
+                    for f in 0..self.files_per_dir {
+                        let file = FileId(file_base + d * self.files_per_dir + f);
+                        s.push(IoOp::Stat { file });
+                        s.push(IoOp::Open { file });
+                        s.push(IoOp::Read {
+                            file,
+                            offset: 0,
+                            len: self.file_size,
+                        });
+                        s.push(IoOp::Close { file });
+                        s.push(IoOp::Unlink { file });
+                    }
+                }
+                let _ = round;
+            }
+            s.push(IoOp::Barrier);
+            streams.push(s);
+        }
+        streams
+    }
+
+    fn scaled(&self, factor: f64) -> Box<dyn Workload> {
+        let mut w = self.clone();
+        w.files_per_dir = scale_count(self.files_per_dir as u64, factor, 2) as u32;
+        w.dirs_per_rank = scale_count(self.dirs_per_rank as u64, factor.sqrt(), 1) as u32;
+        Box::new(w)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "MDWorkbench: {} dirs/rank x {} files/dir of {} KiB, {} rounds of \
+             create/write/close + stat/open/read/close/unlink per file",
+            self.dirs_per_rank,
+            self.files_per_dir,
+            self.file_size >> 10,
+            self.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ClusterSpec {
+        ClusterSpec::tiny()
+    }
+
+    #[test]
+    fn op_counts_match_formula() {
+        let w = MdWorkbench::mdw_8k();
+        let streams = w.generate(&topo(), 1);
+        let s = &streams[0];
+        let fpr = w.files_per_rank() as usize;
+        let per_round = fpr * (3 + 5); // create,write,close + stat,open,read,close,unlink
+        let expected = w.dirs_per_rank as usize // mkdirs
+            + w.rounds as usize * per_round
+            + 2; // barriers
+        assert_eq!(s.ops.len(), expected);
+    }
+
+    #[test]
+    fn file_ids_disjoint_across_ranks() {
+        let w = MdWorkbench::mdw_2k();
+        let streams = w.generate(&topo(), 1);
+        let collect = |s: &RankStream| -> Vec<u32> {
+            let mut v: Vec<u32> = s
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    IoOp::Create { file, .. } => Some(file.0),
+                    _ => None,
+                })
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let a = collect(&streams[0]);
+        let b = collect(&streams[1]);
+        assert!(a.iter().all(|x| !b.contains(x)));
+    }
+
+    #[test]
+    fn stats_follow_creation_order() {
+        let w = MdWorkbench::mdw_2k();
+        let streams = w.generate(&topo(), 1);
+        // Within each dir's phase 2, stats must ascend in FileId (== creation
+        // order), which is the statahead-friendly pattern.
+        let stats: Vec<u32> = streams[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                IoOp::Stat { file } => Some(file.0),
+                _ => None,
+            })
+            .collect();
+        let per_dir = w.files_per_dir as usize;
+        for dir_stats in stats.chunks(per_dir) {
+            for pair in dir_stats.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_match_sizes() {
+        let w = MdWorkbench::mdw_8k();
+        let streams = w.generate(&topo(), 1);
+        let per_rank = w.files_per_rank() as u64 * w.rounds as u64 * w.file_size;
+        assert_eq!(streams[0].bytes_written(), per_rank);
+        assert_eq!(streams[0].bytes_read(), per_rank);
+    }
+
+    #[test]
+    fn every_created_file_is_unlinked() {
+        let w = MdWorkbench::mdw_2k();
+        let streams = w.generate(&topo(), 1);
+        let creates = streams[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::Create { .. }))
+            .count();
+        let unlinks = streams[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::Unlink { .. }))
+            .count();
+        assert_eq!(creates, unlinks);
+    }
+
+    #[test]
+    fn scaled_reduces_files() {
+        let w = MdWorkbench::mdw_2k();
+        let small = w.scaled(0.1);
+        let a = w.generate(&topo(), 1)[0].ops.len();
+        let b = small.generate(&topo(), 1)[0].ops.len();
+        assert!(b < a / 2);
+    }
+}

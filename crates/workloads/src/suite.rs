@@ -1,0 +1,202 @@
+//! The named workload suite of the paper's evaluation: five benchmarks
+//! (Fig. 5/6) and three real applications (Fig. 7).
+
+use crate::amrex::AmrexIo;
+use crate::io500::Io500;
+use crate::ior::Ior;
+use crate::macsio::Macsio;
+use crate::mdworkbench::MdWorkbench;
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+
+/// Every named workload in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// IOR, random 64 KiB transfers, shared file.
+    Ior64K,
+    /// IOR, sequential 16 MiB transfers, shared file.
+    Ior16M,
+    /// MDWorkbench with 2 KiB files.
+    MdWorkbench2K,
+    /// MDWorkbench with 8 KiB files.
+    MdWorkbench8K,
+    /// IO500 composite.
+    Io500,
+    /// AMReX plotfile I/O kernel.
+    Amrex,
+    /// MACSio with 512 KiB objects.
+    Macsio512K,
+    /// MACSio with 16 MiB objects.
+    Macsio16M,
+}
+
+/// The five benchmarks used for tuning-knowledge accumulation (Fig. 5/6).
+pub const BENCHMARKS: [WorkloadKind; 5] = [
+    WorkloadKind::Ior64K,
+    WorkloadKind::Ior16M,
+    WorkloadKind::MdWorkbench2K,
+    WorkloadKind::MdWorkbench8K,
+    WorkloadKind::Io500,
+];
+
+/// The three previously-unseen real applications (Fig. 7).
+pub const REAL_APPS: [WorkloadKind; 3] = [
+    WorkloadKind::Amrex,
+    WorkloadKind::Macsio512K,
+    WorkloadKind::Macsio16M,
+];
+
+impl WorkloadKind {
+    /// The paper's label for this workload.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Ior64K => "IOR_64K",
+            WorkloadKind::Ior16M => "IOR_16M",
+            WorkloadKind::MdWorkbench2K => "MDWorkbench_2K",
+            WorkloadKind::MdWorkbench8K => "MDWorkbench_8K",
+            WorkloadKind::Io500 => "IO500",
+            WorkloadKind::Amrex => "AMReX",
+            WorkloadKind::Macsio512K => "MACSio_512K",
+            WorkloadKind::Macsio16M => "MACSio_16M",
+        }
+    }
+
+    /// Instantiate the workload generator.
+    pub fn spec(self) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Ior64K => Box::new(Ior::ior_64k()),
+            WorkloadKind::Ior16M => Box::new(Ior::ior_16m()),
+            WorkloadKind::MdWorkbench2K => Box::new(MdWorkbench::mdw_2k()),
+            WorkloadKind::MdWorkbench8K => Box::new(MdWorkbench::mdw_8k()),
+            WorkloadKind::Io500 => Box::new(Io500::standard()),
+            WorkloadKind::Amrex => Box::new(AmrexIo::standard()),
+            WorkloadKind::Macsio512K => Box::new(Macsio::macsio_512k()),
+            WorkloadKind::Macsio16M => Box::new(Macsio::macsio_16m()),
+        }
+    }
+
+    /// Parse a paper label.
+    pub fn from_label(label: &str) -> Option<Self> {
+        let all = [
+            WorkloadKind::Ior64K,
+            WorkloadKind::Ior16M,
+            WorkloadKind::MdWorkbench2K,
+            WorkloadKind::MdWorkbench8K,
+            WorkloadKind::Io500,
+            WorkloadKind::Amrex,
+            WorkloadKind::Macsio512K,
+            WorkloadKind::Macsio16M,
+        ];
+        all.into_iter().find(|k| k.label() == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfs::topology::ClusterSpec;
+
+    #[test]
+    fn labels_roundtrip() {
+        for k in BENCHMARKS.iter().chain(REAL_APPS.iter()) {
+            assert_eq!(WorkloadKind::from_label(k.label()), Some(*k));
+        }
+        assert_eq!(WorkloadKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn specs_generate_for_paper_cluster() {
+        let topo = ClusterSpec::paper_cluster();
+        for k in BENCHMARKS.iter().chain(REAL_APPS.iter()) {
+            let streams = k.spec().generate(&topo, 1);
+            assert_eq!(streams.len(), 50, "{}", k.label());
+            let barriers: Vec<usize> = streams.iter().map(|s| s.barrier_count()).collect();
+            assert!(
+                barriers.windows(2).all(|w| w[0] == w[1]),
+                "{} barriers differ",
+                k.label()
+            );
+        }
+    }
+
+    #[test]
+    fn names_match_spec_labels() {
+        for k in BENCHMARKS.iter().chain(REAL_APPS.iter()) {
+            assert_eq!(k.spec().name(), k.label());
+        }
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        for k in BENCHMARKS.iter().chain(REAL_APPS.iter()) {
+            assert!(!k.spec().describe().is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use pfs::ops::IoOp;
+    use pfs::topology::ClusterSpec;
+    use proptest::prelude::*;
+
+    fn all_kinds() -> Vec<WorkloadKind> {
+        BENCHMARKS.iter().chain(REAL_APPS.iter()).copied().collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Invariants every workload must satisfy at any scale and seed:
+        /// uniform barrier counts, deterministic generation, and no write
+        /// before a create/open of the same file within a rank.
+        #[test]
+        fn workload_invariants(
+            kind_idx in 0usize..8,
+            scale in 0.05f64..0.5,
+            seed in 0u64..100,
+        ) {
+            let kind = all_kinds()[kind_idx];
+            let topo = ClusterSpec::tiny();
+            let w = kind.spec().scaled(scale);
+            let streams = w.generate(&topo, seed);
+            prop_assert_eq!(streams.len() as u32, topo.total_ranks());
+
+            let barriers: Vec<usize> =
+                streams.iter().map(|s| s.barrier_count()).collect();
+            prop_assert!(barriers.windows(2).all(|x| x[0] == x[1]));
+
+            let again = w.generate(&topo, seed);
+            for (a, b) in streams.iter().zip(&again) {
+                prop_assert_eq!(&a.ops, &b.ops);
+            }
+
+            // Within each rank: any write/read targets a file that rank has
+            // created/opened earlier in program order OR that another rank
+            // creates (shared files are opened, not created, by followers).
+            for s in &streams {
+                let mut opened = std::collections::HashSet::new();
+                for op in &s.ops {
+                    match op {
+                        IoOp::Create { file, .. } | IoOp::Open { file } => {
+                            opened.insert(*file);
+                        }
+                        IoOp::Write { file, .. } | IoOp::Read { file, .. } => {
+                            prop_assert!(
+                                opened.contains(file),
+                                "rank {} touches unopened {:?}",
+                                s.rank,
+                                file
+                            );
+                        }
+                        IoOp::Unlink { file } => {
+                            opened.remove(file);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! The Fig. 10 case study: a narrated MDWorkbench_8K tuning run — initial
+//! I/O report, follow-up questions, per-attempt rationale, end reasoning,
+//! and the generated rule.
+//!
+//! ```sh
+//! cargo run --release --example case_study
+//! ```
+
+fn main() {
+    println!("{}", stellar::experiments::case_study(0.3));
+}

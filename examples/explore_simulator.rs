@@ -1,0 +1,52 @@
+//! Direct use of the PFS simulator substrate: sweep one tunable and watch
+//! the response surface — the landscape every autotuner in this repository
+//! is searching.
+//!
+//! ```sh
+//! cargo run --release --example explore_simulator
+//! ```
+
+use pfs::{ClusterSpec, PfsSimulator, TuningConfig};
+use workloads::WorkloadKind;
+
+fn main() {
+    let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+    println!("cluster: {}\n", sim.topology().describe());
+
+    // Sweep stripe_count for a shared-file streaming workload vs a
+    // small-file metadata workload: the sign of the effect flips.
+    let sweeps: &[(&str, WorkloadKind)] = &[
+        ("IOR_16M (streaming)", WorkloadKind::Ior16M),
+        ("MDWorkbench_8K (metadata)", WorkloadKind::MdWorkbench8K),
+    ];
+    for (label, kind) in sweeps {
+        println!("{label}: wall time vs stripe_count");
+        let w = kind.spec().scaled(0.2);
+        for sc in [1i32, 2, 5] {
+            let mut cfg = TuningConfig::lustre_default();
+            cfg.stripe_count = sc;
+            let r = sim.run(w.generate(sim.topology(), 1), &cfg, 1);
+            println!(
+                "  stripe_count={sc}: {:>7.3}s   (bulk RPCs {}, MDS ops {}, \
+                 lock revocations {})",
+                r.wall_secs, r.bulk_rpcs, r.mds_ops, r.lock_revocations
+            );
+        }
+        println!();
+    }
+
+    // Dirty-buffer sweep on random small writes: the coalescing effect.
+    println!("IOR_64K (random 64 KiB writes): wall time vs osc.max_dirty_mb");
+    let w = WorkloadKind::Ior64K.spec().scaled(0.25);
+    for dirty in [32u32, 128, 512, 1024] {
+        let mut cfg = TuningConfig::lustre_default();
+        cfg.stripe_count = -1;
+        cfg.osc_max_dirty_mb = dirty;
+        let r = sim.run(w.generate(sim.topology(), 1), &cfg, 1);
+        println!(
+            "  max_dirty_mb={dirty:>5}: {:>7.3}s  (writer stalls {:.2}s, \
+             disk seq/rand {}/{})",
+            r.wall_secs, r.dirty_stall_secs, r.disk_seq_ops, r.disk_rand_ops
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: tune one workload end to end with STELLAR.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the engine (offline RAG extraction over the synthetic manual),
+//! runs IOR_16M under the default Lustre-like configuration, lets the agents
+//! tune it (≤ 5 attempts), and prints the outcome plus the learned rules.
+
+use agents::RuleSet;
+use stellar::Stellar;
+use workloads::WorkloadKind;
+
+fn main() {
+    // Offline phase: manual -> vector index -> 13 extracted tunables.
+    let engine = Stellar::standard();
+    println!(
+        "offline extraction: {} / {} parameters selected\n",
+        engine.extraction_report().selected,
+        engine.extraction_report().total_params,
+    );
+
+    // Online phase: one complete Tuning Run.
+    let workload = WorkloadKind::Ior16M.spec().scaled(0.25);
+    let mut rules = RuleSet::new();
+    let run = engine.tune(workload.as_ref(), &mut rules, 42);
+
+    println!("workload: {}", run.workload);
+    println!("default wall time: {:.3}s", run.default_wall);
+    for a in &run.attempts {
+        println!(
+            "  attempt {}: {:.3}s  (x{:.2})",
+            a.iteration, a.wall_secs, a.speedup
+        );
+    }
+    println!(
+        "\nbest: {:.3}s — x{:.2} speedup in {} attempts",
+        run.best_wall,
+        run.best_speedup,
+        run.attempts.len()
+    );
+    println!("ended because: {}", run.end_reason);
+    println!("\nbest configuration:\n{}", run.best_config.render());
+    println!(
+        "\nlearned {} rules; global rule set now:\n{}",
+        run.new_rules.len(),
+        rules.to_json()
+    );
+    println!(
+        "\ntoken usage: tuning agent {} in / {} out ({:.0}% cached), analysis agent {} in / {} out",
+        run.tuning_usage.input_tokens,
+        run.tuning_usage.output_tokens,
+        run.tuning_usage.cache_hit_ratio() * 100.0,
+        run.analysis_usage.input_tokens,
+        run.analysis_usage.output_tokens,
+    );
+}

@@ -1,0 +1,60 @@
+//! Rule-set transfer: accumulate tuning knowledge on simple benchmarks, then
+//! apply it to a previously unseen real application (the Fig. 7 scenario).
+//!
+//! ```sh
+//! cargo run --release --example ruleset_transfer
+//! ```
+
+use agents::RuleSet;
+use stellar::Stellar;
+use workloads::WorkloadKind;
+
+fn main() {
+    let engine = Stellar::standard();
+    let scale = 0.2;
+
+    // Phase 1: learn from the benchmarks (cold, one after another, merging
+    // every run's reflections into the global rule set).
+    let mut rules = RuleSet::new();
+    println!("=== phase 1: accumulate knowledge from benchmarks ===");
+    for kind in [
+        WorkloadKind::Ior64K,
+        WorkloadKind::Ior16M,
+        WorkloadKind::MdWorkbench8K,
+    ] {
+        let w = kind.spec().scaled(scale);
+        let run = engine.tune(w.as_ref(), &mut rules, 7);
+        println!(
+            "  {:<16} x{:.2} in {} attempts -> {} new rules (global: {})",
+            run.workload,
+            run.best_speedup,
+            run.attempts.len(),
+            run.new_rules.len(),
+            rules.len()
+        );
+    }
+
+    // Phase 2: an application STELLAR has never seen.
+    println!("\n=== phase 2: unseen application (AMReX plotfile kernel) ===");
+    let app = WorkloadKind::Amrex.spec().scaled(scale);
+
+    let mut empty = RuleSet::new();
+    let cold = engine.tune(app.as_ref(), &mut empty, 8);
+    let mut warm_rules = rules.clone();
+    let warm = engine.tune(app.as_ref(), &mut warm_rules, 9);
+
+    let fmt = |run: &stellar::TuningRun| {
+        let mut s = String::from("1.00");
+        for a in &run.attempts {
+            s.push_str(&format!(" -> {:.2}", a.speedup));
+        }
+        s
+    };
+    println!("  without rules: {}   (best x{:.2})", fmt(&cold), cold.best_speedup);
+    println!("  with rules:    {}   (best x{:.2})", fmt(&warm), warm.best_speedup);
+    println!(
+        "\nfirst-guess quality: cold x{:.2} vs warm x{:.2}",
+        cold.attempts.first().map(|a| a.speedup).unwrap_or(1.0),
+        warm.attempts.first().map(|a| a.speedup).unwrap_or(1.0),
+    );
+}

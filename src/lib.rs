@@ -1,0 +1,14 @@
+//! Workspace-root umbrella crate for the STELLAR reproduction.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; it re-exports the member crates so examples can write
+//! `use stellar_repro::stellar::...`.
+
+pub use agents;
+pub use darshan;
+pub use llmsim;
+pub use pfs;
+pub use ragx;
+pub use simcore;
+pub use stellar;
+pub use workloads;

@@ -1,0 +1,82 @@
+//! Cross-crate integration: the full STELLAR pipeline from manual to rules.
+
+use agents::RuleSet;
+use stellar::Stellar;
+use workloads::WorkloadKind;
+
+#[test]
+fn end_to_end_pipeline_produces_consistent_artifacts() {
+    let engine = Stellar::standard();
+
+    // Offline artifacts.
+    assert_eq!(engine.params().len(), 13);
+    let report = engine.extraction_report();
+    assert_eq!(
+        report.writable,
+        report.selected
+            + report.dropped_binary.len()
+            + report.dropped_low_impact.len()
+            + report.dropped_insufficient.len()
+    );
+
+    // Online: one tuning run.
+    let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+    let mut rules = RuleSet::new();
+    let run = engine.tune(w.as_ref(), &mut rules, 11);
+
+    // Attempt accounting is internally consistent.
+    assert!(run.attempts.len() <= 5);
+    for (i, a) in run.attempts.iter().enumerate() {
+        assert_eq!(a.iteration, i + 1);
+        assert!((a.speedup - run.default_wall / a.wall_secs).abs() < 1e-9);
+    }
+    let min_wall = run
+        .attempts
+        .iter()
+        .map(|a| a.wall_secs)
+        .fold(run.default_wall, f64::min);
+    assert!((run.best_wall - min_wall).abs() < 1e-12);
+
+    // Rules round-trip through the paper's JSON schema.
+    let json = rules.to_json();
+    let parsed = RuleSet::from_json(&json).expect("round trip");
+    assert_eq!(parsed, rules);
+    for r in &rules.rules {
+        assert!(r.guidance().is_some(), "unparseable rule: {r:?}");
+        assert!(!r.tags().is_empty(), "context-free rule: {r:?}");
+        assert!(
+            !r.tuning_context.contains("IOR"),
+            "application name leaked into rule context"
+        );
+    }
+}
+
+#[test]
+fn tuning_runs_are_reproducible() {
+    let engine = Stellar::standard();
+    let w = WorkloadKind::Macsio16M.spec().scaled(0.2);
+    let mut r1 = RuleSet::new();
+    let a = engine.tune(w.as_ref(), &mut r1, 99);
+    let mut r2 = RuleSet::new();
+    let b = engine.tune(w.as_ref(), &mut r2, 99);
+    assert_eq!(a.attempts.len(), b.attempts.len());
+    for (x, y) in a.attempts.iter().zip(&b.attempts) {
+        assert_eq!(x.config, y.config);
+        assert_eq!(x.wall_secs.to_bits(), y.wall_secs.to_bits());
+    }
+    assert_eq!(r1, r2);
+}
+
+#[test]
+fn best_config_is_valid_against_registry() {
+    let engine = Stellar::standard();
+    let w = WorkloadKind::MdWorkbench2K.spec().scaled(0.1);
+    let mut rules = RuleSet::new();
+    let run = engine.tune(w.as_ref(), &mut rules, 5);
+    run.best_config
+        .validate(
+            &pfs::params::ParamRegistry::standard(),
+            engine.sim().topology(),
+        )
+        .expect("agent-proposed configs must respect documented ranges");
+}
