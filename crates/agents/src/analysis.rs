@@ -52,9 +52,7 @@ impl AnalysisQuestion {
             AnalysisQuestion::Sequentiality => {
                 "Are the accesses sequential or random within files?"
             }
-            AnalysisQuestion::RankImbalance => {
-                "Is I/O time balanced across ranks on shared files?"
-            }
+            AnalysisQuestion::RankImbalance => "Is I/O time balanced across ranks on shared files?",
         }
     }
 }
@@ -100,7 +98,10 @@ pub fn tables_digest(tables: &[Table]) -> String {
             s.push('\n');
         }
         if t.len() > DIGEST_ROW_CAP {
-            s.push_str(&format!("... ({} rows truncated)\n", t.len() - DIGEST_ROW_CAP));
+            s.push_str(&format!(
+                "... ({} rows truncated)\n",
+                t.len() - DIGEST_ROW_CAP
+            ));
         }
     }
     s
@@ -305,7 +306,11 @@ pub fn build_report(header: &str, tables: &[Table]) -> IoReport {
             }
         }
     }
-    r.rank_time_variance = if vcount > 0 { vsum / vcount as f64 } else { 0.0 };
+    r.rank_time_variance = if vcount > 0 {
+        vsum / vcount as f64
+    } else {
+        0.0
+    };
     r
 }
 

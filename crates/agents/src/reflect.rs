@@ -151,7 +151,10 @@ mod tests {
     fn stripe_rules_are_generalized() {
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
         let rules = reflect(&mut b, &seq_report(), &improved_history(), 37.0);
-        let sc = rules.iter().find(|r| r.parameter == "stripe_count").unwrap();
+        let sc = rules
+            .iter()
+            .find(|r| r.parameter == "stripe_count")
+            .unwrap();
         assert_eq!(sc.guidance(), Some(Guidance::SetToAllOsts));
         let ss = rules.iter().find(|r| r.parameter == "stripe_size").unwrap();
         assert_eq!(ss.guidance(), Some(Guidance::MatchTransferSize));

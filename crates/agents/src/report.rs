@@ -76,13 +76,12 @@ impl IoReport {
     /// Classify the workload (the judgement the Tuning Agent's first
     /// configuration hangs on).
     pub fn classify(&self) -> WorkloadClass {
-        let metadata_heavy = self.meta_ratio > 0.55
-            || (self.meta_ratio > 0.4 && self.avg_file_bytes < 1_000_000.0);
+        let metadata_heavy =
+            self.meta_ratio > 0.55 || (self.meta_ratio > 0.4 && self.avg_file_bytes < 1_000_000.0);
         if metadata_heavy && self.avg_file_bytes < 4.0 * 1024.0 * 1024.0 {
             return WorkloadClass::MetadataSmallFiles;
         }
-        let has_large_seq =
-            self.avg_write_size >= 1_000_000.0 && self.consec_write_fraction > 0.6;
+        let has_large_seq = self.avg_write_size >= 1_000_000.0 && self.consec_write_fraction > 0.6;
         let has_small_data = self.avg_write_size < 256.0 * 1024.0;
         if self.meta_ratio > 0.2 && self.file_count > self.nprocs as u64 {
             return WorkloadClass::MixedMultiPhase;

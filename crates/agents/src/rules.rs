@@ -134,9 +134,9 @@ impl Guidance {
                  transfer size rather than a fixed value; align it to the \
                  transfer size or a small multiple of it."
             ),
-            Guidance::RaiseToAtLeast(v) => format!(
-                "Raise {parameter} to at least {v} for this workload shape."
-            ),
+            Guidance::RaiseToAtLeast(v) => {
+                format!("Raise {parameter} to at least {v} for this workload shape.")
+            }
             Guidance::SetTo(v) => format!("Set {parameter} to {v}."),
             Guidance::Disable => format!(
                 "Disable {parameter} (set it to 0); it only wastes resources \
@@ -154,10 +154,7 @@ impl Guidance {
         } else if description.contains("dominant transfer size") {
             Some(Guidance::MatchTransferSize)
         } else if let Some(rest) = description.split("to at least ").nth(1) {
-            let num: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_digit())
-                .collect();
+            let num: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
             num.parse().ok().map(Guidance::RaiseToAtLeast)
         } else if description.contains("Disable") {
             Some(Guidance::Disable)
@@ -396,10 +393,7 @@ mod tests {
     fn match_score_partial_overlap() {
         let r = Rule::new("stripe_count", Guidance::SetToAllOsts, &seq_tags());
         assert_eq!(r.match_score(&seq_tags()), 1.0);
-        assert_eq!(
-            r.match_score(&[ContextTag::LargeSequentialWrites]),
-            0.5
-        );
+        assert_eq!(r.match_score(&[ContextTag::LargeSequentialWrites]), 0.5);
         assert_eq!(r.match_score(&md_tags()), 0.0);
     }
 
@@ -458,7 +452,11 @@ mod tests {
             Guidance::RaiseToAtLeast(64),
             &seq_tags(),
         )]);
-        assert_eq!(rs.len(), 2, "slightly different guidance kept as alternatives");
+        assert_eq!(
+            rs.len(),
+            2,
+            "slightly different guidance kept as alternatives"
+        );
     }
 
     #[test]
@@ -481,8 +479,16 @@ mod tests {
     fn prune_negative_drops_alternative() {
         let mut rs = RuleSet::new();
         rs.merge(vec![
-            Rule::new("osc.max_dirty_mb", Guidance::RaiseToAtLeast(256), &seq_tags()),
-            Rule::new("osc.max_dirty_mb", Guidance::RaiseToAtLeast(1024), &seq_tags()),
+            Rule::new(
+                "osc.max_dirty_mb",
+                Guidance::RaiseToAtLeast(256),
+                &seq_tags(),
+            ),
+            Rule::new(
+                "osc.max_dirty_mb",
+                Guidance::RaiseToAtLeast(1024),
+                &seq_tags(),
+            ),
         ]);
         assert_eq!(rs.len(), 2);
         rs.prune_negative(
@@ -491,10 +497,7 @@ mod tests {
             &seq_tags(),
         );
         assert_eq!(rs.len(), 1);
-        assert_eq!(
-            rs.rules[0].guidance(),
-            Some(Guidance::RaiseToAtLeast(256))
-        );
+        assert_eq!(rs.rules[0].guidance(), Some(Guidance::RaiseToAtLeast(256)));
     }
 
     #[test]

@@ -86,8 +86,13 @@ pub struct Attempt {
 }
 
 /// The Tuning Agent.
-pub struct TuningAgent<'b> {
-    backend: &'b mut dyn LlmBackend,
+///
+/// The agent holds no backend reference: every entry point that consults
+/// the model ([`TuningAgent::new`], [`TuningAgent::decide`]) takes the
+/// [`LlmBackend`] as an argument. That keeps the agent an ownable state
+/// machine, which is what lets `stellar`'s `TuningSession` expose the
+/// tuning loop step by step without self-referential borrows.
+pub struct TuningAgent {
     options: TuningOptions,
     topo: ClusterSpec,
     params: Vec<ExtractedParam>,
@@ -103,12 +108,13 @@ pub struct TuningAgent<'b> {
     transcript: Vec<String>,
 }
 
-impl<'b> TuningAgent<'b> {
-    /// Create the agent. `facts_grounded` controls whether parameter facts
-    /// come from RAG descriptions (truth) or parametric memory (corrupted).
+impl TuningAgent {
+    /// Create the agent. The backend is consulted once per parameter for
+    /// fact recall (`options.use_descriptions` decides whether facts come
+    /// from RAG descriptions — truth — or parametric memory — corrupted).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        backend: &'b mut dyn LlmBackend,
+        backend: &mut dyn LlmBackend,
         options: TuningOptions,
         topo: ClusterSpec,
         params: Vec<ExtractedParam>,
@@ -126,7 +132,6 @@ impl<'b> TuningAgent<'b> {
         }
         let report = if options.use_analysis { report } else { None };
         TuningAgent {
-            backend,
             options,
             topo,
             params,
@@ -167,10 +172,8 @@ impl<'b> TuningAgent<'b> {
 
     /// Record an Analysis Agent answer.
     pub fn accept_answer(&mut self, answer: Answer) {
-        self.transcript.push(format!(
-            "[analysis] {:?}: {}",
-            answer.question, answer.text
-        ));
+        self.transcript
+            .push(format!("[analysis] {:?}: {}", answer.question, answer.text));
         self.answers.push(answer);
     }
 
@@ -224,11 +227,11 @@ impl<'b> TuningAgent<'b> {
     }
 
     /// Main decision entry: what to do next.
-    pub fn decide(&mut self) -> ToolCall {
+    pub fn decide(&mut self, backend: &mut dyn LlmBackend) -> ToolCall {
         // Minor loop: clarify before the first configuration.
         if let Some(q) = self.next_question() {
             self.asked.push(q);
-            self.backend.charge(
+            backend.charge(
                 &self.context_prompt("Decide next action"),
                 &format!("Tool: Analysis? — {}", q.prompt()),
             );
@@ -238,13 +241,13 @@ impl<'b> TuningAgent<'b> {
         }
 
         if self.history.len() >= self.options.max_attempts {
-            return self.end("Configuration budget exhausted.");
+            return self.end(backend, "Configuration budget exhausted.");
         }
 
         // First configuration.
         if self.history.is_empty() {
-            let (config, rationale) = self.propose(0);
-            return self.emit_run(config, rationale);
+            let (config, rationale) = self.propose(backend, 0);
+            return self.emit_run(backend, config, rationale);
         }
 
         // Feedback-driven continuation.
@@ -266,6 +269,7 @@ impl<'b> TuningAgent<'b> {
         let min_attempts = if self.rules.is_empty() { 3 } else { 2 };
         if improved_vs_default && gain_small && self.history.len() >= min_attempts {
             return self.end(
+                backend,
                 "Performance has improved well beyond the default configuration \
                  and the last change produced no further meaningful gain; \
                  additional tuning is unlikely to elicit further improvement.",
@@ -276,14 +280,15 @@ impl<'b> TuningAgent<'b> {
             // Positive result: explore more aggressively in the same direction.
             self.escalation += 1;
             let level = self.escalation;
-            let (config, rationale) = self.propose(level);
+            let (config, rationale) = self.propose(backend, level);
             if self.config_already_tried(&config) {
                 return self.end(
+                    backend,
                     "Further escalation reproduces an already-tested configuration; \
                      diminishing returns reached.",
                 );
             }
-            return self.emit_run(config, rationale);
+            return self.emit_run(backend, config, rationale);
         }
 
         // Regression: revert to the best configuration and try an alternate
@@ -291,28 +296,30 @@ impl<'b> TuningAgent<'b> {
         self.alternates_tried += 1;
         if self.alternates_tried > 2 {
             return self.end(
+                backend,
                 "Alternate directions also failed to improve on the best \
                  configuration found; concluding to avoid wasted runs.",
             );
         }
         let base = self.best().expect("non-empty").config.clone();
-        let (config, rationale) = self.propose_alternate(base, self.alternates_tried);
+        let (config, rationale) = self.propose_alternate(backend, base, self.alternates_tried);
         if self.config_already_tried(&config) {
-            return self.end("No untried alternate configurations remain.");
+            return self.end(backend, "No untried alternate configurations remain.");
         }
-        self.emit_run(config, rationale)
+        self.emit_run(backend, config, rationale)
     }
 
     fn config_already_tried(&self, config: &TuningConfig) -> bool {
         self.history.iter().any(|a| &a.config == config)
     }
 
-    fn end(&mut self, reason: &str) -> ToolCall {
-        self.backend.charge(
+    fn end(&mut self, backend: &mut dyn LlmBackend, reason: &str) -> ToolCall {
+        backend.charge(
             &self.context_prompt("Decide next action"),
             &format!("Tool: End Tuning? — {reason}"),
         );
-        self.transcript.push(format!("[tool] End Tuning? -> {reason}"));
+        self.transcript
+            .push(format!("[tool] End Tuning? -> {reason}"));
         ToolCall::EndTuning {
             reason: reason.to_string(),
         }
@@ -320,6 +327,7 @@ impl<'b> TuningAgent<'b> {
 
     fn emit_run(
         &mut self,
+        backend: &mut dyn LlmBackend,
         config: TuningConfig,
         rationale: Vec<(String, String)>,
     ) -> ToolCall {
@@ -327,7 +335,7 @@ impl<'b> TuningAgent<'b> {
             .iter()
             .map(|(p, r)| format!("- {p}: {r}\n"))
             .collect();
-        self.backend.charge(
+        backend.charge(
             &self.context_prompt("Decide next action"),
             &format!("Tool: Configuration Runner —\n{rendered}"),
         );
@@ -359,14 +367,30 @@ impl<'b> TuningAgent<'b> {
             .history
             .iter()
             .enumerate()
-            .map(|(i, a)| format!("attempt {}: {:.3}s\n{}\n", i + 1, a.wall_secs, a.config.render()))
+            .map(|(i, a)| {
+                format!(
+                    "attempt {}: {:.3}s\n{}\n",
+                    i + 1,
+                    a.wall_secs,
+                    a.config.render()
+                )
+            })
             .collect();
         let rules: String = self
             .rules
             .iter()
-            .map(|r| format!("RULE {} :: {} :: {}\n", r.parameter, r.rule_description, r.tuning_context))
+            .map(|r| {
+                format!(
+                    "RULE {} :: {} :: {}\n",
+                    r.parameter, r.rule_description, r.tuning_context
+                )
+            })
             .collect();
-        let answers: String = self.answers.iter().map(|a| format!("{}\n", a.text)).collect();
+        let answers: String = self
+            .answers
+            .iter()
+            .map(|a| format!("{}\n", a.text))
+            .collect();
         format!(
             "SYSTEM: You are STELLAR's Tuning Agent for a parallel file system.\n\
              HARDWARE: {}\n\
@@ -399,8 +423,10 @@ impl<'b> TuningAgent<'b> {
     }
 
     /// Apply one parameter move, filtered through the agent's understanding.
+    #[allow(clippy::too_many_arguments)]
     fn apply_move(
         &mut self,
+        backend: &mut dyn LlmBackend,
         config: &mut TuningConfig,
         rationale: &mut Vec<(String, String)>,
         name: &str,
@@ -417,7 +443,7 @@ impl<'b> TuningAgent<'b> {
                     if matches!(name, "stripe_count" | "stripe_size") {
                         // Famous parameter, confidently misunderstood: the
                         // move is misdirected (the paper's stripe example).
-                        value = self.misdirected_value(name, intended, f);
+                        value = self.misdirected_value(backend, name, intended, f);
                         note = format!(
                             "(based on a flawed understanding) {}",
                             f.definition.chars().take(90).collect::<String>()
@@ -437,9 +463,8 @@ impl<'b> TuningAgent<'b> {
                 FactQuality::Imprecise => {
                     // Loose recall: the direction survives but the magnitude
                     // is a guess, independent of model discipline.
-                    let mut rng_like = self
-                        .backend
-                        .decision_jitter(&format!("{name}:imprecise:{attempt}"));
+                    let mut rng_like =
+                        backend.decision_jitter(&format!("{name}:imprecise:{attempt}"));
                     // Widen to a coarse guess in [1/4, 1/2] of the intent.
                     rng_like = rng_like.clamp(0.8, 1.25);
                     value = ((intended as f64) * 0.35 * rng_like).round() as i64;
@@ -447,10 +472,8 @@ impl<'b> TuningAgent<'b> {
                     note = format!("{reason} (details recalled loosely)");
                 }
                 FactQuality::Correct => {
-                    if self.backend.deviates(&format!("{name}:dev:{attempt}")) {
-                        let jitter = self
-                            .backend
-                            .decision_jitter(&format!("{name}:jit:{attempt}"));
+                    if backend.deviates(&format!("{name}:dev:{attempt}")) {
+                        let jitter = backend.decision_jitter(&format!("{name}:jit:{attempt}"));
                         value = ((intended as f64) * jitter).round() as i64;
                     }
                 }
@@ -480,11 +503,17 @@ impl<'b> TuningAgent<'b> {
 
     /// What a hallucinated definition does to a move (the §5.4 example:
     /// stripe count misread as spreading a directory's files across OSTs).
-    fn misdirected_value(&mut self, name: &str, intended: i64, fact: &ParamFact) -> i64 {
+    fn misdirected_value(
+        &mut self,
+        backend: &mut dyn LlmBackend,
+        name: &str,
+        intended: i64,
+        fact: &ParamFact,
+    ) -> i64 {
         match name {
             "stripe_count" => -1,
             _ => {
-                let jitter = self.backend.decision_jitter(&format!("{name}:wrongdef"));
+                let jitter = backend.decision_jitter(&format!("{name}:wrongdef"));
                 let v = (fact.max as f64 * 0.5 * jitter) as i64;
                 v.max(1).min(intended.max(fact.max))
             }
@@ -516,7 +545,11 @@ impl<'b> TuningAgent<'b> {
     }
 
     /// The class playbook at a given escalation level.
-    fn propose(&mut self, level: u32) -> (TuningConfig, Vec<(String, String)>) {
+    fn propose(
+        &mut self,
+        backend: &mut dyn LlmBackend,
+        level: u32,
+    ) -> (TuningConfig, Vec<(String, String)>) {
         let mut config = TuningConfig::lustre_default();
         let mut rationale = Vec::new();
         let class = self.classify();
@@ -600,8 +633,7 @@ impl<'b> TuningAgent<'b> {
                 moves.push((
                     "osc.max_rpcs_in_flight",
                     64 << l.min(1),
-                    "random access is latency-bound: keep many RPCs in flight"
-                        .into(),
+                    "random access is latency-bound: keep many RPCs in flight".into(),
                 ));
                 moves.push((
                     "osc.max_pages_per_rpc",
@@ -769,7 +801,15 @@ impl<'b> TuningAgent<'b> {
                     }
                 }
                 None => {
-                    self.apply_move(&mut config, &mut rationale, name, intended, &reason, attempt);
+                    self.apply_move(
+                        backend,
+                        &mut config,
+                        &mut rationale,
+                        name,
+                        intended,
+                        &reason,
+                        attempt,
+                    );
                 }
             }
         }
@@ -784,7 +824,10 @@ impl<'b> TuningAgent<'b> {
                 if config.set(&r.parameter, value).is_ok() {
                     rationale.push((
                         r.parameter.clone(),
-                        format!("applying accumulated rule: {} -> {value}", r.rule_description),
+                        format!(
+                            "applying accumulated rule: {} -> {value}",
+                            r.rule_description
+                        ),
                     ));
                 }
             }
@@ -813,6 +856,7 @@ impl<'b> TuningAgent<'b> {
     /// vary one untried secondary dimension.
     fn propose_alternate(
         &mut self,
+        backend: &mut dyn LlmBackend,
         base: TuningConfig,
         alternate: u32,
     ) -> (TuningConfig, Vec<(String, String)>) {
@@ -826,11 +870,9 @@ impl<'b> TuningAgent<'b> {
                 131072,
                 "keep the whole working set cached between rounds",
             ),
-            (WorkloadClass::MetadataSmallFiles, _) => (
-                "llite.statahead_max",
-                8192,
-                "push statahead to its maximum",
-            ),
+            (WorkloadClass::MetadataSmallFiles, _) => {
+                ("llite.statahead_max", 8192, "push statahead to its maximum")
+            }
             (WorkloadClass::RandomSmallShared, 1) => (
                 "llite.max_read_ahead_mb",
                 0,
@@ -853,7 +895,15 @@ impl<'b> TuningAgent<'b> {
                 "try deeper write-behind as an alternate direction",
             ),
         };
-        self.apply_move(&mut config, &mut rationale, name, value, reason, attempt);
+        self.apply_move(
+            backend,
+            &mut config,
+            &mut rationale,
+            name,
+            value,
+            reason,
+            attempt,
+        );
         rationale.push((
             "(strategy)".into(),
             "previous change regressed; reverted to the best configuration \
@@ -916,12 +966,12 @@ mod tests {
         }
     }
 
-    fn agent_for<'b>(
-        backend: &'b mut SimLlm,
+    fn agent_for(
+        backend: &mut SimLlm,
         report: Option<IoReport>,
         options: TuningOptions,
         rules: Vec<Rule>,
-    ) -> TuningAgent<'b> {
+    ) -> TuningAgent {
         let (params, truths) = setup();
         TuningAgent::new(
             backend,
@@ -940,14 +990,14 @@ mod tests {
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
         let mut agent = agent_for(&mut b, Some(seq_report()), TuningOptions::default(), vec![]);
         // Skip the follow-up question.
-        let mut call = agent.decide();
+        let mut call = agent.decide(&mut b);
         if let ToolCall::Analyze(q) = call {
             agent.accept_answer(Answer {
                 question: q,
                 text: "sequential".into(),
                 value: 0.95,
             });
-            call = agent.decide();
+            call = agent.decide(&mut b);
         }
         let ToolCall::RunConfig { config, rationale } = call else {
             panic!("expected RunConfig");
@@ -962,14 +1012,14 @@ mod tests {
     fn first_move_for_metadata_keeps_stripe_one_and_raises_statahead() {
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
         let mut agent = agent_for(&mut b, Some(md_report()), TuningOptions::default(), vec![]);
-        let mut call = agent.decide();
+        let mut call = agent.decide(&mut b);
         while let ToolCall::Analyze(q) = call {
             agent.accept_answer(Answer {
                 question: q,
                 text: "mostly small files".into(),
                 value: 0.99,
             });
-            call = agent.decide();
+            call = agent.decide(&mut b);
         }
         let ToolCall::RunConfig { config, .. } = call else {
             panic!("expected RunConfig");
@@ -990,7 +1040,7 @@ mod tests {
             ..Default::default()
         };
         let mut agent = agent_for(&mut b, Some(md_report()), options, vec![]);
-        let ToolCall::RunConfig { config, .. } = agent.decide() else {
+        let ToolCall::RunConfig { config, .. } = agent.decide(&mut b) else {
             panic!("expected RunConfig");
         };
         // Misguided for metadata: wide striping + readahead focus.
@@ -1010,7 +1060,7 @@ mod tests {
             ..Default::default()
         };
         let mut agent = agent_for(&mut b, Some(md_report()), options, vec![]);
-        let ToolCall::RunConfig { config, rationale } = agent.decide() else {
+        let ToolCall::RunConfig { config, rationale } = agent.decide(&mut b) else {
             panic!("expected RunConfig");
         };
         // llama's parametric memory hallucinates the stripe_count definition
@@ -1036,24 +1086,24 @@ mod tests {
         };
         let mut agent = agent_for(&mut b, Some(seq_report()), options, vec![]);
         // Attempt 1 improves strongly.
-        let ToolCall::RunConfig { config, .. } = agent.decide() else {
+        let ToolCall::RunConfig { config, .. } = agent.decide(&mut b) else {
             panic!()
         };
         agent.record_result(config, 25.0);
         // Attempt 2: escalation.
-        let ToolCall::RunConfig { config: c2, .. } = agent.decide() else {
+        let ToolCall::RunConfig { config: c2, .. } = agent.decide(&mut b) else {
             panic!("expected escalation run")
         };
         agent.record_result(c2, 24.5); // tiny gain
-        // Attempt 3 or end: with ≥3 attempts and small gain it may end; give
-        // it one more cycle if it runs.
-        match agent.decide() {
+                                       // Attempt 3 or end: with ≥3 attempts and small gain it may end; give
+                                       // it one more cycle if it runs.
+        match agent.decide(&mut b) {
             ToolCall::EndTuning { reason } => {
                 assert!(reason.contains("further"), "{reason}");
             }
             ToolCall::RunConfig { config: c3, .. } => {
                 agent.record_result(c3, 24.4);
-                let ToolCall::EndTuning { .. } = agent.decide() else {
+                let ToolCall::EndTuning { .. } = agent.decide(&mut b) else {
                     panic!("must end at diminishing returns");
                 };
             }
@@ -1069,16 +1119,20 @@ mod tests {
             ..Default::default()
         };
         let mut agent = agent_for(&mut b, Some(md_report()), options, vec![]);
-        let ToolCall::RunConfig { config, .. } = agent.decide() else {
+        let ToolCall::RunConfig { config, .. } = agent.decide(&mut b) else {
             panic!()
         };
         agent.record_result(config.clone(), 60.0); // improved
-        let ToolCall::RunConfig { config: c2, .. } = agent.decide() else {
+        let ToolCall::RunConfig { config: c2, .. } = agent.decide(&mut b) else {
             panic!()
         };
         agent.record_result(c2, 80.0); // regression
-        let call = agent.decide();
-        let ToolCall::RunConfig { config: c3, rationale } = call else {
+        let call = agent.decide(&mut b);
+        let ToolCall::RunConfig {
+            config: c3,
+            rationale,
+        } = call
+        else {
             panic!("expected alternate attempt");
         };
         // Alternate keeps the best attempt's core settings.
@@ -1106,7 +1160,7 @@ mod tests {
             ..Default::default()
         };
         let mut agent = agent_for(&mut b, Some(seq_report()), options, rules);
-        let ToolCall::RunConfig { config, rationale } = agent.decide() else {
+        let ToolCall::RunConfig { config, rationale } = agent.decide(&mut b) else {
             panic!()
         };
         assert_eq!(config.stripe_count, -1);
@@ -1126,12 +1180,12 @@ mod tests {
         };
         let mut agent = agent_for(&mut b, Some(seq_report()), options, vec![]);
         for wall in [50.0, 40.0] {
-            let ToolCall::RunConfig { config, .. } = agent.decide() else {
+            let ToolCall::RunConfig { config, .. } = agent.decide(&mut b) else {
                 panic!()
             };
             agent.record_result(config, wall);
         }
-        let ToolCall::EndTuning { reason } = agent.decide() else {
+        let ToolCall::EndTuning { reason } = agent.decide(&mut b) else {
             panic!("expected end at budget");
         };
         assert!(reason.contains("budget"), "{reason}");
@@ -1142,7 +1196,7 @@ mod tests {
         // Fig. 10: file size detail and metadata/data ratio follow-ups.
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
         let mut agent = agent_for(&mut b, Some(md_report()), TuningOptions::default(), vec![]);
-        let ToolCall::Analyze(q1) = agent.decide() else {
+        let ToolCall::Analyze(q1) = agent.decide(&mut b) else {
             panic!("expected first follow-up");
         };
         assert_eq!(q1, AnalysisQuestion::FileSizeDistribution);
@@ -1151,7 +1205,7 @@ mod tests {
             text: "99% small".into(),
             value: 0.99,
         });
-        let ToolCall::Analyze(q2) = agent.decide() else {
+        let ToolCall::Analyze(q2) = agent.decide(&mut b) else {
             panic!("expected second follow-up");
         };
         assert_eq!(q2, AnalysisQuestion::MetaToDataRatio);
@@ -1165,7 +1219,7 @@ mod tests {
             ..Default::default()
         };
         let mut agent = agent_for(&mut b, Some(seq_report()), options, vec![]);
-        let ToolCall::RunConfig { config, .. } = agent.decide() else {
+        let ToolCall::RunConfig { config, .. } = agent.decide(&mut b) else {
             panic!()
         };
         assert!(

@@ -84,5 +84,11 @@ fn bench_rules(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulator, bench_darshan, bench_rag, bench_rules);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_darshan,
+    bench_rag,
+    bench_rules
+);
 criterion_main!(benches);

@@ -4,9 +4,9 @@
 
 use agents::RuleSet;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 use stellar::baselines::expert_oracle;
 use stellar::Stellar;
-use std::hint::black_box;
 use workloads::WorkloadKind;
 
 fn bench_tuning_run(c: &mut Criterion) {

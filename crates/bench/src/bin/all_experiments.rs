@@ -5,8 +5,17 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig2_hallucination", "tab_params", "fig5_tuning", "fig6_ruleset",
-        "fig7_realapps", "fig8_ablation", "fig9_models", "tab_cost", "fig10_case", "fig_scaling", "tab_iterations",
+        "fig2_hallucination",
+        "tab_params",
+        "fig5_tuning",
+        "fig6_ruleset",
+        "fig7_realapps",
+        "fig8_ablation",
+        "fig9_models",
+        "tab_cost",
+        "fig10_case",
+        "fig_scaling",
+        "tab_iterations",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe")

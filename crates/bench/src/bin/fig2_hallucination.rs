@@ -10,8 +10,14 @@ fn main() {
     println!(
         "{}",
         row(
-            &["source".into(), "def correct".into(), "def imprecise".into(),
-              "def wrong".into(), "range correct".into(), "range wrong".into()],
+            &[
+                "source".into(),
+                "def correct".into(),
+                "def imprecise".into(),
+                "def wrong".into(),
+                "range correct".into(),
+                "range wrong".into()
+            ],
             &widths
         )
     );
@@ -20,8 +26,14 @@ fn main() {
         println!(
             "{}",
             row(
-                &[s.source.clone(), s.def_correct.to_string(), s.def_imprecise.to_string(),
-                  s.def_wrong.to_string(), s.range_correct.to_string(), s.range_wrong.to_string()],
+                &[
+                    s.source.clone(),
+                    s.def_correct.to_string(),
+                    s.def_imprecise.to_string(),
+                    s.def_wrong.to_string(),
+                    s.range_correct.to_string(),
+                    s.range_wrong.to_string()
+                ],
                 &widths
             )
         );
@@ -30,9 +42,19 @@ fn main() {
     println!("\nstatahead_max example (parametric recall):");
     let registry = pfs::params::ParamRegistry::standard();
     let truth = ragx::truth::truth_fact(&registry, "llite.statahead_max").unwrap();
-    for p in [llmsim::ModelProfile::gpt_45(), llmsim::ModelProfile::gemini_25_pro(), llmsim::ModelProfile::claude_37_sonnet()] {
+    for p in [
+        llmsim::ModelProfile::gpt_45(),
+        llmsim::ModelProfile::gemini_25_pro(),
+        llmsim::ModelProfile::claude_37_sonnet(),
+    ] {
         let f = llmsim::facts::corrupt(&p, &truth.name, &truth.definition, truth.min, truth.max);
-        println!("  {:<22} def={:?} range=[{}..{}] ({:?})", p.name, f.def_quality, f.min, f.max, f.range_quality);
+        println!(
+            "  {:<22} def={:?} range=[{}..{}] ({:?})",
+            p.name, f.def_quality, f.min, f.max, f.range_quality
+        );
     }
-    println!("  STELLAR RAG (gpt-4o)   def=Correct range=[{}..{}] (Correct)", truth.min, truth.max);
+    println!(
+        "  STELLAR RAG (gpt-4o)   def=Correct range=[{}..{}] (Correct)",
+        truth.min, truth.max
+    );
 }

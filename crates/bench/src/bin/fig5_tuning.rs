@@ -11,8 +11,14 @@ fn main() {
     println!(
         "{}",
         row(
-            &["workload".into(), "default".into(), "expert".into(), "STELLAR".into(),
-              "attempts".into(), "expert evals".into()],
+            &[
+                "workload".into(),
+                "default".into(),
+                "expert".into(),
+                "STELLAR".into(),
+                "attempts".into(),
+                "expert evals".into()
+            ],
             &widths
         )
     );
@@ -21,9 +27,14 @@ fn main() {
         println!(
             "{}",
             row(
-                &[r.workload.clone(), pm(r.default_mean, r.default_ci),
-                  pm(r.expert_mean, r.expert_ci), pm(r.stellar_mean, r.stellar_ci),
-                  format!("{}", r.stellar_attempts), format!("{}", r.expert_evaluations)],
+                &[
+                    r.workload.clone(),
+                    pm(r.default_mean, r.default_ci),
+                    pm(r.expert_mean, r.expert_ci),
+                    pm(r.stellar_mean, r.stellar_ci),
+                    format!("{}", r.stellar_attempts),
+                    format!("{}", r.expert_evaluations)
+                ],
                 &widths
             )
         );
@@ -35,7 +46,11 @@ fn main() {
             r.workload,
             r.default_mean / r.expert_mean,
             r.default_mean / r.stellar_mean,
-            if r.stellar_mean < r.expert_mean { "   (STELLAR beats expert)" } else { "" }
+            if r.stellar_mean < r.expert_mean {
+                "   (STELLAR beats expert)"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -8,6 +8,11 @@ fn main() {
     let rows = stellar::experiments::fig8(scale);
     println!("Fig. 8 — MDWorkbench_8K ablations (speedup per iteration), scale={scale}\n");
     for r in &rows {
-        println!("{:<16} best x{:.2}   {}", r.variant, r.best, series(&r.speedups));
+        println!(
+            "{:<16} best x{:.2}   {}",
+            r.variant,
+            r.best,
+            series(&r.speedups)
+        );
     }
 }

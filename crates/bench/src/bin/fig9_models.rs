@@ -9,7 +9,10 @@ fn main() {
     for r in &rows {
         println!(
             "{:<24} best x{:.2} in {} attempts   {}",
-            r.model, r.best, r.attempts, series(&r.speedups)
+            r.model,
+            r.best,
+            r.attempts,
+            series(&r.speedups)
         );
     }
 }

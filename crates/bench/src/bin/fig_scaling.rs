@@ -8,11 +8,28 @@ fn main() {
     let scale = scale_from_env();
     let rows = stellar::experiments::scaling_experiment(WorkloadKind::Ior16M, scale);
     println!("§5.6 extension — IOR_16M across cluster sizes (scale={scale})\n");
-    println!("{:<6} {:<8} {:<6} {:>12} {:>16} {:>9} {:>15} {:>11}",
-             "OSTs", "clients", "ranks", "default (s)", "STELLAR speedup", "attempts", "oracle speedup", "efficiency");
+    println!(
+        "{:<6} {:<8} {:<6} {:>12} {:>16} {:>9} {:>15} {:>11}",
+        "OSTs",
+        "clients",
+        "ranks",
+        "default (s)",
+        "STELLAR speedup",
+        "attempts",
+        "oracle speedup",
+        "efficiency"
+    );
     for r in &rows {
-        println!("{:<6} {:<8} {:<6} {:>12.2} {:>16.2} {:>9} {:>15.2} {:>10.0}%",
-                 r.osts, r.clients, r.ranks, r.default_wall, r.stellar_speedup,
-                 r.attempts, r.oracle_speedup, r.efficiency * 100.0);
+        println!(
+            "{:<6} {:<8} {:<6} {:>12.2} {:>16.2} {:>9} {:>15.2} {:>10.0}%",
+            r.osts,
+            r.clients,
+            r.ranks,
+            r.default_wall,
+            r.stellar_speedup,
+            r.attempts,
+            r.oracle_speedup,
+            r.efficiency * 100.0
+        );
     }
 }

@@ -10,8 +10,15 @@ fn main() {
     println!(
         "{}",
         row(
-            &["agent".into(), "model".into(), "input tok".into(), "cached tok".into(),
-              "cache %".into(), "output tok".into(), "calls".into()],
+            &[
+                "agent".into(),
+                "model".into(),
+                "input tok".into(),
+                "cached tok".into(),
+                "cache %".into(),
+                "output tok".into(),
+                "calls".into()
+            ],
             &widths
         )
     );
@@ -20,9 +27,15 @@ fn main() {
         println!(
             "{}",
             row(
-                &[r.agent.clone(), r.model.clone(), r.input_tokens.to_string(),
-                  r.cached_input_tokens.to_string(), format!("{:.1}%", r.cache_ratio * 100.0),
-                  r.output_tokens.to_string(), r.calls.to_string()],
+                &[
+                    r.agent.clone(),
+                    r.model.clone(),
+                    r.input_tokens.to_string(),
+                    r.cached_input_tokens.to_string(),
+                    format!("{:.1}%", r.cache_ratio * 100.0),
+                    r.output_tokens.to_string(),
+                    r.calls.to_string()
+                ],
                 &widths
             )
         );

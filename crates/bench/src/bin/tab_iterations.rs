@@ -7,8 +7,14 @@ use workloads::WorkloadKind;
 fn main() {
     let scale = scale_from_env();
     println!("Iteration-cost frontier on IOR_16M (scale={scale})\n");
-    println!("{:<36} {:>12} {:>14}", "tuner", "evaluations", "best speedup");
+    println!(
+        "{:<36} {:>12} {:>14}",
+        "tuner", "evaluations", "best speedup"
+    );
     for r in stellar::experiments::iteration_cost(WorkloadKind::Ior16M, scale, &[6, 25, 100]) {
-        println!("{:<36} {:>12} {:>13.2}x", r.tuner, r.evaluations, r.best_speedup);
+        println!(
+            "{:<36} {:>12} {:>13.2}x",
+            r.tuner, r.evaluations, r.best_speedup
+        );
     }
 }

@@ -3,18 +3,36 @@
 
 fn main() {
     let (params, report) = stellar::experiments::params_table();
-    println!("Parameter extraction pipeline (paper: 'STELLAR chooses a subset of 13 parameters')\n");
+    println!(
+        "Parameter extraction pipeline (paper: 'STELLAR chooses a subset of 13 parameters')\n"
+    );
     println!(
         "interface tree: {} parameters\n  writable:            {}\n  sufficiently documented: {}\n  non-binary:          {}\n  selected (high-impact): {}",
         report.total_params, report.writable, report.sufficient, report.non_binary, report.selected
     );
-    println!("\ndropped as insufficiently documented: {:?}", report.dropped_insufficient);
-    println!("dropped as binary trade-offs:         {:?}", report.dropped_binary);
-    println!("dropped as low-impact:                {:?}", report.dropped_low_impact);
+    println!(
+        "\ndropped as insufficiently documented: {:?}",
+        report.dropped_insufficient
+    );
+    println!(
+        "dropped as binary trade-offs:         {:?}",
+        report.dropped_binary
+    );
+    println!(
+        "dropped as low-impact:                {:?}",
+        report.dropped_low_impact
+    );
     println!("\nselected tunables:");
     for p in &params {
-        println!("  {:<34} range {:?} .. {:?} (default {}{}{})", p.name, p.min, p.max, p.default,
-                 if p.unit.is_empty() { "" } else { " " }, p.unit);
+        println!(
+            "  {:<34} range {:?} .. {:?} (default {}{}{})",
+            p.name,
+            p.min,
+            p.max,
+            p.default,
+            if p.unit.is_empty() { "" } else { " " },
+            p.unit
+        );
     }
     println!("\nexample description (stripe_count):");
     if let Some(sc) = params.iter().find(|p| p.name == "stripe_count") {

@@ -290,7 +290,7 @@ mod proptests {
                     _ => (OpClass::Open, 0),
                 };
                 c.record(&OpRecord {
-                    rank: (file % 2) as u32,
+                    rank: file % 2,
                     file: Some(FileId(file)),
                     module: Module::Posix,
                     class,

@@ -114,8 +114,7 @@ impl LlmBackend for SimLlm {
         self.turn += 1;
         let input = estimate_tokens(prompt);
         let cached = self.cache.observe(prompt);
-        let output =
-            (estimate_tokens(response) as f64 * self.profile.verbosity).round() as u64;
+        let output = (estimate_tokens(response) as f64 * self.profile.verbosity).round() as u64;
         self.usage.record(input, cached, output);
     }
 

@@ -71,8 +71,7 @@ fn hallucinated_definition(name: &str) -> String {
          higher values keep more attributes resident in the inode cache."
             .to_string()
     } else if name.contains("read_ahead") {
-        "The number of read RPCs batched together before dispatch to the OST."
-            .to_string()
+        "The number of read RPCs batched together before dispatch to the OST.".to_string()
     } else if name.contains("dirty") {
         "The percentage of client memory reserved for dirty pages across all \
          file systems."
@@ -106,6 +105,16 @@ fn niche_bonus(name: &str) -> f64 {
     }
 }
 
+/// Famous parameters carry a *canonical misconception*: striping is widely
+/// discussed in forums and tutorials with a blurred meaning, which is why
+/// §5.4's example has the agent reinterpreting stripe count as
+/// "distributing a directory's files more evenly across all OSTs". Ungrounded
+/// recall of these parameters is very likely to reproduce the popular wrong
+/// definition — confidently, not imprecisely.
+fn famous_misread(name: &str) -> bool {
+    name.contains("stripe_count") || name.contains("stripe_size")
+}
+
 /// Produce the fact a model recalls from parametric memory (no grounding).
 /// Deterministic per (model, parameter).
 pub fn corrupt(
@@ -119,6 +128,27 @@ pub fn corrupt(
     let mut rng = SimRng::new(seed);
     let def_error = (profile.def_error_rate + niche_bonus(name)).min(0.95);
     let range_error = (profile.range_error_rate + niche_bonus(name)).min(0.97);
+
+    if famous_misread(name) {
+        // The canonical misconception dominates the training corpus for
+        // these parameters; every model reproduces it confidently when
+        // ungrounded (the §5.4 stripe example). The range keeps the
+        // per-model dice.
+        let (range_quality, min, max) = if rng.chance(range_error) {
+            (FactQuality::Wrong, true_min, true_max.saturating_mul(4))
+        } else {
+            (FactQuality::Correct, true_min, true_max)
+        };
+        return ParamFact {
+            name: name.to_string(),
+            definition: hallucinated_definition(name),
+            min,
+            max,
+            def_quality: FactQuality::Wrong,
+            range_quality,
+            grounded: false,
+        };
+    }
 
     let (def_quality, definition) = if rng.chance(def_error) {
         if rng.chance(profile.imprecision_rate) {

@@ -44,16 +44,12 @@ impl PrefixCache {
             let end = (offset + block_bytes).min(bytes.len());
             // Chain hash: block content + everything before it.
             let block_hash = hash_bytes(&bytes[offset..end]);
-            chain = chain
-                .rotate_left(17)
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                ^ block_hash;
+            chain = chain.rotate_left(17).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ block_hash;
             let known = self.seen.contains(&chain);
             if still_prefix {
                 if known {
-                    cached_tokens += estimate_tokens(
-                        std::str::from_utf8(&bytes[offset..end]).unwrap_or(""),
-                    );
+                    cached_tokens +=
+                        estimate_tokens(std::str::from_utf8(&bytes[offset..end]).unwrap_or(""));
                 } else {
                     still_prefix = false;
                 }
@@ -153,7 +149,10 @@ mod tests {
         let cached = c.observe(&longer);
         let base_tokens = estimate_tokens(&base);
         // The shared prefix (all full blocks of base) must be cached.
-        assert!(cached > base_tokens * 8 / 10, "cached {cached} of {base_tokens}");
+        assert!(
+            cached > base_tokens * 8 / 10,
+            "cached {cached} of {base_tokens}"
+        );
         assert!(cached <= estimate_tokens(&longer));
     }
 

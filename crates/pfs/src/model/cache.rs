@@ -95,9 +95,7 @@ impl PageCache {
         let before = self.entries.len();
         self.entries.retain(|(f, _), _| *f != file);
         let removed = before - self.entries.len();
-        self.used_bytes = self
-            .used_bytes
-            .saturating_sub(removed as u64 * CHUNK_BYTES);
+        self.used_bytes = self.used_bytes.saturating_sub(removed as u64 * CHUNK_BYTES);
     }
 
     /// Drop everything (echoes the paper's "clear all client-side caches").

@@ -68,9 +68,8 @@ impl DiskCalendar {
         } else {
             self.profile.random_seek_us
         };
-        let base_us = self.profile.per_op_us
-            + seek_us
-            + bytes as f64 / self.profile.seq_bytes_per_sec * 1e6;
+        let base_us =
+            self.profile.per_op_us + seek_us + bytes as f64 / self.profile.seq_bytes_per_sec * 1e6;
         // `noise` folds the per-run factor and the op-level sigma is drawn
         // here so disk jitter stays local to the device.
         let jitter = rng.lognormal_factor(0.02);

@@ -76,8 +76,8 @@ pub struct Engine<'s> {
     disks: Vec<DiskCalendar>,
     mds: MultiServer,
 
-    oscs: Vec<OscState>,   // client * ost_count + ost
-    mdcs: Vec<MdcState>,   // per client
+    oscs: Vec<OscState>,    // client * ost_count + ost
+    mdcs: Vec<MdcState>,    // per client
     caches: Vec<PageCache>, // per client
 
     agg: HashMap<(u32, FileId, u32), DirtyRanges>, // (client, file, obj_index)
@@ -178,9 +178,7 @@ impl<'s> Engine<'s> {
 
     fn mds_service(&mut self, factor: f64) -> Duration {
         let jitter = self.rng.lognormal_factor(self.topo.op_noise_sigma);
-        Duration::from_secs_f64(
-            self.topo.mds_getattr_us * 1e-6 * factor * self.run_noise * jitter,
-        )
+        Duration::from_secs_f64(self.topo.mds_getattr_us * 1e-6 * factor * self.run_noise * jitter)
     }
 
     /// One synchronous metadata RPC through the MDS: window admission, wire
@@ -315,7 +313,14 @@ impl<'s> Engine<'s> {
 
     /// Flush every complete RPC-sized prefix of runs in one object stream;
     /// `force` flushes partial tails too.
-    fn flush_object(&mut self, client: u32, file: FileId, obj_index: u32, now: SimTime, force: bool) {
+    fn flush_object(
+        &mut self,
+        client: u32,
+        file: FileId,
+        obj_index: u32,
+        now: SimTime,
+        force: bool,
+    ) {
         let key = (client, file, obj_index);
         let Some(ranges) = self.agg.get_mut(&key) else {
             return;
@@ -423,7 +428,14 @@ impl<'s> Engine<'s> {
     // Operation handlers. Each returns the rank's completion time.
     // ------------------------------------------------------------------
 
-    fn do_write(&mut self, rank: u32, file: FileId, offset: u64, len: u64, now: SimTime) -> SimTime {
+    fn do_write(
+        &mut self,
+        rank: u32,
+        file: FileId,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> SimTime {
         let client = self.topo.client_of_rank(rank);
         self.diag.bytes_written += len;
         let layout = self.layout_of(file);
@@ -654,8 +666,7 @@ impl<'s> Engine<'s> {
             return;
         }
         window = window.min(file_size - start);
-        let budget_left =
-            ra_budget.saturating_sub(self.ra_inflight_bytes[client as usize]);
+        let budget_left = ra_budget.saturating_sub(self.ra_inflight_bytes[client as usize]);
         window = window.min(budget_left);
         if window == 0 {
             return;
@@ -691,8 +702,7 @@ impl<'s> Engine<'s> {
                 for chunk in chunks_covering(cur, take) {
                     self.ra_ready.insert((client, file, chunk), piece_end);
                 }
-                self.ra_inflight[client as usize]
-                    .push(std::cmp::Reverse((piece_end, take)));
+                self.ra_inflight[client as usize].push(std::cmp::Reverse((piece_end, take)));
                 self.ra_inflight_bytes[client as usize] += take;
                 self.diag.readahead_bytes += take;
             }
@@ -745,8 +755,7 @@ impl<'s> Engine<'s> {
                 let noise = self.run_noise;
                 let _ = self.disks[ost as usize].small_op(now, noise);
             }
-            let residual_us =
-                2.0 * (self.topo.mds_getattr_us + self.topo.rpc_rtt_us) / depth + 6.0;
+            let residual_us = 2.0 * (self.topo.mds_getattr_us + self.topo.rpc_rtt_us) / depth + 6.0;
             return now + Duration::from_secs_f64(residual_us * 1e-6);
         }
 

@@ -290,10 +290,7 @@ mod tests {
         shallow.mdc_max_mod_rpcs_in_flight = 1;
         let t_deep = sim.run(mk(), &deep, 11).wall_secs;
         let t_shallow = sim.run(mk(), &shallow, 11).wall_secs;
-        assert!(
-            t_deep < t_shallow,
-            "deep {t_deep} !< shallow {t_shallow}"
-        );
+        assert!(t_deep < t_shallow, "deep {t_deep} !< shallow {t_shallow}");
     }
 
     #[test]

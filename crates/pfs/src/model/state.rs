@@ -288,9 +288,7 @@ mod tests {
         o.dirty_bytes = 100;
         o.wb_pending.push(Reverse((SimTime::from_secs(5), 60)));
         // cap 120, need 50: must retire the 60-byte writeback at t=5.
-        let t = o
-            .drain_until_room(SimTime::from_secs(1), 50, 120)
-            .unwrap();
+        let t = o.drain_until_room(SimTime::from_secs(1), 50, 120).unwrap();
         assert_eq!(t, SimTime::from_secs(5));
         assert_eq!(o.dirty_bytes, 40);
     }

@@ -184,7 +184,10 @@ impl RankStream {
 
     /// Number of barrier operations (must agree across ranks of a workload).
     pub fn barrier_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, IoOp::Barrier)).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, IoOp::Barrier))
+            .count()
     }
 }
 

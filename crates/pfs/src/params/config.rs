@@ -6,7 +6,6 @@
 //! how STELLAR evaluates `expression` ranges "based on actual system values
 //! during tuning" (§4.2.2).
 
-
 use super::expr::Env;
 use super::registry::ParamRegistry;
 use crate::topology::ClusterSpec;

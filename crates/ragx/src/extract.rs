@@ -146,10 +146,7 @@ impl RagExtractor {
 
     /// Run the full pipeline. `backend` is the extraction LLM (the paper
     /// defaults to GPT-4o); it is token-metered per parameter judged.
-    pub fn extract(
-        &self,
-        backend: &mut dyn LlmBackend,
-    ) -> (Vec<ExtractedParam>, ExtractionReport) {
+    pub fn extract(&self, backend: &mut dyn LlmBackend) -> (Vec<ExtractedParam>, ExtractionReport) {
         let mut report = ExtractionReport {
             total_params: self.registry.len(),
             ..Default::default()
@@ -307,10 +304,7 @@ mod tests {
                 + report.dropped_low_impact.len()
                 + report.selected
         );
-        assert!(report
-            .dropped_binary
-            .iter()
-            .any(|n| n == "osc.checksums"));
+        assert!(report.dropped_binary.iter().any(|n| n == "osc.checksums"));
         assert!(report
             .dropped_low_impact
             .iter()
@@ -330,10 +324,7 @@ mod tests {
             .iter()
             .find(|p| p.name == "llite.max_read_ahead_per_file_mb")
             .expect("extracted");
-        assert_eq!(
-            ra.max,
-            Bound::Expr("llite.max_read_ahead_mb / 2".into())
-        );
+        assert_eq!(ra.max, Bound::Expr("llite.max_read_ahead_mb / 2".into()));
         let mod_rpcs = params
             .iter()
             .find(|p| p.name == "mdc.max_mod_rpcs_in_flight")
@@ -388,7 +379,10 @@ mod tests {
     #[test]
     fn parse_bound_forms() {
         assert_eq!(
-            parse_bound("The minimum accepted value is 64.", "The minimum accepted value"),
+            parse_bound(
+                "The minimum accepted value is 64.",
+                "The minimum accepted value"
+            ),
             Some(Bound::Const(64))
         );
         assert_eq!(

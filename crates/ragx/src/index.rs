@@ -15,10 +15,7 @@ impl VectorIndex {
     /// Build an index from pre-chunked text (embedding in parallel).
     pub fn build(chunks: Vec<String>) -> Self {
         let embedder = Embedder;
-        let vectors: Vec<Vec<f32>> = chunks
-            .par_iter()
-            .map(|c| embedder.embed(c))
-            .collect();
+        let vectors: Vec<Vec<f32>> = chunks.par_iter().map(|c| embedder.embed(c)).collect();
         VectorIndex {
             chunks,
             vectors,

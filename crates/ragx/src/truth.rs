@@ -110,11 +110,7 @@ mod tests {
             ModelProfile::claude_37_sonnet(),
         ] {
             let s = score_parametric(&reg, &p);
-            assert!(
-                s.range_correct < rag.range_correct,
-                "{}: {s:?}",
-                p.name
-            );
+            assert!(s.range_correct < rag.range_correct, "{}: {s:?}", p.name);
             assert_eq!(s.total(), 13);
         }
     }

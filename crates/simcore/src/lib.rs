@@ -22,6 +22,7 @@
 //! **given the same seed and the same inputs, a simulation is bit-for-bit
 //! reproducible** on every platform.
 
+pub mod chacha;
 pub mod events;
 pub mod resources;
 pub mod rng;

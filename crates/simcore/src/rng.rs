@@ -2,23 +2,25 @@
 //!
 //! All stochastic elements (service-time jitter, run-to-run noise, tie-break
 //! perturbations) draw from a [`SimRng`], a seeded ChaCha8 stream. ChaCha is
-//! used instead of `StdRng` because its output is specified and stable across
-//! `rand` versions and platforms — a requirement for reproducible experiments.
+//! used because its output is fully specified and stable across platforms —
+//! a requirement for reproducible experiments. The cipher core is
+//! implemented in [`crate::chacha`] (the build environment is offline, so
+//! `rand_chacha` cannot be fetched); stream values are pinned by tests
+//! below so any accidental change to the generator is caught.
 
-use rand::{RngExt, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::chacha::ChaCha8;
 
 /// Seeded simulation RNG with the distributions the PFS model needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl SimRng {
     /// Create an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: ChaCha8::seed_from_u64(seed),
         }
     }
 
@@ -40,9 +42,9 @@ impl SimRng {
         SimRng::new(seed_word)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` (53-bit precision, the standard conversion).
     pub fn unit(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`. Returns `lo` when the interval is empty.
@@ -58,7 +60,10 @@ impl SimRng {
         if n == 0 {
             return 0;
         }
-        self.inner.random_range(0..n)
+        // Multiply-shift mapping (Lemire); bias is < 2^-64 * n, irrelevant
+        // for the n <= dozens this simulator draws.
+        let v = self.inner.next_u64() as u128;
+        ((v * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0,1]`).

@@ -152,12 +152,11 @@ pub fn random_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfs::topology::ClusterSpec;
     use workloads::WorkloadKind;
 
     #[test]
     fn oracle_beats_default_on_ior() {
-        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let sim = PfsSimulator::new(crate::engine::default_topology());
         let w = WorkloadKind::Ior16M.spec().scaled(0.1);
         let default_wall = evaluate(
             &sim,
@@ -178,7 +177,7 @@ mod tests {
 
     #[test]
     fn oracle_keeps_stripe_one_for_metadata() {
-        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let sim = PfsSimulator::new(crate::engine::default_topology());
         let w = WorkloadKind::MdWorkbench8K.spec().scaled(0.15);
         let r = expert_oracle(&sim, w.as_ref(), 1, 1);
         assert_eq!(r.config.stripe_count, 1, "{:?}", r.config);
@@ -187,7 +186,7 @@ mod tests {
     #[test]
     fn candidate_grids_are_valid() {
         let registry = ParamRegistry::standard();
-        let topo = ClusterSpec::paper_cluster();
+        let topo = crate::engine::default_topology();
         for name in TUNABLE_NAMES {
             for v in candidate_values(name, topo.ost_count()) {
                 let mut cfg = TuningConfig::lustre_default();
@@ -202,7 +201,7 @@ mod tests {
 
     #[test]
     fn random_search_runs_and_counts() {
-        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let sim = PfsSimulator::new(crate::engine::default_topology());
         let w = WorkloadKind::Macsio16M.spec().scaled(0.2);
         let r = random_search(&sim, w.as_ref(), 6, 42);
         assert_eq!(r.evaluations, 6);

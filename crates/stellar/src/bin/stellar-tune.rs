@@ -4,6 +4,7 @@
 //! stellar-tune workloads                         list known workloads
 //! stellar-tune extract                           run the offline RAG extraction
 //! stellar-tune tune IOR_16M [options]            run one tuning run
+//! stellar-tune campaign IOR_16M,MACSio_16M [options]   run a workload × seed grid
 //! stellar-tune baseline IOR_16M [--scale f]      expert oracle + random search
 //! stellar-tune rules <file.json>                 pretty-print a rule set
 //!
@@ -14,13 +15,20 @@
 //!   --rules <file>     load the global rule set from a JSON file
 //!   --save-rules <f>   write the updated rule set back
 //!   --seed <n>         experiment seed (default 42)
+//!   --stream           print agent transcript lines as they happen
 //!   --no-analysis / --no-descriptions / --no-rules   ablation switches
+//!
+//! campaign options (plus --scale/--rules/--save-rules/--attempts/--model):
+//!   --seeds <a,b,c>    grid seeds (default 42)
+//!   --warm             accumulate rules across seed rounds
+//!   --serial           disable parallel cell execution
+//!   --threads <n>      worker threads (default: hardware parallelism)
 //! ```
 
 use agents::RuleSet;
 use llmsim::ModelProfile;
 use stellar::baselines::{expert_oracle, random_search};
-use stellar::{Stellar, StellarOptions};
+use stellar::{Campaign, RuleMode, RunObserver, Stellar, StellarBuilder};
 use workloads::{WorkloadKind, BENCHMARKS, REAL_APPS};
 
 fn main() {
@@ -29,10 +37,11 @@ fn main() {
         Some("workloads") => cmd_workloads(),
         Some("extract") => cmd_extract(),
         Some("tune") => cmd_tune(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("baseline") => cmd_baseline(&args[1..]),
         Some("rules") => cmd_rules(&args[1..]),
         _ => {
-            eprintln!("usage: stellar-tune <workloads|extract|tune|baseline|rules> ...");
+            eprintln!("usage: stellar-tune <workloads|extract|tune|campaign|baseline|rules> ...");
             eprintln!("see the crate docs or README for options");
             2
         }
@@ -79,14 +88,78 @@ fn cmd_extract() -> i32 {
     let report = engine.extraction_report();
     println!(
         "extracted {} of {} parameters ({} writable, {} documented, {} non-binary)",
-        report.selected, report.total_params, report.writable, report.sufficient,
-        report.non_binary
+        report.selected, report.total_params, report.writable, report.sufficient, report.non_binary
     );
     for p in engine.params() {
-        println!("  {:<34} default {}{}{}", p.name, p.default,
-                 if p.unit.is_empty() { "" } else { " " }, p.unit);
+        println!(
+            "  {:<34} default {}{}{}",
+            p.name,
+            p.default,
+            if p.unit.is_empty() { "" } else { " " },
+            p.unit
+        );
     }
     0
+}
+
+/// Build an engine from the shared CLI flags (`--attempts`, `--model`,
+/// ablation switches).
+fn engine_from_flags(args: &[String]) -> Result<Stellar, i32> {
+    let mut builder = StellarBuilder::new()
+        .use_analysis(!has_flag(args, "--no-analysis"))
+        .use_descriptions(!has_flag(args, "--no-descriptions"))
+        .use_rules(!has_flag(args, "--no-rules"));
+    if let Some(n) = flag_value(args, "--attempts").and_then(|v| v.parse().ok()) {
+        builder = builder.attempt_budget(n);
+    }
+    if let Some(model) = flag_value(args, "--model") {
+        builder = builder.tuning_model(match model.as_str() {
+            "claude-3.7-sonnet" => ModelProfile::claude_37_sonnet(),
+            "gpt-4o" => ModelProfile::gpt_4o(),
+            "llama-3.1-70b" => ModelProfile::llama_31_70b(),
+            other => {
+                eprintln!("unknown model `{other}`");
+                return Err(2);
+            }
+        });
+    }
+    Ok(builder.build())
+}
+
+fn load_rules(args: &[String]) -> Result<RuleSet, i32> {
+    match flag_value(args, "--rules") {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(json) => RuleSet::from_json(&json).map_err(|e| {
+                eprintln!("bad rule set {path}: {e}");
+                1
+            }),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                Err(1)
+            }
+        },
+        None => Ok(RuleSet::new()),
+    }
+}
+
+fn save_rules(args: &[String], rules: &RuleSet) -> i32 {
+    if let Some(path) = flag_value(args, "--save-rules") {
+        if let Err(e) = std::fs::write(&path, rules.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        println!("rule set ({} rules) written to {path}", rules.len());
+    }
+    0
+}
+
+/// Observer printing transcript lines live (`tune --stream`).
+struct StreamPrinter;
+
+impl RunObserver for StreamPrinter {
+    fn on_transcript(&mut self, line: &str) {
+        println!("{line}");
+    }
 }
 
 fn cmd_tune(args: &[String]) -> i32 {
@@ -100,67 +173,115 @@ fn cmd_tune(args: &[String]) -> i32 {
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(42);
-    let mut options = StellarOptions::default();
-    if let Some(n) = flag_value(args, "--attempts").and_then(|v| v.parse().ok()) {
-        options.tuning.max_attempts = n;
-    }
-    options.tuning.use_analysis = !has_flag(args, "--no-analysis");
-    options.tuning.use_descriptions = !has_flag(args, "--no-descriptions");
-    options.tuning.use_rules = !has_flag(args, "--no-rules");
-    if let Some(model) = flag_value(args, "--model") {
-        options.tuning_model = match model.as_str() {
-            "claude-3.7-sonnet" => ModelProfile::claude_37_sonnet(),
-            "gpt-4o" => ModelProfile::gpt_4o(),
-            "llama-3.1-70b" => ModelProfile::llama_31_70b(),
-            other => {
-                eprintln!("unknown model `{other}`");
-                return 2;
-            }
-        };
-    }
-
-    let mut rules = match flag_value(args, "--rules") {
-        Some(path) => match std::fs::read_to_string(&path) {
-            Ok(json) => match RuleSet::from_json(&json) {
-                Ok(rs) => rs,
-                Err(e) => {
-                    eprintln!("bad rule set {path}: {e}");
-                    return 1;
-                }
-            },
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return 1;
-            }
-        },
-        None => RuleSet::new(),
+    let engine = match engine_from_flags(args) {
+        Ok(e) => e,
+        Err(c) => return c,
+    };
+    let mut rules = match load_rules(args) {
+        Ok(r) => r,
+        Err(c) => return c,
     };
 
-    let engine = Stellar::new(pfs::topology::ClusterSpec::paper_cluster(), options);
-    let workload = if (scale - 1.0).abs() < 1e-9 {
-        kind.spec()
-    } else {
-        kind.spec().scaled(scale)
-    };
-    let run = engine.tune(workload.as_ref(), &mut rules, seed);
+    let workload = kind.spec_at(scale);
+    let mut session = engine.session(workload.as_ref(), rules.clone(), seed);
+    if has_flag(args, "--stream") {
+        session.observe(Box::new(StreamPrinter));
+    }
+    let run = session.drain();
+    rules.merge(run.new_rules.clone());
 
     println!("workload: {} (scale {scale})", run.workload);
     println!("default: {:.3}s", run.default_wall);
     for a in &run.attempts {
-        println!("  attempt {}: {:.3}s (x{:.2})", a.iteration, a.wall_secs, a.speedup);
+        println!(
+            "  attempt {}: {:.3}s (x{:.2})",
+            a.iteration, a.wall_secs, a.speedup
+        );
     }
-    println!("best: x{:.2} in {} attempts — {}", run.best_speedup,
-             run.attempts.len(), run.end_reason);
+    println!(
+        "best: x{:.2} in {} attempts — {}",
+        run.best_speedup,
+        run.attempts.len(),
+        run.end_reason
+    );
     println!("{}", run.best_config.render());
+    save_rules(args, &rules)
+}
 
-    if let Some(path) = flag_value(args, "--save-rules") {
-        if let Err(e) = std::fs::write(&path, rules.to_json()) {
-            eprintln!("cannot write {path}: {e}");
-            return 1;
+fn cmd_campaign(args: &[String]) -> i32 {
+    let Some(list) = args.first() else {
+        eprintln!("missing workload list; try `stellar-tune campaign IOR_16M,MACSio_16M`");
+        return 2;
+    };
+    let mut kinds = Vec::new();
+    for label in list.split(',') {
+        match WorkloadKind::from_label(label) {
+            Some(k) => kinds.push(k),
+            None => {
+                eprintln!("unknown workload `{label}`; try `stellar-tune workloads`");
+                return 2;
+            }
         }
-        println!("rule set ({} rules) written to {path}", rules.len());
     }
-    0
+    let scale: f64 = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let mut seeds: Vec<u64> = Vec::new();
+    match flag_value(args, "--seeds") {
+        Some(list) => {
+            for v in list.split(',') {
+                match v.trim().parse() {
+                    Ok(seed) => seeds.push(seed),
+                    Err(_) => {
+                        eprintln!("bad seed `{}` in --seeds", v.trim());
+                        return 2;
+                    }
+                }
+            }
+        }
+        None => seeds.push(42),
+    }
+    if seeds.is_empty() {
+        eprintln!("--seeds produced no valid seeds");
+        return 2;
+    }
+    let engine = match engine_from_flags(args) {
+        Ok(e) => e,
+        Err(c) => return c,
+    };
+    let rules = match load_rules(args) {
+        Ok(r) => r,
+        Err(c) => return c,
+    };
+
+    let mut campaign = Campaign::new(&engine)
+        .kinds(&kinds, scale)
+        .seeds(seeds)
+        .starting_rules(rules)
+        .rule_mode(if has_flag(args, "--warm") {
+            RuleMode::Warm
+        } else {
+            RuleMode::Cold
+        });
+    if let Some(n) = flag_value(args, "--threads").and_then(|v| v.parse().ok()) {
+        campaign = campaign.threads(n);
+    }
+    let report = if has_flag(args, "--serial") {
+        campaign.run_serial()
+    } else {
+        campaign.run()
+    };
+    print!("{}", report.render());
+    let (tuning, analysis) = report.total_usage();
+    println!(
+        "tokens: tuning {} in / {} out ({:.0}% cached), analysis {} in / {} out",
+        tuning.input_tokens,
+        tuning.output_tokens,
+        tuning.cache_hit_ratio() * 100.0,
+        analysis.input_tokens,
+        analysis.output_tokens,
+    );
+    save_rules(args, &report.rules)
 }
 
 fn cmd_baseline(args: &[String]) -> i32 {
@@ -172,11 +293,7 @@ fn cmd_baseline(args: &[String]) -> i32 {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
     let engine = Stellar::standard();
-    let w = if (scale - 1.0).abs() < 1e-9 {
-        kind.spec()
-    } else {
-        kind.spec().scaled(scale)
-    };
+    let w = kind.spec_at(scale);
     let default = stellar::measure::evaluate(
         engine.sim(),
         w.as_ref(),

@@ -1,0 +1,374 @@
+//! Campaigns: workload × seed grids over one engine.
+//!
+//! A [`Campaign`] runs a full grid of tuning runs — every configured
+//! workload at every configured seed — with deterministic parallel
+//! execution and shared rule-set accumulation, aggregating into a
+//! [`CampaignReport`]. This is the substrate behind the paper's Fig. 6/7
+//! rule-set sweeps and the multi-workload serving path on the roadmap.
+//!
+//! ## Determinism
+//!
+//! Per-cell seeds are derived with [`simcore::rng::combine`] from the
+//! grid seed, the workload name and the cell's position, so a cell's
+//! noise stream is independent of which thread executes it (the fully
+//! derived seed bypasses the engine's `SeedPolicy`). Rule sharing
+//! is round-structured (see [`RuleMode`]): within a round every cell reads
+//! the *same* starting snapshot, and learned rules merge in grid order
+//! after the round. [`Campaign::run`] (parallel) and
+//! [`Campaign::run_serial`] therefore produce identical reports — asserted
+//! by the `campaign_determinism` integration test.
+
+use crate::engine::{Stellar, TuningRun};
+use agents::RuleSet;
+use llmsim::UsageMeter;
+use simcore::rng::{combine, stable_hash};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use workloads::{Workload, WorkloadKind};
+
+/// How cells share the accumulating rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuleMode {
+    /// Every cell starts from the campaign's starting rules; runs learn
+    /// independently (the Fig. 5/7 "without rules" regime).
+    #[default]
+    Cold,
+    /// Rounds accumulate: all cells of seed-round *r* start from the rules
+    /// accumulated through round *r − 1*, and their learned rules merge —
+    /// in grid order — before round *r + 1* (the Fig. 6 regime, made
+    /// deterministic under parallelism).
+    Warm,
+}
+
+/// One completed grid cell.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Workload label.
+    pub workload: String,
+    /// The grid seed this cell ran under.
+    pub seed: u64,
+    /// The derived per-cell seed actually passed to the session.
+    pub cell_seed: u64,
+    /// The finished tuning run.
+    pub run: TuningRun,
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// All cells, in grid order (seed-major, then workload).
+    pub cells: Vec<CampaignCell>,
+    /// The final rule set (starting rules plus merged learnings).
+    pub rules: RuleSet,
+}
+
+impl CampaignReport {
+    /// Mean best speedup across cells.
+    pub fn mean_best_speedup(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells.iter().map(|c| c.run.best_speedup).sum::<f64>() / self.cells.len() as f64
+    }
+
+    /// Total configuration attempts consumed.
+    pub fn total_attempts(&self) -> usize {
+        self.cells.iter().map(|c| c.run.attempts.len()).sum()
+    }
+
+    /// Total application executions (initial runs + attempts).
+    pub fn total_evaluations(&self) -> usize {
+        self.cells.len() + self.total_attempts()
+    }
+
+    /// Summed token usage across cells: `(tuning, analysis)`.
+    pub fn total_usage(&self) -> (UsageMeter, UsageMeter) {
+        let mut tuning = UsageMeter::default();
+        let mut analysis = UsageMeter::default();
+        for c in &self.cells {
+            merge_usage(&mut tuning, &c.run.tuning_usage);
+            merge_usage(&mut analysis, &c.run.analysis_usage);
+        }
+        (tuning, analysis)
+    }
+
+    /// Cells for one workload label, in grid order.
+    pub fn cells_for(&self, workload: &str) -> Vec<&CampaignCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.workload == workload)
+            .collect()
+    }
+
+    /// The best-performing cell, if any.
+    pub fn best_cell(&self) -> Option<&CampaignCell> {
+        self.cells.iter().max_by(|a, b| {
+            a.run
+                .best_speedup
+                .partial_cmp(&b.run.best_speedup)
+                .expect("finite")
+        })
+    }
+
+    /// Fixed-width text summary (one row per cell).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>8} {:>9} {:>9}\n",
+            "workload", "seed", "attempts", "best", "speedup"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<18} {:>10} {:>8} {:>8.3}s {:>8.2}x\n",
+                c.workload,
+                c.seed,
+                c.run.attempts.len(),
+                c.run.best_wall,
+                c.run.best_speedup
+            ));
+        }
+        out.push_str(&format!(
+            "mean speedup x{:.2} over {} cells ({} evaluations); {} rules accumulated\n",
+            self.mean_best_speedup(),
+            self.cells.len(),
+            self.total_evaluations(),
+            self.rules.len()
+        ));
+        out
+    }
+}
+
+fn merge_usage(into: &mut UsageMeter, from: &UsageMeter) {
+    into.calls += from.calls;
+    into.input_tokens += from.input_tokens;
+    into.cached_input_tokens += from.cached_input_tokens;
+    into.output_tokens += from.output_tokens;
+}
+
+/// A configurable workload × seed grid. See the module docs.
+pub struct Campaign<'e> {
+    engine: &'e Stellar,
+    workloads: Vec<Box<dyn Workload>>,
+    seeds: Vec<u64>,
+    mode: RuleMode,
+    base_rules: RuleSet,
+    threads: usize,
+}
+
+impl<'e> Campaign<'e> {
+    /// Empty campaign over `engine`: cold rules, hardware-sized thread
+    /// pool, no cells until workloads and seeds are added.
+    pub fn new(engine: &'e Stellar) -> Self {
+        Campaign {
+            engine,
+            workloads: Vec::new(),
+            seeds: Vec::new(),
+            mode: RuleMode::Cold,
+            base_rules: RuleSet::new(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Add one workload to the grid.
+    pub fn workload(mut self, w: Box<dyn Workload>) -> Self {
+        self.workloads.push(w);
+        self
+    }
+
+    /// Add the named suite workloads at `scale` (1.0 = paper scale).
+    pub fn kinds(mut self, kinds: &[WorkloadKind], scale: f64) -> Self {
+        for kind in kinds {
+            self.workloads.push(kind.spec_at(scale));
+        }
+        self
+    }
+
+    /// Grid seeds; each seed is one round across every workload.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Rule-sharing mode (default [`RuleMode::Cold`]).
+    pub fn rule_mode(mut self, mode: RuleMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Rules every cell (cold) or the first round (warm) starts from.
+    pub fn starting_rules(mut self, rules: RuleSet) -> Self {
+        self.base_rules = rules;
+        self
+    }
+
+    /// Worker-thread cap for [`Campaign::run`] (at least 1).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// The derived seed for a cell, independent of execution order.
+    fn cell_seed(&self, seed: u64, workload_idx: usize) -> u64 {
+        combine(
+            combine(seed, stable_hash(&self.workloads[workload_idx].name())),
+            workload_idx as u64,
+        )
+    }
+
+    fn run_cell(&self, seed: u64, workload_idx: usize, rules: &RuleSet) -> CampaignCell {
+        let w = &self.workloads[workload_idx];
+        let cell_seed = self.cell_seed(seed, workload_idx);
+        // The cell seed is fully derived (workload name + grid position
+        // already mixed in), so bypass the engine's SeedPolicy instead of
+        // letting PerWorkload hash the name in a second time.
+        let run = crate::session::TuningSession::with_run_seed(
+            self.engine,
+            w.as_ref(),
+            rules.clone(),
+            cell_seed,
+        )
+        .drain();
+        CampaignCell {
+            workload: w.name(),
+            seed,
+            cell_seed,
+            run,
+        }
+    }
+
+    /// One round (all workloads at one seed), parallel across `threads`.
+    fn round_parallel(&self, seed: u64, rules: &RuleSet) -> Vec<CampaignCell> {
+        let n = self.workloads.len();
+        let results: Mutex<Vec<Option<CampaignCell>>> = Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = self.run_cell(seed, i, rules);
+                    results.lock().expect("no poisoned workers")[i] = Some(cell);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("scope joined")
+            .into_iter()
+            .map(|c| c.expect("every cell executed"))
+            .collect()
+    }
+
+    fn round_serial(&self, seed: u64, rules: &RuleSet) -> Vec<CampaignCell> {
+        (0..self.workloads.len())
+            .map(|i| self.run_cell(seed, i, rules))
+            .collect()
+    }
+
+    fn execute(&self, parallel: bool) -> CampaignReport {
+        assert!(
+            !self.workloads.is_empty() && !self.seeds.is_empty(),
+            "campaign grid is empty: add workloads and seeds"
+        );
+        let mut rules = self.base_rules.clone();
+        let mut cells = Vec::with_capacity(self.workloads.len() * self.seeds.len());
+        for &seed in &self.seeds {
+            let snapshot = match self.mode {
+                RuleMode::Cold => self.base_rules.clone(),
+                RuleMode::Warm => rules.clone(),
+            };
+            let round = if parallel {
+                self.round_parallel(seed, &snapshot)
+            } else {
+                self.round_serial(seed, &snapshot)
+            };
+            // Merge learnings in grid order — deterministic regardless of
+            // which thread finished first.
+            for cell in &round {
+                rules.merge(cell.run.new_rules.clone());
+            }
+            cells.extend(round);
+        }
+        CampaignReport { cells, rules }
+    }
+
+    /// Run the grid with deterministic parallel execution.
+    pub fn run(&self) -> CampaignReport {
+        self.execute(true)
+    }
+
+    /// Run the grid serially (same result as [`Campaign::run`]).
+    pub fn run_serial(&self) -> CampaignReport {
+        self.execute(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StellarBuilder;
+
+    fn engine() -> Stellar {
+        StellarBuilder::new().build()
+    }
+
+    #[test]
+    fn cold_campaign_aggregates_cells() {
+        let e = engine();
+        let report = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K], 0.1)
+            .seeds([1])
+            .run();
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.mean_best_speedup() > 1.0);
+        assert!(report.total_evaluations() > report.cells.len());
+        let (tuning, analysis) = report.total_usage();
+        assert!(tuning.calls > 0 && analysis.calls > 0);
+        assert_eq!(report.cells_for("IOR_16M").len(), 1);
+        assert!(report.best_cell().is_some());
+        assert!(report.render().contains("mean speedup"));
+    }
+
+    #[test]
+    fn warm_mode_passes_rules_to_later_rounds() {
+        let e = engine();
+        let base = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M], 0.1)
+            .seeds([1, 2])
+            .rule_mode(RuleMode::Warm)
+            .run_serial();
+        // Round 1 learned striping rules; round 2 consulted them, so its
+        // first attempt must already be primed (rule-primed first guesses
+        // are the Fig. 6 mechanism).
+        assert!(!base.rules.is_empty(), "warm campaign accumulates rules");
+        let round2 = &base.cells[1];
+        let first = round2.run.attempts.first().expect("round 2 tuned");
+        assert!(
+            first.speedup > 2.0,
+            "rule-primed first attempt, got x{:.2}",
+            first.speedup
+        );
+    }
+
+    #[test]
+    fn cell_seeds_are_position_independent() {
+        let e = engine();
+        let c = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M, WorkloadKind::Macsio16M], 0.1)
+            .seeds([7]);
+        assert_ne!(c.cell_seed(7, 0), c.cell_seed(7, 1));
+        assert_ne!(c.cell_seed(7, 0), c.cell_seed(8, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "campaign grid is empty")]
+    fn empty_grid_panics() {
+        let e = engine();
+        let _ = Campaign::new(&e).run();
+    }
+}

@@ -1,18 +1,43 @@
 //! The STELLAR engine: offline extraction + the online tuning run driver.
+//!
+//! The run driver itself lives in [`crate::session`]; [`Stellar::tune`] is
+//! a thin compatibility wrapper that drains a [`crate::TuningSession`] to
+//! completion. Construct engines with [`crate::StellarBuilder`] (or
+//! [`Stellar::standard`] for the paper defaults).
 
-use agents::{
-    AnalysisAgent, ContextTag, IoReport, RuleSet, ToolCall, TuningAgent, TuningOptions,
-};
+use crate::session::TuningSession;
+use agents::{RuleSet, TuningOptions};
 use darshan::{tables::to_tables, Collector, Table};
-use llmsim::{LlmBackend, ModelProfile, ParamFact, SimLlm, UsageMeter};
+use llmsim::{ModelProfile, ParamFact, SimLlm, UsageMeter};
 use pfs::params::{ParamRegistry, TuningConfig};
 use pfs::topology::ClusterSpec;
 use pfs::PfsSimulator;
 use ragx::{ExtractedParam, ExtractionReport, RagExtractor};
 use serde::{Deserialize, Serialize};
-use simcore::rng::{combine, stable_hash};
 use std::collections::BTreeMap;
 use workloads::Workload;
+
+/// The default simulated deployment: the paper's cluster.
+///
+/// Single source of truth for every construction path — the builder,
+/// [`Stellar::standard`], experiment drivers and the CLI all call this
+/// instead of re-deriving cluster specs per call site.
+pub fn default_topology() -> ClusterSpec {
+    ClusterSpec::paper_cluster()
+}
+
+/// How a session's run seed derives from the caller-supplied seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SeedPolicy {
+    /// Mix the workload name into the seed (`combine(seed,
+    /// stable_hash(name))`), so the same caller seed gives every workload
+    /// an independent noise stream. The historical and default behaviour.
+    #[default]
+    PerWorkload,
+    /// Use the caller seed verbatim — callers manage stream separation
+    /// themselves (campaign grids derive per-cell seeds explicitly).
+    Fixed,
+}
 
 /// Engine-level options.
 #[derive(Debug, Clone)]
@@ -23,6 +48,8 @@ pub struct StellarOptions {
     pub analysis_model: ModelProfile,
     /// Agent behaviour switches (ablations, attempt budget).
     pub tuning: TuningOptions,
+    /// Run-seed derivation policy.
+    pub seed_policy: SeedPolicy,
 }
 
 impl Default for StellarOptions {
@@ -31,6 +58,7 @@ impl Default for StellarOptions {
             tuning_model: ModelProfile::claude_37_sonnet(),
             analysis_model: ModelProfile::gpt_4o(),
             tuning: TuningOptions::default(),
+            seed_policy: SeedPolicy::default(),
         }
     }
 }
@@ -108,9 +136,14 @@ impl Stellar {
         }
     }
 
+    /// A fluent builder with the paper-default configuration.
+    pub fn builder() -> crate::StellarBuilder {
+        crate::StellarBuilder::new()
+    }
+
     /// Engine with the paper's cluster and default options.
     pub fn standard() -> Self {
-        Self::new(ClusterSpec::paper_cluster(), StellarOptions::default())
+        Self::new(default_topology(), StellarOptions::default())
     }
 
     /// The simulator (for baselines and measurement).
@@ -118,9 +151,19 @@ impl Stellar {
         &self.sim
     }
 
+    /// The engine options.
+    pub fn options(&self) -> &StellarOptions {
+        &self.options
+    }
+
     /// The extracted tunables.
     pub fn params(&self) -> &[ExtractedParam] {
         &self.params
+    }
+
+    /// Ground-truth facts for the extracted tunables.
+    pub(crate) fn truths(&self) -> &BTreeMap<String, ParamFact> {
+        &self.truths
     }
 
     /// The offline extraction accounting.
@@ -129,7 +172,7 @@ impl Stellar {
     }
 
     /// Run one traced execution, returning wall time and the dataframes.
-    fn traced_run(
+    pub(crate) fn traced_run(
         &self,
         workload: &dyn Workload,
         cfg: &TuningConfig,
@@ -144,119 +187,31 @@ impl Stellar {
         (result.wall_secs, header, tables)
     }
 
+    /// Open a steppable tuning session against `workload`.
+    ///
+    /// The session consults `rules` (a snapshot — clone your global set)
+    /// when priming the Tuning Agent; merge the finished run's `new_rules`
+    /// back into your global set to accumulate knowledge, as
+    /// [`Stellar::tune`] does.
+    pub fn session<'a>(
+        &'a self,
+        workload: &'a dyn Workload,
+        rules: RuleSet,
+        seed: u64,
+    ) -> TuningSession<'a> {
+        TuningSession::new(self, workload, rules, seed)
+    }
+
     /// Execute a complete Tuning Run against `workload`, consulting and
     /// updating the global `rule_set`.
+    ///
+    /// Compatibility wrapper: drains a [`TuningSession`] to completion and
+    /// merges the learned rules, reproducing the historical blocking
+    /// behaviour bit for bit.
     pub fn tune(&self, workload: &dyn Workload, rule_set: &mut RuleSet, seed: u64) -> TuningRun {
-        let run_seed = combine(seed, stable_hash(&workload.name()));
-        let registry = ParamRegistry::standard();
-        let topo = self.sim.topology().clone();
-
-        let mut analysis_backend =
-            SimLlm::new(self.options.analysis_model.clone(), combine(run_seed, 1));
-        let mut tuning_backend =
-            SimLlm::new(self.options.tuning_model.clone(), combine(run_seed, 2));
-
-        // Initial run under the default configuration (+ Darshan).
-        let default_cfg = TuningConfig::lustre_default();
-        let (default_wall, header, mut tables) =
-            self.traced_run(workload, &default_cfg, combine(run_seed, 100));
-
-        // Analysis Agent: initial I/O report.
-        let report: Option<IoReport> = if self.options.tuning.use_analysis {
-            let mut agent = AnalysisAgent::new(&mut analysis_backend);
-            Some(agent.initial_report(&header, &tables))
-        } else {
-            None
-        };
-
-        // Rule-set retrieval for this workload's context.
-        let matched_rules: Vec<agents::Rule> = if self.options.tuning.use_rules {
-            let tags = report
-                .as_ref()
-                .map(ContextTag::tags_for)
-                .unwrap_or_default();
-            rule_set.matching(&tags).into_iter().cloned().collect()
-        } else {
-            Vec::new()
-        };
-
-        // Tuning Agent loop.
-        let mut agent = TuningAgent::new(
-            &mut tuning_backend,
-            self.options.tuning.clone(),
-            topo.clone(),
-            self.params.clone(),
-            &self.truths,
-            report.clone(),
-            matched_rules,
-            default_wall,
-        );
-        let mut attempts: Vec<AttemptRecord> = Vec::new();
-        let end_reason;
-        loop {
-            match agent.decide() {
-                ToolCall::Analyze(q) => {
-                    let mut analysis = AnalysisAgent::new(&mut analysis_backend);
-                    let answer = analysis.answer(q, &tables);
-                    agent.accept_answer(answer);
-                }
-                ToolCall::RunConfig { config, .. } => {
-                    // Hygiene between runs: a fresh simulator state per
-                    // execution (delete files, drop caches, remount).
-                    let config = config.clamped(&registry, &topo);
-                    let iteration = attempts.len() + 1;
-                    let (wall, _h, t) = self.traced_run(
-                        workload,
-                        &config,
-                        combine(run_seed, 100 + iteration as u64),
-                    );
-                    tables = t;
-                    agent.record_result(config.clone(), wall);
-                    attempts.push(AttemptRecord {
-                        iteration,
-                        config,
-                        wall_secs: wall,
-                        speedup: default_wall / wall.max(1e-9),
-                    });
-                }
-                ToolCall::EndTuning { reason } => {
-                    end_reason = reason;
-                    break;
-                }
-            }
-        }
-
-        // Best over default + attempts.
-        let (best_wall, best_config) = attempts
-            .iter()
-            .map(|a| (a.wall_secs, a.config.clone()))
-            .chain(std::iter::once((default_wall, default_cfg.clone())))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
-            .expect("non-empty");
-
-        // Reflect & Summarize, then merge into the global rule set.
-        let transcript = agent.transcript().to_vec();
-        let history = agent.history().to_vec();
-        drop(agent);
-        let new_rules = match &report {
-            Some(r) => agents::reflect::reflect(&mut tuning_backend, r, &history, default_wall),
-            None => Vec::new(),
-        };
-        rule_set.merge(new_rules.clone());
-
-        TuningRun {
-            workload: workload.name(),
-            default_wall,
-            attempts,
-            best_wall,
-            best_speedup: default_wall / best_wall.max(1e-9),
-            best_config,
-            end_reason,
-            new_rules,
-            transcript,
-            tuning_usage: tuning_backend.usage().clone(),
-            analysis_usage: analysis_backend.usage().clone(),
-        }
+        let run = self.session(workload, rule_set.clone(), seed).drain();
+        rule_set.merge(run.new_rules.clone());
+        run
     }
 }
 
@@ -287,10 +242,7 @@ mod tests {
             run.best_speedup > 3.0,
             "speedup {:.2} (attempts: {:?})",
             run.best_speedup,
-            run.attempts
-                .iter()
-                .map(|a| a.speedup)
-                .collect::<Vec<_>>()
+            run.attempts.iter().map(|a| a.speedup).collect::<Vec<_>>()
         );
         assert!(!run.end_reason.is_empty());
         assert!(!run.new_rules.is_empty(), "should learn rules");

@@ -4,7 +4,9 @@
 //! table.
 
 use crate::baselines::expert_oracle;
-use crate::engine::{Stellar, StellarOptions};
+use crate::builder::StellarBuilder;
+use crate::campaign::Campaign;
+use crate::engine::Stellar;
 use crate::experiments::scaled;
 use crate::measure::measure;
 use agents::{RuleSet, TuningOptions};
@@ -77,8 +79,13 @@ pub fn fig5(scale: f64, reps: usize, oracle_passes: usize, oracle_reps: usize) -
                 "fig5-default",
             );
             let oracle = expert_oracle(engine.sim(), w.as_ref(), oracle_passes, oracle_reps);
-            let (expert_acc, _) =
-                measure(engine.sim(), w.as_ref(), &oracle.config, reps, "fig5-expert");
+            let (expert_acc, _) = measure(
+                engine.sim(),
+                w.as_ref(),
+                &oracle.config,
+                reps,
+                "fig5-expert",
+            );
             let mut rules = RuleSet::new();
             let run = engine.tune(w.as_ref(), &mut rules, 0xF15);
             let (stellar_acc, _) = measure(
@@ -156,21 +163,28 @@ pub fn fig6(scale: f64) -> (Vec<IterSeries>, RuleSet) {
 
 /// Fig. 7 — rule-set extrapolation: the three previously unseen real
 /// applications, tuned with and without the benchmark-derived rule set.
+///
+/// Runs as two cold [`Campaign`] grids over the real applications — one
+/// starting from an empty rule set, one from the benchmark-derived set —
+/// so the per-application runs execute in parallel, deterministically.
 pub fn fig7(scale: f64, benchmark_rules: &RuleSet) -> Vec<IterSeries> {
     let engine = Stellar::standard();
+    let grid = |rules: RuleSet, seed: u64| {
+        Campaign::new(&engine)
+            .kinds(&REAL_APPS, scale)
+            .seeds([seed])
+            .starting_rules(rules)
+            .run()
+    };
+    let cold = grid(RuleSet::new(), 0xF17);
+    let warm = grid(benchmark_rules.clone(), 0xF17 + 1);
     REAL_APPS
         .iter()
-        .map(|&kind| {
-            let w = scaled(kind, scale);
-            let mut no_rules = RuleSet::new();
-            let cold = engine.tune(w.as_ref(), &mut no_rules, 0xF17);
-            let mut with = benchmark_rules.clone();
-            let warm = engine.tune(w.as_ref(), &mut with, 0xF17 + 1);
-            IterSeries {
-                workload: kind.label().to_string(),
-                without_rules: series_of(&cold),
-                with_rules: series_of(&warm),
-            }
+        .zip(cold.cells.iter().zip(&warm.cells))
+        .map(|(&kind, (c, w))| IterSeries {
+            workload: kind.label().to_string(),
+            without_rules: series_of(&c.run),
+            with_rules: series_of(&w.run),
         })
         .collect()
 }
@@ -209,13 +223,7 @@ pub fn fig8(scale: f64) -> Vec<Fig8Row> {
     variants
         .into_iter()
         .map(|(label, tuning)| {
-            let engine = Stellar::new(
-                pfs::topology::ClusterSpec::paper_cluster(),
-                StellarOptions {
-                    tuning,
-                    ..Default::default()
-                },
-            );
+            let engine = StellarBuilder::new().tuning_options(tuning).build();
             let mut rules = RuleSet::new();
             let run = engine.tune(w().as_ref(), &mut rules, 0xF18);
             Fig8Row {
@@ -245,13 +253,7 @@ pub fn fig9(scale: f64) -> Vec<Fig9Row> {
     ModelProfile::tuning_agents()
         .into_iter()
         .map(|profile| {
-            let engine = Stellar::new(
-                pfs::topology::ClusterSpec::paper_cluster(),
-                StellarOptions {
-                    tuning_model: profile.clone(),
-                    ..Default::default()
-                },
-            );
+            let engine = StellarBuilder::new().tuning_model(profile.clone()).build();
             let w = scaled(WorkloadKind::Ior16M, scale);
             let mut rules = RuleSet::new();
             let run = engine.tune(w.as_ref(), &mut rules, 0xF19);
@@ -306,10 +308,7 @@ mod tests {
             .find(|r| r.variant == "No Analysis")
             .unwrap()
             .best;
-        assert!(
-            full > no_desc,
-            "full {full:.3} !> no_desc {no_desc:.3}"
-        );
+        assert!(full > no_desc, "full {full:.3} !> no_desc {no_desc:.3}");
         assert!(
             full > no_analysis,
             "full {full:.3} !> no_analysis {no_analysis:.3}"

@@ -35,11 +35,7 @@ pub fn iteration_cost(
     random_budgets: &[usize],
 ) -> Vec<IterationRow> {
     let engine = Stellar::standard();
-    let w: Box<dyn Workload> = if (scale - 1.0).abs() < 1e-9 {
-        kind.spec()
-    } else {
-        kind.spec().scaled(scale)
-    };
+    let w: Box<dyn Workload> = kind.spec_at(scale);
     let default_wall = evaluate(
         engine.sim(),
         w.as_ref(),
@@ -51,7 +47,7 @@ pub fn iteration_cost(
 
     // STELLAR: evaluations = initial run + attempts.
     let mut rules = RuleSet::new();
-    let run = engine.tune(w.as_ref(), &mut rules, 0x17E2);
+    let run = engine.tune(w.as_ref(), &mut rules, 0x27E2);
     rows.push(IterationRow {
         tuner: "STELLAR (agentic)".into(),
         evaluations: 1 + run.attempts.len(),

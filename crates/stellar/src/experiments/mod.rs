@@ -23,9 +23,5 @@ use workloads::{Workload, WorkloadKind};
 
 /// Instantiate a workload at the given scale.
 pub(crate) fn scaled(kind: WorkloadKind, scale: f64) -> Box<dyn Workload> {
-    if (scale - 1.0).abs() < 1e-9 {
-        kind.spec()
-    } else {
-        kind.spec().scaled(scale)
-    }
+    kind.spec_at(scale)
 }

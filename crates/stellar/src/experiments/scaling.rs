@@ -9,7 +9,7 @@
 //! and the gap to the expert oracle at each scale.
 
 use crate::baselines::expert_oracle;
-use crate::engine::{Stellar, StellarOptions};
+use crate::engine::Stellar;
 use crate::measure::evaluate;
 use agents::RuleSet;
 use pfs::params::TuningConfig;
@@ -40,7 +40,7 @@ pub struct ScaleRow {
 
 /// Cluster spec scaled to `factor` times the paper deployment.
 pub fn cluster_at(factor: u32) -> ClusterSpec {
-    let mut topo = ClusterSpec::paper_cluster();
+    let mut topo = crate::engine::default_topology();
     topo.oss_count *= factor;
     topo.client_count *= factor;
     topo
@@ -52,12 +52,8 @@ pub fn scaling_experiment(workload_kind: WorkloadKind, scale: f64) -> Vec<ScaleR
         .into_iter()
         .map(|factor| {
             let topo = cluster_at(factor);
-            let engine = Stellar::new(topo.clone(), StellarOptions::default());
-            let w = if (scale - 1.0).abs() < 1e-9 {
-                workload_kind.spec()
-            } else {
-                workload_kind.spec().scaled(scale)
-            };
+            let engine = Stellar::builder().topology(topo.clone()).build();
+            let w = workload_kind.spec_at(scale);
             let default_wall = evaluate(
                 engine.sim(),
                 w.as_ref(),
@@ -100,7 +96,12 @@ mod tests {
         assert_eq!(rows[2].osts, 20);
         // Scale-invariance: attempts stay single-digit at every scale…
         for r in &rows {
-            assert!(r.attempts <= 5, "{} attempts at {} OSTs", r.attempts, r.osts);
+            assert!(
+                r.attempts <= 5,
+                "{} attempts at {} OSTs",
+                r.attempts,
+                r.osts
+            );
             assert!(
                 r.stellar_speedup > 2.0,
                 "x{:.2} at {} OSTs",

@@ -1,24 +1,39 @@
 //! # stellar — the Storage Tuning Engine, end to end
 //!
-//! Wires the substrates together into the system of Fig. 1:
+//! Wires the substrates together into the system of Fig. 1, exposed as a
+//! three-layer API:
 //!
-//! * **Offline** — [`engine::Stellar::new`] builds the RAG extractor over the
-//!   synthetic manual and runs the §4.2 pipeline, yielding the 13 tunables
-//!   with grounded descriptions and dependent ranges.
-//! * **Online** — [`engine::Stellar::tune`] executes a *Tuning Run*: initial
-//!   default execution under Darshan, Analysis Agent report, Tuning Agent
-//!   trial-and-error loop (≤ 5 configurations), Reflect & Summarize, and
-//!   global rule-set accumulation. Between runs the simulator state is
-//!   rebuilt from scratch (the paper's delete/clear/remount hygiene).
-//! * **Baselines** — [`baselines::expert_oracle`] (the human-expert stand-in:
-//!   coordinate descent with a large evaluation budget) and
-//!   [`baselines::random_search`] (the iteration-hungry classical contrast).
-//! * **Experiments** — [`experiments`] contains one driver per paper figure
-//!   and table; the `bench` crate's binaries print their outputs.
+//! * **Builder** — [`StellarBuilder`] constructs the engine: fluent setters
+//!   for topology, per-agent model profiles, behaviour switches, attempt
+//!   budget and seed policy; `build()` runs the offline §4.2 RAG pipeline,
+//!   yielding the 13 tunables with grounded descriptions and dependent
+//!   ranges.
+//! * **Session** — [`TuningSession`] executes a *Tuning Run* step by step:
+//!   initial default execution under Darshan, Analysis Agent report,
+//!   Tuning Agent trial-and-error loop (≤ 5 configurations), Reflect &
+//!   Summarize. Each [`TuningSession::step`] returns a [`SessionEvent`];
+//!   [`RunObserver`]s stream transcripts and token usage; sessions can be
+//!   aborted mid-run. [`Stellar::tune`] remains as a thin wrapper draining
+//!   a session to completion. Between runs the simulator state is rebuilt
+//!   from scratch (the paper's delete/clear/remount hygiene).
+//! * **Campaign** — [`Campaign`] runs workload × seed grids with shared
+//!   rule-set accumulation (warm/cold modes) and deterministic parallel
+//!   execution, aggregating into a [`CampaignReport`] — the substrate for
+//!   the Fig. 6/7 sweeps and multi-workload serving.
+//!
+//! Baselines ([`baselines::expert_oracle`], [`baselines::random_search`])
+//! and per-figure [`experiments`] drivers ride on top; the `bench` crate's
+//! binaries print their outputs.
 
 pub mod baselines;
+pub mod builder;
+pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod measure;
+pub mod session;
 
-pub use engine::{AttemptRecord, Stellar, StellarOptions, TuningRun};
+pub use builder::StellarBuilder;
+pub use campaign::{Campaign, CampaignCell, CampaignReport, RuleMode};
+pub use engine::{default_topology, AttemptRecord, SeedPolicy, Stellar, StellarOptions, TuningRun};
+pub use session::{RunObserver, SessionEvent, TuningSession};

@@ -51,12 +51,11 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfs::topology::ClusterSpec;
     use workloads::WorkloadKind;
 
     #[test]
     fn measurement_is_reproducible_and_noisy() {
-        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        let sim = PfsSimulator::new(crate::engine::default_topology());
         let w = WorkloadKind::Ior16M.spec().scaled(0.05);
         let cfg = TuningConfig::lustre_default();
         let (a, walls_a) = measure(&sim, w.as_ref(), &cfg, 4, "test");
@@ -71,11 +70,25 @@ mod tests {
 
     #[test]
     fn ci_shrinks_with_more_reps() {
-        let sim = PfsSimulator::new(ClusterSpec::paper_cluster());
+        // A single salt can get an unluckily tight 3-rep draw, so assert
+        // the statistical property on the mean ratio across several
+        // independent noise streams instead of one hand-picked seed.
+        let sim = PfsSimulator::new(crate::engine::default_topology());
         let w = WorkloadKind::Macsio16M.spec().scaled(0.2);
         let cfg = TuningConfig::lustre_default();
-        let (small, _) = measure(&sim, w.as_ref(), &cfg, 3, "ci");
-        let (big, _) = measure(&sim, w.as_ref(), &cfg, 12, "ci");
-        assert!(big.ci90_half_width() < small.ci90_half_width() * 1.5);
+        let salts = ["ci-a", "ci-b", "ci-c", "ci-d"];
+        let mean_ratio: f64 = salts
+            .iter()
+            .map(|salt| {
+                let (small, _) = measure(&sim, w.as_ref(), &cfg, 3, salt);
+                let (big, _) = measure(&sim, w.as_ref(), &cfg, 12, salt);
+                big.ci90_half_width() / small.ci90_half_width().max(1e-12)
+            })
+            .sum::<f64>()
+            / salts.len() as f64;
+        assert!(
+            mean_ratio < 1.0,
+            "mean CI ratio {mean_ratio:.3} (12 vs 3 reps)"
+        );
     }
 }

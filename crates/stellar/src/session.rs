@@ -1,0 +1,551 @@
+//! Steppable tuning sessions.
+//!
+//! [`TuningSession`] factors the body of the old monolithic
+//! `Stellar::tune()` into an observable state machine: each call to
+//! [`TuningSession::step`] performs exactly one agent-visible action and
+//! returns it as a [`SessionEvent`] — the initial default-configuration
+//! run, the Analysis Agent's report, each minor-loop question, each
+//! configuration attempt, and the final End-Tuning decision. Drained to
+//! completion the session produces the exact [`TuningRun`] the monolithic
+//! call did (`Stellar::tune` is now a thin wrapper over a session).
+//!
+//! Sessions support:
+//!
+//! * **observers** — [`RunObserver`]s attached via
+//!   [`TuningSession::observe`] receive every event, every transcript line
+//!   the Tuning Agent narrates (the same lines `TuningRun::transcript`
+//!   records), and per-step [`UsageMeter`] snapshots for both agents;
+//! * **abort/budget hooks** — [`TuningSession::abort`] ends the run before
+//!   the next agent decision with a caller-supplied reason, and the attempt
+//!   budget rides in `TuningOptions::max_attempts` (settable through
+//!   `StellarBuilder::attempt_budget`).
+
+use crate::engine::{AttemptRecord, SeedPolicy, Stellar, TuningRun};
+use agents::{
+    AnalysisAgent, AnalysisQuestion, Answer, ContextTag, IoReport, RuleSet, ToolCall, TuningAgent,
+};
+use darshan::Table;
+use llmsim::{LlmBackend, SimLlm, UsageMeter};
+use pfs::params::{ParamRegistry, TuningConfig};
+use simcore::rng::{combine, stable_hash};
+use workloads::Workload;
+
+/// One agent-visible step of a tuning run.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// The initial execution under the default configuration (iteration 0).
+    InitialRun {
+        /// Wall time of the default run, seconds.
+        wall_secs: f64,
+    },
+    /// The Analysis Agent's initial I/O report (absent under the
+    /// `No Analysis` ablation — the session skips straight to deciding).
+    AnalysisReport(IoReport),
+    /// One minor-loop exchange: the Tuning Agent asked, the Analysis Agent
+    /// answered.
+    MinorLoopQuestion {
+        /// The question posed.
+        question: AnalysisQuestion,
+        /// The computed answer.
+        answer: Answer,
+    },
+    /// One configuration attempt was executed.
+    Attempt(AttemptRecord),
+    /// The run concluded.
+    Ended {
+        /// The agent's justification (or the abort reason).
+        reason: String,
+    },
+}
+
+/// Streaming receiver for session progress.
+///
+/// All methods have no-op defaults; implement the ones you need.
+pub trait RunObserver {
+    /// Called once per [`TuningSession::step`] with the produced event.
+    fn on_event(&mut self, event: &SessionEvent) {
+        let _ = event;
+    }
+
+    /// Called for each new transcript line the Tuning Agent narrates —
+    /// the same lines, in the same order, that `TuningRun::transcript`
+    /// records at the end of the run.
+    fn on_transcript(&mut self, line: &str) {
+        let _ = line;
+    }
+
+    /// Called after each step with current token-usage snapshots.
+    fn on_usage(&mut self, tuning: &UsageMeter, analysis: &UsageMeter) {
+        let _ = (tuning, analysis);
+    }
+}
+
+enum Phase {
+    /// Nothing ran yet.
+    Start,
+    /// Default run done; analysis + agent construction pending.
+    Analyze,
+    /// Agent loop in progress.
+    Drive,
+    /// Ended; `finished` holds the run.
+    Done,
+}
+
+/// A steppable tuning run. See the module docs.
+pub struct TuningSession<'a> {
+    engine: &'a Stellar,
+    workload: &'a dyn Workload,
+    rules: RuleSet,
+    run_seed: u64,
+    registry: ParamRegistry,
+    analysis_backend: SimLlm,
+    tuning_backend: SimLlm,
+    observers: Vec<Box<dyn RunObserver + 'a>>,
+    phase: Phase,
+    // Run state, filled as phases progress.
+    default_cfg: TuningConfig,
+    default_wall: f64,
+    header: String,
+    tables: Vec<Table>,
+    report: Option<IoReport>,
+    agent: Option<TuningAgent>,
+    attempts: Vec<AttemptRecord>,
+    transcript_cursor: usize,
+    abort_reason: Option<String>,
+    finished: Option<TuningRun>,
+}
+
+impl<'a> TuningSession<'a> {
+    pub(crate) fn new(
+        engine: &'a Stellar,
+        workload: &'a dyn Workload,
+        rules: RuleSet,
+        seed: u64,
+    ) -> Self {
+        let run_seed = match engine.options().seed_policy {
+            SeedPolicy::PerWorkload => combine(seed, stable_hash(&workload.name())),
+            SeedPolicy::Fixed => seed,
+        };
+        Self::with_run_seed(engine, workload, rules, run_seed)
+    }
+
+    /// Session with a fully derived run seed, bypassing the engine's
+    /// [`SeedPolicy`]. Used by the campaign layer, whose per-cell seeds
+    /// already mix in the workload name and grid position.
+    pub(crate) fn with_run_seed(
+        engine: &'a Stellar,
+        workload: &'a dyn Workload,
+        rules: RuleSet,
+        run_seed: u64,
+    ) -> Self {
+        let analysis_backend = SimLlm::new(
+            engine.options().analysis_model.clone(),
+            combine(run_seed, 1),
+        );
+        let tuning_backend =
+            SimLlm::new(engine.options().tuning_model.clone(), combine(run_seed, 2));
+        TuningSession {
+            engine,
+            workload,
+            rules,
+            run_seed,
+            registry: ParamRegistry::standard(),
+            analysis_backend,
+            tuning_backend,
+            observers: Vec::new(),
+            phase: Phase::Start,
+            default_cfg: TuningConfig::lustre_default(),
+            default_wall: 0.0,
+            header: String::new(),
+            tables: Vec::new(),
+            report: None,
+            agent: None,
+            attempts: Vec::new(),
+            transcript_cursor: 0,
+            abort_reason: None,
+            finished: None,
+        }
+    }
+
+    /// Attach an observer. Multiple observers receive events in attachment
+    /// order.
+    pub fn observe(&mut self, observer: Box<dyn RunObserver + 'a>) -> &mut Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Request the session end before its next agent decision. The reason
+    /// appears in the final [`SessionEvent::Ended`] and `TuningRun`.
+    pub fn abort(&mut self, reason: impl Into<String>) {
+        if self.abort_reason.is_none() {
+            self.abort_reason = Some(reason.into());
+        }
+    }
+
+    /// Whether the run has concluded.
+    pub fn is_ended(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// Attempts executed so far.
+    pub fn attempts(&self) -> &[AttemptRecord] {
+        &self.attempts
+    }
+
+    /// Configuration attempts still available under the budget.
+    pub fn remaining_budget(&self) -> usize {
+        self.engine
+            .options()
+            .tuning
+            .max_attempts
+            .saturating_sub(self.attempts.len())
+    }
+
+    /// Execute one step of the tuning run and report what happened.
+    ///
+    /// After the run has ended, further calls return the final
+    /// [`SessionEvent::Ended`] again without side effects.
+    pub fn step(&mut self) -> SessionEvent {
+        let event = match self.phase {
+            Phase::Start => self.step_start(),
+            Phase::Analyze => self.step_analyze(),
+            Phase::Drive => self.step_drive(),
+            Phase::Done => {
+                return SessionEvent::Ended {
+                    reason: self
+                        .finished
+                        .as_ref()
+                        .map(|r| r.end_reason.clone())
+                        .unwrap_or_default(),
+                }
+            }
+        };
+        self.notify(&event);
+        event
+    }
+
+    /// Drain the session to completion and return the finished run.
+    pub fn drain(mut self) -> TuningRun {
+        while !self.is_ended() {
+            self.step();
+        }
+        self.into_run()
+    }
+
+    /// The finished run. Panics if the session has not ended — check
+    /// [`TuningSession::is_ended`] or use [`TuningSession::drain`].
+    pub fn into_run(self) -> TuningRun {
+        self.finished
+            .expect("session not finished; call step() until is_ended() or use drain()")
+    }
+
+    // ------------------------------------------------------------------
+    // Phase bodies. The operation order inside them reproduces the old
+    // monolithic tune() exactly, so runs are bit-identical.
+    // ------------------------------------------------------------------
+
+    fn step_start(&mut self) -> SessionEvent {
+        let (wall, header, tables) = self.engine.traced_run(
+            self.workload,
+            &self.default_cfg,
+            combine(self.run_seed, 100),
+        );
+        self.default_wall = wall;
+        self.header = header;
+        self.tables = tables;
+        self.phase = Phase::Analyze;
+        SessionEvent::InitialRun { wall_secs: wall }
+    }
+
+    fn build_agent(&mut self) {
+        let matched: Vec<agents::Rule> = if self.engine.options().tuning.use_rules {
+            let tags = self
+                .report
+                .as_ref()
+                .map(ContextTag::tags_for)
+                .unwrap_or_default();
+            self.rules.matching(&tags).into_iter().cloned().collect()
+        } else {
+            Vec::new()
+        };
+        self.agent = Some(TuningAgent::new(
+            &mut self.tuning_backend,
+            self.engine.options().tuning.clone(),
+            self.engine.sim().topology().clone(),
+            self.engine.params().to_vec(),
+            self.engine.truths(),
+            self.report.clone(),
+            matched,
+            self.default_wall,
+        ));
+    }
+
+    fn step_analyze(&mut self) -> SessionEvent {
+        if self.engine.options().tuning.use_analysis {
+            let mut agent = AnalysisAgent::new(&mut self.analysis_backend);
+            let report = agent.initial_report(&self.header, &self.tables);
+            self.report = Some(report.clone());
+            self.build_agent();
+            self.phase = Phase::Drive;
+            SessionEvent::AnalysisReport(report)
+        } else {
+            // No Analysis ablation: no report event; proceed directly to
+            // the first agent decision so every step still does one thing.
+            self.build_agent();
+            self.phase = Phase::Drive;
+            self.step_drive()
+        }
+    }
+
+    fn step_drive(&mut self) -> SessionEvent {
+        if let Some(reason) = self.abort_reason.take() {
+            return self.finalize(reason);
+        }
+        let mut agent = self.agent.take().expect("agent exists in Drive phase");
+        let event = match agent.decide(&mut self.tuning_backend) {
+            ToolCall::Analyze(q) => {
+                let mut analysis = AnalysisAgent::new(&mut self.analysis_backend);
+                let answer = analysis.answer(q, &self.tables);
+                agent.accept_answer(answer.clone());
+                self.agent = Some(agent);
+                SessionEvent::MinorLoopQuestion {
+                    question: q,
+                    answer,
+                }
+            }
+            ToolCall::RunConfig { config, .. } => {
+                // Hygiene between runs: a fresh simulator state per
+                // execution (delete files, drop caches, remount).
+                let config = config.clamped(&self.registry, self.engine.sim().topology());
+                let iteration = self.attempts.len() + 1;
+                let (wall, _h, tables) = self.engine.traced_run(
+                    self.workload,
+                    &config,
+                    combine(self.run_seed, 100 + iteration as u64),
+                );
+                self.tables = tables;
+                agent.record_result(config.clone(), wall);
+                let record = AttemptRecord {
+                    iteration,
+                    config,
+                    wall_secs: wall,
+                    speedup: self.default_wall / wall.max(1e-9),
+                };
+                self.attempts.push(record.clone());
+                self.agent = Some(agent);
+                SessionEvent::Attempt(record)
+            }
+            ToolCall::EndTuning { reason } => {
+                self.agent = Some(agent);
+                self.finalize(reason)
+            }
+        };
+        event
+    }
+
+    fn finalize(&mut self, reason: String) -> SessionEvent {
+        let agent = self.agent.take().expect("agent exists at finalize");
+        // Best over default + attempts.
+        let (best_wall, best_config) = self
+            .attempts
+            .iter()
+            .map(|a| (a.wall_secs, a.config.clone()))
+            .chain(std::iter::once((
+                self.default_wall,
+                self.default_cfg.clone(),
+            )))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .expect("non-empty");
+
+        // Reflect & Summarize; the caller merges into its global rule set.
+        let transcript = agent.transcript().to_vec();
+        let history = agent.history().to_vec();
+        drop(agent);
+        let new_rules = match &self.report {
+            Some(r) => {
+                agents::reflect::reflect(&mut self.tuning_backend, r, &history, self.default_wall)
+            }
+            None => Vec::new(),
+        };
+
+        self.finished = Some(TuningRun {
+            workload: self.workload.name(),
+            default_wall: self.default_wall,
+            attempts: std::mem::take(&mut self.attempts),
+            best_wall,
+            best_speedup: self.default_wall / best_wall.max(1e-9),
+            best_config,
+            end_reason: reason.clone(),
+            new_rules,
+            transcript,
+            tuning_usage: self.tuning_backend.usage().clone(),
+            analysis_usage: self.analysis_backend.usage().clone(),
+        });
+        self.phase = Phase::Done;
+        SessionEvent::Ended { reason }
+    }
+
+    fn notify(&mut self, event: &SessionEvent) {
+        if self.observers.is_empty() {
+            return;
+        }
+        // Stream transcript lines the agent produced during this step
+        // (borrowed, not cloned — `agent`/`finished` and `observers` are
+        // disjoint fields).
+        let lines: &[String] = match (&self.agent, &self.finished) {
+            (Some(agent), _) => agent.transcript(),
+            (None, Some(run)) => &run.transcript,
+            (None, None) => &[],
+        };
+        for line in &lines[self.transcript_cursor.min(lines.len())..] {
+            for obs in &mut self.observers {
+                obs.on_transcript(line);
+            }
+        }
+        self.transcript_cursor = lines.len();
+        for obs in &mut self.observers {
+            obs.on_event(event);
+            obs.on_usage(self.tuning_backend.usage(), self.analysis_backend.usage());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use workloads::WorkloadKind;
+
+    /// Collects everything the session streams.
+    #[derive(Default)]
+    struct Recorder {
+        lines: Vec<String>,
+        events: Vec<String>,
+        last_tuning_calls: u64,
+    }
+
+    struct SharedRecorder(Rc<RefCell<Recorder>>);
+
+    impl RunObserver for SharedRecorder {
+        fn on_event(&mut self, event: &SessionEvent) {
+            let tag = match event {
+                SessionEvent::InitialRun { .. } => "initial",
+                SessionEvent::AnalysisReport(_) => "report",
+                SessionEvent::MinorLoopQuestion { .. } => "question",
+                SessionEvent::Attempt(_) => "attempt",
+                SessionEvent::Ended { .. } => "ended",
+            };
+            self.0.borrow_mut().events.push(tag.to_string());
+        }
+        fn on_transcript(&mut self, line: &str) {
+            self.0.borrow_mut().lines.push(line.to_string());
+        }
+        fn on_usage(&mut self, tuning: &UsageMeter, _analysis: &UsageMeter) {
+            self.0.borrow_mut().last_tuning_calls = tuning.calls;
+        }
+    }
+
+    #[test]
+    fn drained_session_is_bit_identical_to_tune() {
+        let engine = Stellar::standard();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.1);
+        let mut rules = RuleSet::new();
+        let via_tune = engine.tune(w.as_ref(), &mut rules, 42);
+        let via_session = engine.session(w.as_ref(), RuleSet::new(), 42).drain();
+
+        assert_eq!(via_tune.workload, via_session.workload);
+        assert_eq!(
+            via_tune.default_wall.to_bits(),
+            via_session.default_wall.to_bits()
+        );
+        assert_eq!(via_tune.attempts.len(), via_session.attempts.len());
+        for (a, b) in via_tune.attempts.iter().zip(&via_session.attempts) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.wall_secs.to_bits(), b.wall_secs.to_bits());
+        }
+        assert_eq!(via_tune.best_config, via_session.best_config);
+        assert_eq!(
+            via_tune.best_wall.to_bits(),
+            via_session.best_wall.to_bits()
+        );
+        assert_eq!(via_tune.end_reason, via_session.end_reason);
+        assert_eq!(via_tune.transcript, via_session.transcript);
+        assert_eq!(via_tune.new_rules, via_session.new_rules);
+        assert_eq!(
+            via_tune.tuning_usage.input_tokens,
+            via_session.tuning_usage.input_tokens
+        );
+        assert_eq!(
+            via_tune.analysis_usage.input_tokens,
+            via_session.analysis_usage.input_tokens
+        );
+        // tune() merged the session-learned rules into the caller's set.
+        assert_eq!(rules.rules, {
+            let mut r = RuleSet::new();
+            r.merge(via_session.new_rules.clone());
+            r.rules
+        });
+    }
+
+    #[test]
+    fn observer_streams_the_exact_transcript_and_event_order() {
+        let engine = Stellar::standard();
+        let w = WorkloadKind::MdWorkbench8K.spec().scaled(0.15);
+        let recorder = Rc::new(RefCell::new(Recorder::default()));
+        let mut session = engine.session(w.as_ref(), RuleSet::new(), 6);
+        session.observe(Box::new(SharedRecorder(recorder.clone())));
+        let run = session.drain();
+
+        let rec = recorder.borrow();
+        // Acceptance criterion: the observer received the same transcript
+        // lines TuningRun.transcript records.
+        assert_eq!(rec.lines, run.transcript);
+        // Event order: initial run, analysis report, then the loop, ended.
+        assert_eq!(rec.events.first().map(String::as_str), Some("initial"));
+        assert_eq!(rec.events.get(1).map(String::as_str), Some("report"));
+        assert_eq!(rec.events.last().map(String::as_str), Some("ended"));
+        let attempts = rec.events.iter().filter(|e| *e == "attempt").count();
+        assert_eq!(attempts, run.attempts.len());
+        assert_eq!(rec.last_tuning_calls, run.tuning_usage.calls);
+    }
+
+    #[test]
+    fn stepping_yields_initial_run_first_and_is_idempotent_after_end() {
+        let engine = Stellar::standard();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let mut session = engine.session(w.as_ref(), RuleSet::new(), 3);
+        assert!(!session.is_ended());
+        let first = session.step();
+        assert!(matches!(first, SessionEvent::InitialRun { wall_secs } if wall_secs > 0.0));
+        while !session.is_ended() {
+            session.step();
+        }
+        let again = session.step();
+        assert!(matches!(again, SessionEvent::Ended { .. }));
+        let run = session.into_run();
+        assert!(run.best_speedup >= 1.0);
+    }
+
+    #[test]
+    fn abort_hook_ends_the_run_with_the_caller_reason() {
+        let engine = Stellar::standard();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let mut session = engine.session(w.as_ref(), RuleSet::new(), 4);
+        session.step(); // initial run
+        session.step(); // analysis report
+        assert_eq!(session.remaining_budget(), 5);
+        session.abort("operator requested shutdown");
+        let event = session.step();
+        let SessionEvent::Ended { reason } = event else {
+            panic!("expected Ended, got {event:?}");
+        };
+        assert_eq!(reason, "operator requested shutdown");
+        assert!(session.is_ended());
+        let run = session.into_run();
+        assert!(run.attempts.is_empty(), "aborted before any attempt");
+        assert_eq!(run.end_reason, "operator requested shutdown");
+        // Best falls back to the default configuration.
+        assert_eq!(run.best_wall.to_bits(), run.default_wall.to_bits());
+    }
+}

@@ -114,8 +114,7 @@ impl Workload for AmrexIo {
 
     fn scaled(&self, factor: f64) -> Box<dyn Workload> {
         let mut w = self.clone();
-        w.base_grid_bytes =
-            (scale_count(self.base_grid_bytes >> 20, factor, 1)) << 20;
+        w.base_grid_bytes = (scale_count(self.base_grid_bytes >> 20, factor, 1)) << 20;
         w.steps = scale_count(self.steps as u64, factor.sqrt(), 1) as u32;
         Box::new(w)
     }
@@ -161,7 +160,10 @@ mod tests {
             for op in &s.ops {
                 if let IoOp::Write { file, offset, len } = op {
                     if file.0 >= LEVEL_FILE_BASE {
-                        extents.entry(file.0).or_default().push((*offset, offset + len));
+                        extents
+                            .entry(file.0)
+                            .or_default()
+                            .push((*offset, offset + len));
                     }
                 }
             }

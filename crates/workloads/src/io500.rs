@@ -201,11 +201,8 @@ impl Workload for Io500 {
 
     fn scaled(&self, factor: f64) -> Box<dyn Workload> {
         Box::new(Io500 {
-            easy_bytes_per_rank: (scale_count(
-                self.easy_bytes_per_rank / EASY_TRANSFER,
-                factor,
-                1,
-            )) * EASY_TRANSFER,
+            easy_bytes_per_rank: (scale_count(self.easy_bytes_per_rank / EASY_TRANSFER, factor, 1))
+                * EASY_TRANSFER,
             hard_records_per_rank: scale_count(self.hard_records_per_rank, factor, 2),
             md_easy_files_per_rank: scale_count(self.md_easy_files_per_rank as u64, factor, 2)
                 as u32,

@@ -9,8 +9,8 @@
 use crate::{scale_count, Workload};
 use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
 use pfs::topology::ClusterSpec;
-use simcore::SimRng;
 use serde::{Deserialize, Serialize};
+use simcore::SimRng;
 
 /// Access pattern within each rank's block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -167,8 +167,7 @@ impl Workload for Ior {
                 w.block = ((self.block as f64 * f) as u64 / self.transfer).max(1) * self.transfer;
             }
         } else {
-            w.block =
-                ((self.block as f64 * factor) as u64 / self.transfer).max(1) * self.transfer;
+            w.block = ((self.block as f64 * factor) as u64 / self.transfer).max(1) * self.transfer;
         }
         Box::new(w)
     }

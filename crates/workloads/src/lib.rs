@@ -25,8 +25,8 @@
 //! benches run at paper scale.
 
 pub mod amrex;
-pub mod ior;
 pub mod io500;
+pub mod ior;
 pub mod macsio;
 pub mod mdworkbench;
 pub mod suite;

@@ -94,8 +94,7 @@ impl Workload for Macsio {
                 for _ in 0..self.objects_per_rank {
                     // ±25% size jitter, 4 KiB aligned.
                     let jitter = 0.75 + 0.5 * rng.unit();
-                    let len =
-                        (((self.object_bytes as f64 * jitter) as u64) / 4096).max(1) * 4096;
+                    let len = (((self.object_bytes as f64 * jitter) as u64) / 4096).max(1) * 4096;
                     s.push(IoOp::Write {
                         file,
                         offset: off,

@@ -75,6 +75,17 @@ impl WorkloadKind {
         }
     }
 
+    /// Instantiate the workload at `scale` — the paper-scale spec for
+    /// `scale == 1.0`, a scaled copy otherwise. The single home for the
+    /// spec-vs-scaled selection every driver needs.
+    pub fn spec_at(self, scale: f64) -> Box<dyn Workload> {
+        if (scale - 1.0).abs() < 1e-9 {
+            self.spec()
+        } else {
+            self.spec().scaled(scale)
+        }
+    }
+
     /// Parse a paper label.
     pub fn from_label(label: &str) -> Option<Self> {
         let all = [

@@ -1,58 +1,96 @@
-//! Quickstart: tune one workload end to end with STELLAR.
+//! Quickstart: the three-layer STELLAR API end to end.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds the engine (offline RAG extraction over the synthetic manual),
-//! runs IOR_16M under the default Lustre-like configuration, lets the agents
-//! tune it (≤ 5 attempts), and prints the outcome plus the learned rules.
+//! 1. **Builder** — construct the engine (offline RAG extraction over the
+//!    synthetic manual) with fluent configuration.
+//! 2. **Session** — run one Tuning Run step by step, watching every agent
+//!    event as it happens, with a live transcript observer.
+//! 3. **Campaign** — tune a small workload grid in parallel and aggregate.
 
 use agents::RuleSet;
-use stellar::Stellar;
+use stellar::{Campaign, RunObserver, SessionEvent, StellarBuilder};
 use workloads::WorkloadKind;
 
+/// Prints each transcript line the Tuning Agent narrates, as it happens.
+struct LivePrinter;
+
+impl RunObserver for LivePrinter {
+    fn on_transcript(&mut self, line: &str) {
+        println!("    | {line}");
+    }
+}
+
 fn main() {
-    // Offline phase: manual -> vector index -> 13 extracted tunables.
-    let engine = Stellar::standard();
+    // ---- 1. Builder: offline phase (manual -> index -> 13 tunables). ----
+    let engine = StellarBuilder::new()
+        .attempt_budget(5) // the paper's configuration cap
+        .build();
     println!(
         "offline extraction: {} / {} parameters selected\n",
         engine.extraction_report().selected,
         engine.extraction_report().total_params,
     );
 
-    // Online phase: one complete Tuning Run.
+    // ---- 2. Session: one observable Tuning Run. ----
     let workload = WorkloadKind::Ior16M.spec().scaled(0.25);
-    let mut rules = RuleSet::new();
-    let run = engine.tune(workload.as_ref(), &mut rules, 42);
+    let mut session = engine.session(workload.as_ref(), RuleSet::new(), 42);
+    session.observe(Box::new(LivePrinter));
 
-    println!("workload: {}", run.workload);
-    println!("default wall time: {:.3}s", run.default_wall);
-    for a in &run.attempts {
-        println!(
-            "  attempt {}: {:.3}s  (x{:.2})",
-            a.iteration, a.wall_secs, a.speedup
-        );
+    println!("stepping the session:");
+    while !session.is_ended() {
+        match session.step() {
+            SessionEvent::InitialRun { wall_secs } => {
+                println!("  event: initial default run took {wall_secs:.3}s");
+            }
+            SessionEvent::AnalysisReport(report) => {
+                println!(
+                    "  event: analysis report — {:?}, {:.1} KiB mean writes",
+                    report.classify(),
+                    report.avg_write_size / 1024.0
+                );
+            }
+            SessionEvent::MinorLoopQuestion { question, .. } => {
+                println!("  event: minor-loop question {question:?}");
+            }
+            SessionEvent::Attempt(a) => {
+                println!(
+                    "  event: attempt {} -> {:.3}s (x{:.2})",
+                    a.iteration, a.wall_secs, a.speedup
+                );
+            }
+            SessionEvent::Ended { reason } => {
+                println!("  event: ended — {reason}");
+            }
+        }
     }
+    let run = session.into_run();
+    let mut rules = RuleSet::new();
+    rules.merge(run.new_rules.clone());
     println!(
-        "\nbest: {:.3}s — x{:.2} speedup in {} attempts",
+        "\nbest: {:.3}s — x{:.2} speedup in {} attempts; {} rules learned",
         run.best_wall,
         run.best_speedup,
-        run.attempts.len()
-    );
-    println!("ended because: {}", run.end_reason);
-    println!("\nbest configuration:\n{}", run.best_config.render());
-    println!(
-        "\nlearned {} rules; global rule set now:\n{}",
+        run.attempts.len(),
         run.new_rules.len(),
-        rules.to_json()
     );
+    println!("best configuration:\n{}", run.best_config.render());
     println!(
-        "\ntoken usage: tuning agent {} in / {} out ({:.0}% cached), analysis agent {} in / {} out",
+        "token usage: tuning agent {} in / {} out ({:.0}% cached)\n",
         run.tuning_usage.input_tokens,
         run.tuning_usage.output_tokens,
         run.tuning_usage.cache_hit_ratio() * 100.0,
-        run.analysis_usage.input_tokens,
-        run.analysis_usage.output_tokens,
     );
+
+    // ---- 3. Campaign: a parallel workload grid with warm rules. ----
+    println!("campaign: two workloads x two seeds, warm rule sharing");
+    let report = Campaign::new(&engine)
+        .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K], 0.15)
+        .seeds([1, 2])
+        .rule_mode(stellar::RuleMode::Warm)
+        .starting_rules(rules)
+        .run();
+    print!("{}", report.render());
 }

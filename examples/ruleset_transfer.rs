@@ -4,13 +4,18 @@
 //! ```sh
 //! cargo run --release --example ruleset_transfer
 //! ```
+//!
+//! Phase 1 accumulates sequentially through the compatibility wrapper
+//! (`Stellar::tune`), exactly as the paper's single-cluster deployment
+//! would. Phase 2 contrasts cold vs warm on the unseen application with a
+//! parallel [`Campaign`] grid.
 
 use agents::RuleSet;
-use stellar::Stellar;
+use stellar::{Campaign, Stellar, TuningRun};
 use workloads::WorkloadKind;
 
 fn main() {
-    let engine = Stellar::standard();
+    let engine = Stellar::builder().build();
     let scale = 0.2;
 
     // Phase 1: learn from the benchmarks (cold, one after another, merging
@@ -34,27 +39,41 @@ fn main() {
         );
     }
 
-    // Phase 2: an application STELLAR has never seen.
+    // Phase 2: an application STELLAR has never seen — one cold campaign
+    // cell and one primed with the accumulated rules, run as grids.
     println!("\n=== phase 2: unseen application (AMReX plotfile kernel) ===");
-    let app = WorkloadKind::Amrex.spec().scaled(scale);
+    let cold = Campaign::new(&engine)
+        .kinds(&[WorkloadKind::Amrex], scale)
+        .seeds([8])
+        .run();
+    let warm = Campaign::new(&engine)
+        .kinds(&[WorkloadKind::Amrex], scale)
+        .seeds([9])
+        .starting_rules(rules)
+        .run();
 
-    let mut empty = RuleSet::new();
-    let cold = engine.tune(app.as_ref(), &mut empty, 8);
-    let mut warm_rules = rules.clone();
-    let warm = engine.tune(app.as_ref(), &mut warm_rules, 9);
-
-    let fmt = |run: &stellar::TuningRun| {
+    let fmt = |run: &TuningRun| {
         let mut s = String::from("1.00");
         for a in &run.attempts {
             s.push_str(&format!(" -> {:.2}", a.speedup));
         }
         s
     };
-    println!("  without rules: {}   (best x{:.2})", fmt(&cold), cold.best_speedup);
-    println!("  with rules:    {}   (best x{:.2})", fmt(&warm), warm.best_speedup);
+    let cold_run = &cold.cells[0].run;
+    let warm_run = &warm.cells[0].run;
+    println!(
+        "  without rules: {}   (best x{:.2})",
+        fmt(cold_run),
+        cold_run.best_speedup
+    );
+    println!(
+        "  with rules:    {}   (best x{:.2})",
+        fmt(warm_run),
+        warm_run.best_speedup
+    );
     println!(
         "\nfirst-guess quality: cold x{:.2} vs warm x{:.2}",
-        cold.attempts.first().map(|a| a.speedup).unwrap_or(1.0),
-        warm.attempts.first().map(|a| a.speedup).unwrap_or(1.0),
+        cold_run.attempts.first().map(|a| a.speedup).unwrap_or(1.0),
+        warm_run.attempts.first().map(|a| a.speedup).unwrap_or(1.0),
     );
 }

@@ -1,0 +1,71 @@
+//! Campaign-layer integration: deterministic parallel execution and
+//! cross-layer consistency with single sessions.
+
+use agents::RuleSet;
+use stellar::{Campaign, RuleMode, StellarBuilder};
+use workloads::WorkloadKind;
+
+const KINDS: [WorkloadKind; 2] = [WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K];
+
+/// The same workload/seed grid run serially and in parallel yields
+/// identical `best_wall`/`best_config` per cell — in warm mode, where
+/// cross-cell rule sharing makes ordering bugs visible.
+#[test]
+fn campaign_parallel_equals_serial() {
+    let engine = StellarBuilder::new().build();
+    let campaign = Campaign::new(&engine)
+        .kinds(&KINDS, 0.08)
+        .seeds([11, 12])
+        .rule_mode(RuleMode::Warm)
+        .threads(4);
+    let parallel = campaign.run();
+    let serial = campaign.run_serial();
+
+    assert_eq!(parallel.cells.len(), 4);
+    assert_eq!(parallel.cells.len(), serial.cells.len());
+    for (p, s) in parallel.cells.iter().zip(&serial.cells) {
+        assert_eq!(p.workload, s.workload);
+        assert_eq!(p.seed, s.seed);
+        assert_eq!(p.cell_seed, s.cell_seed);
+        assert_eq!(
+            p.run.best_wall.to_bits(),
+            s.run.best_wall.to_bits(),
+            "{} @ seed {}: parallel and serial best_wall diverged",
+            p.workload,
+            p.seed
+        );
+        assert_eq!(
+            p.run.best_config, s.run.best_config,
+            "{} @ seed {}: parallel and serial best_config diverged",
+            p.workload, p.seed
+        );
+        assert_eq!(p.run.attempts.len(), s.run.attempts.len());
+    }
+    assert_eq!(parallel.rules, serial.rules, "accumulated rules diverged");
+}
+
+/// A cold campaign cell reproduces the stand-alone session for the same
+/// derived seed and starting rules — the layers compose, they don't drift.
+/// Campaign cell seeds are fully derived, so the equivalent stand-alone
+/// session uses `SeedPolicy::Fixed` (the default `PerWorkload` policy
+/// would hash the workload name into the seed a second time).
+#[test]
+fn campaign_cell_matches_standalone_session() {
+    let engine = StellarBuilder::new().build();
+    let report = Campaign::new(&engine)
+        .kinds(&[WorkloadKind::Ior16M], 0.08)
+        .seeds([21])
+        .run();
+    let cell = &report.cells[0];
+
+    let fixed_engine = StellarBuilder::new()
+        .seed_policy(stellar::SeedPolicy::Fixed)
+        .build();
+    let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+    let standalone = fixed_engine
+        .session(w.as_ref(), RuleSet::new(), cell.cell_seed)
+        .drain();
+    assert_eq!(cell.run.best_wall.to_bits(), standalone.best_wall.to_bits());
+    assert_eq!(cell.run.best_config, standalone.best_config);
+    assert_eq!(cell.run.transcript, standalone.transcript);
+}

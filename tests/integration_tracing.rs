@@ -36,12 +36,14 @@ fn darshan_conserves_bytes() {
             .sum();
         let traced_read: i64 = log.records.iter().map(|r| r.get(Counter::BytesRead)).sum();
         assert_eq!(
-            traced_written as u64, run.bytes_written,
+            traced_written as u64,
+            run.bytes_written,
             "{}: written mismatch",
             kind.label()
         );
         assert_eq!(
-            traced_read as u64, run.bytes_read,
+            traced_read as u64,
+            run.bytes_read,
             "{}: read mismatch",
             kind.label()
         );
@@ -54,7 +56,10 @@ fn analysis_classification_is_stable_across_scales_and_configs() {
     let expectations = [
         (WorkloadKind::Ior16M, WorkloadClass::LargeSequentialShared),
         (WorkloadKind::Ior64K, WorkloadClass::RandomSmallShared),
-        (WorkloadKind::MdWorkbench2K, WorkloadClass::MetadataSmallFiles),
+        (
+            WorkloadKind::MdWorkbench2K,
+            WorkloadClass::MetadataSmallFiles,
+        ),
         (WorkloadKind::Io500, WorkloadClass::MixedMultiPhase),
         (WorkloadKind::Macsio512K, WorkloadClass::SmallObjectDumps),
     ];

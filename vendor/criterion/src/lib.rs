@@ -1,0 +1,135 @@
+//! Minimal criterion-compatible harness.
+//!
+//! Runs each benchmark routine a small fixed number of iterations and
+//! prints mean wall time — enough for `cargo bench` to compile, run and
+//! give a rough signal offline. The API mirrors the subset the workspace's
+//! benches use: `Criterion::{benchmark_group, bench_function}`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped (ignored; one input per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Iterations per benchmark routine (a smoke run, not a statistical one).
+const ITERS: u32 = 3;
+
+/// The timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        report_elapsed(start, self.iters);
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+        }
+        println!(
+            "    {:>12.3} ms/iter (over {} iters)",
+            spent.as_secs_f64() * 1e3 / f64::from(ITERS),
+            ITERS
+        );
+    }
+}
+
+fn report_elapsed(start: Instant, iters: u32) {
+    println!(
+        "    {:>12.3} ms/iter (over {} iters)",
+        start.elapsed().as_secs_f64() * 1e3 / f64::from(iters),
+        iters
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the smoke harness is fixed-size.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("bench {}/{}", self.name, id);
+        f(&mut Bencher { iters: ITERS });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        println!("bench {id}");
+        f(&mut Bencher { iters: ITERS });
+        self
+    }
+}
+
+/// Re-export for benches importing `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,33 @@
+//! A sequential stand-in for the rayon prelude.
+//!
+//! The workspace uses rayon only for embarrassingly parallel `par_iter` /
+//! `into_par_iter` → `map` → `collect` pipelines over pure functions, so a
+//! sequential implementation is semantically identical (and keeps results
+//! bit-deterministic by construction). Coarse-grained parallelism in this
+//! repository lives in `stellar::campaign`, which drives `std::thread`
+//! directly. Swap this crate for real rayon by deleting the vendored copy
+//! once a crates.io mirror is reachable.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential: identical to `into_iter()`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Convert into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// `par_iter()` on slices — sequential: identical to `iter()`.
+    pub trait ParallelSlice<T> {
+        /// Borrowing (sequential) "parallel" iterator.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! A minimal, offline serde facade.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, consumed exclusively through
+//! the sibling `serde_json` crate. Instead of serde's visitor-based
+//! zero-copy data model, values serialize into an owned [`Content`] tree
+//! that `serde_json` renders and parses. The API surface (trait names,
+//! derive attribute grammar for `rename`/`skip`) matches upstream so the
+//! application code is source-compatible with the real crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The self-describing value tree produced by [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (values above `i64::MAX`).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key-ordered map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as i64, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::Int(v) => Some(*v),
+            Content::UInt(v) => i64::try_from(*v).ok(),
+            Content::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::UInt(v) => Some(*v),
+            Content::Int(v) => u64::try_from(*v).ok(),
+            Content::Float(f) if f.fract() == 0.0 && *f >= 0.0 && f.is_finite() => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::Float(f) => Some(*f),
+            Content::Int(v) => Some(*v as f64),
+            Content::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a key in map entries (used by derive-generated code).
+pub fn content_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// New error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize into the [`Content`] data model.
+pub trait Serialize {
+    /// Convert `self` into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialize from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a content tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c
+                    .as_i64()
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::new(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c
+                    .as_u64()
+                    .ok_or_else(|| Error::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::new(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+// 128-bit integers don't fit the JSON number model; values beyond the u64/
+// i64 range serialize as decimal strings (and parse back from either form).
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match u64::try_from(*self) {
+            Ok(v) => Content::UInt(v),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        if let Some(v) = c.as_u64() {
+            return Ok(u128::from(v));
+        }
+        c.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::new("expected u128"))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_content(&self) -> Content {
+        match i64::try_from(*self) {
+            Ok(v) => Content::Int(v),
+            Err(_) => Content::Str(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        if let Some(v) = c.as_i64() {
+            return Ok(i128::from(v));
+        }
+        c.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::new("expected i128"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_f64().ok_or_else(|| Error::new("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.as_f64().ok_or_else(|| Error::new("expected f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool().ok_or_else(|| Error::new("expected bool"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_str().ok_or_else(|| Error::new("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(Error::new("expected single-char string")),
+        }
+    }
+}
+
+// Borrowed strings serialize fine; deserializing into `&'static str` is
+// impossible without leaking, so it reports an error (nothing in this
+// workspace deserializes such a field — `ModelProfile` derives Deserialize
+// but is only ever serialized).
+impl Deserialize for &'static str {
+    fn from_content(_c: &Content) -> Result<Self, Error> {
+        Err(Error::new(
+            "cannot deserialize into a borrowed &'static str",
+        ))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::new("expected sequence"))?
+            .iter()
+            .map(Deserialize::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_seq().ok_or_else(|| Error::new("expected 2-tuple"))?;
+        if s.len() != 2 {
+            return Err(Error::new("expected 2-tuple"));
+        }
+        Ok((A::from_content(&s[0])?, B::from_content(&s[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        let s = c.as_seq().ok_or_else(|| Error::new("expected 3-tuple"))?;
+        if s.len() != 3 {
+            return Err(Error::new("expected 3-tuple"));
+        }
+        Ok((
+            A::from_content(&s[0])?,
+            B::from_content(&s[1])?,
+            C::from_content(&s[2])?,
+        ))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map()
+            .ok_or_else(|| Error::new("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}

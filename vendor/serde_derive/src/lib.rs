@@ -1,0 +1,511 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde facade.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build
+//! environment is offline) and emits impls of `serde::Serialize` /
+//! `serde::Deserialize` over the `serde::Content` data model. Supported
+//! shapes — the full set this workspace uses:
+//!
+//! * structs with named fields, honouring `#[serde(rename = "...")]` and
+//!   `#[serde(skip)]` (skipped fields deserialize via `Default`);
+//! * tuple structs (newtype structs serialize transparently, like serde);
+//! * enums with unit, newtype, tuple and struct variants, in serde's
+//!   externally-tagged representation.
+//!
+//! Generics are not supported (nothing in the workspace derives on a
+//! generic type); encountering them is a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    ident: String,
+    key: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    ident: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct SerdeAttrs {
+    rename: Option<String>,
+    skip: bool,
+}
+
+/// Consume leading attributes from `toks[*i..]`, collecting serde ones.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs {
+        rename: None,
+        skip: false,
+    };
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+                    panic!("attribute without body");
+                };
+                parse_serde_attr(&g.stream(), &mut attrs);
+                *i += 2;
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Inspect one attribute body `[...]`; record serde(rename/skip) content.
+fn parse_serde_attr(body: &TokenStream, attrs: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or unrelated attribute
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => {
+                    attrs.skip = true;
+                    j += 1;
+                }
+                "rename" => {
+                    // rename = "literal"
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (inner.get(j + 1), inner.get(j + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            attrs.rename = Some(unquote(&lit.to_string()));
+                        }
+                    }
+                    j += 3;
+                }
+                other => panic!("unsupported serde attribute `{other}`"),
+            },
+            _ => j += 1, // separators
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` visibility tokens.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip the tokens of one type, stopping at a top-level `,`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named fields (struct bodies and struct variants).
+fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let ident = name.to_string();
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("expected `:` after field `{ident}`"),
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // consume the `,` (or run past the end)
+        fields.push(Field {
+            key: attrs.rename.clone().unwrap_or_else(|| ident.clone()),
+            ident,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn tuple_arity(body: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        i += 1; // the `,`
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let ident = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume a trailing `,` if present (discriminants are unsupported).
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { ident, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("#[derive(Serialize/Deserialize)]: generic types are not supported by the vendored serde facade");
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(&g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: tuple_arity(&g.stream()),
+                }
+            }
+            _ => Item::NamedStruct {
+                name,
+                fields: Vec::new(),
+            },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(&g.stream()),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((\"{key}\".to_string(), ::serde::Serialize::to_content(&self.{id})));\n",
+                    key = f.key,
+                    id = f.ident
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{\n\
+                     let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                     {pushes}\
+                     ::serde::Content::Map(__m)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_content(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vi} => ::serde::Content::Str(\"{vi}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vi}({binds}) => ::serde::Content::Map(vec![(\"{vi}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__m.push((\"{key}\".to_string(), ::serde::Serialize::to_content({id})));\n",
+                                key = f.key,
+                                id = f.ident
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vi} {{ {binds} }} => {{\n\
+                               let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                               {pushes}\
+                               ::serde::Content::Map(vec![(\"{vi}\".to_string(), ::serde::Content::Map(__m))])\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_content(&self) -> ::serde::Content {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_named_ctor(path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{id}: ::std::default::Default::default(),\n",
+                id = f.ident
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{id}: match ::serde::content_get({source}, \"{key}\") {{\n\
+                   ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                   ::std::option::Option::None => return ::std::result::Result::Err(::serde::Error::new(\"missing field `{key}`\")),\n\
+                 }},\n",
+                id = f.ident,
+                key = f.key
+            ));
+        }
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let ctor = gen_named_ctor(name, fields, "__m");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let __m = __c.as_map().ok_or_else(|| ::serde::Error::new(\"{name}: expected map\"))?;\n\
+                     ::std::result::Result::Ok({ctor})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                    .collect();
+                format!(
+                    "let __s = __c.as_seq().ok_or_else(|| ::serde::Error::new(\"{name}: expected sequence\"))?;\n\
+                     if __s.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::new(\"{name}: wrong tuple length\")); }}\n\
+                     ::std::result::Result::Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     {body}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vi}\" => ::std::result::Result::Ok({name}::{vi}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vi}(::serde::Deserialize::from_content(__v)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __s = __v.as_seq().ok_or_else(|| ::serde::Error::new(\"{name}::{vi}: expected sequence\"))?;\n\
+                                   if __s.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::new(\"{name}::{vi}: wrong tuple length\")); }}\n\
+                                   ::std::result::Result::Ok({name}::{vi}({elems})) }}",
+                                elems = elems.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vi}\" => {body},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctor = gen_named_ctor(&format!("{name}::{vi}"), fields, "__vm");
+                        data_arms.push_str(&format!(
+                            "\"{vi}\" => {{\n\
+                               let __vm = __v.as_map().ok_or_else(|| ::serde::Error::new(\"{name}::{vi}: expected map\"))?;\n\
+                               ::std::result::Result::Ok({ctor})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     match __c {{\n\
+                       ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                       }},\n\
+                       ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__k, __v) = &__entries[0];\n\
+                         match __k.as_str() {{\n\
+                           {data_arms}\
+                           __other => ::std::result::Result::Err(::serde::Error::new(format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                       }}\n\
+                       _ => ::std::result::Result::Err(::serde::Error::new(\"{name}: expected string or single-entry map\")),\n\
+                     }}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
