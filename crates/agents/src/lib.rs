@@ -19,15 +19,46 @@
 //!
 //! [`rules`] implements the JSON rule-set format of §4.4.1 and the merge /
 //! conflict-resolution protocol of §4.4.2; [`reflect`] distills finished
-//! runs into new rules.
+//! runs into new rules. [`store`] scales the accumulated knowledge: a
+//! [`ShardedRuleStore`] shards rules by context-tag signature behind
+//! copy-on-write [`Arc`](std::sync::Arc) shards, so concurrent campaign
+//! rounds read O(1) [`RuleSnapshot`]s instead of cloning the whole set.
+//!
+//! # Example
+//!
+//! Learned rules accumulate in a sharded store; readers take snapshots:
+//!
+//! ```
+//! use agents::{ContextTag, Guidance, Rule, ShardedRuleStore};
+//!
+//! let mut store = ShardedRuleStore::new();
+//! store.merge(vec![Rule::new(
+//!     "stripe_count",
+//!     Guidance::SetToAllOsts,
+//!     &[ContextTag::LargeSequentialWrites, ContextTag::SharedFile],
+//! )]);
+//!
+//! // O(1) view; later merges won't change what this reader sees.
+//! let snapshot = store.snapshot();
+//! let hits = snapshot.matching(&[
+//!     ContextTag::LargeSequentialWrites,
+//!     ContextTag::SharedFile,
+//! ]);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].parameter, "stripe_count");
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod reflect;
 pub mod report;
 pub mod rules;
+pub mod store;
 pub mod tuning;
 
 pub use analysis::{AnalysisAgent, AnalysisQuestion, Answer};
 pub use report::{IoReport, WorkloadClass};
 pub use rules::{ContextTag, Guidance, Rule, RuleSet};
+pub use store::{RuleSnapshot, ShardCensusEntry, ShardSignature, ShardedRuleStore};
 pub use tuning::{Attempt, ToolCall, TuningAgent, TuningOptions};

@@ -67,6 +67,21 @@ impl ContextTag {
         ]
     }
 
+    /// This tag's bit in a context-tag mask (bit positions follow
+    /// [`ContextTag::all`] order).
+    pub fn bit(self) -> u16 {
+        let idx = Self::all()
+            .iter()
+            .position(|t| *t == self)
+            .expect("every tag appears in all()");
+        1 << idx
+    }
+
+    /// Bitmask over a set of tags (duplicates collapse).
+    pub fn mask_of(tags: &[ContextTag]) -> u16 {
+        tags.iter().fold(0, |m, t| m | t.bit())
+    }
+
     /// Tags describing a report.
     pub fn tags_for(report: &IoReport) -> Vec<ContextTag> {
         let mut tags = Vec::new();

@@ -23,6 +23,7 @@
 //!   --warm             accumulate rules across seed rounds
 //!   --serial           disable parallel cell execution
 //!   --threads <n>      worker threads (default: hardware parallelism)
+//!   --rule-shards      print the final sharded rule store's census
 //! ```
 
 use agents::RuleSet;
@@ -281,6 +282,23 @@ fn cmd_campaign(args: &[String]) -> i32 {
         analysis.input_tokens,
         analysis.output_tokens,
     );
+    if has_flag(args, "--rule-shards") {
+        let store = &report.rule_store;
+        println!(
+            "rule shards: {} rules in {} shards (topology bucket {})",
+            store.len(),
+            store.shard_count(),
+            store.topo_bucket()
+        );
+        for entry in store.census() {
+            println!(
+                "  {:>4} rule(s)  [mask {:#05x}] {}",
+                entry.rules,
+                entry.signature.tag_mask,
+                entry.signature.label()
+            );
+        }
+    }
     save_rules(args, &report.rules)
 }
 

@@ -17,9 +17,19 @@
 //! after the round. [`Campaign::run`] (parallel) and
 //! [`Campaign::run_serial`] therefore produce identical reports — asserted
 //! by the `campaign_determinism` integration test.
+//!
+//! ## Rule storage
+//!
+//! Accumulated rules live in a [`ShardedRuleStore`] keyed by context-tag
+//! signature and the engine's topology bucket. Round snapshots are O(1)
+//! [`RuleSnapshot`]s — warm rounds no longer clone the whole rule set per
+//! cell, so campaign cost stays flat as the store grows (see the
+//! `rule_store` bench). Round merges touch only the shards the learned
+//! rules land in, and merge order stays the grid order, keeping
+//! serial == parallel.
 
 use crate::engine::{Stellar, TuningRun};
-use agents::RuleSet;
+use agents::{RuleSet, RuleSnapshot, ShardedRuleStore};
 use llmsim::UsageMeter;
 use simcore::rng::{combine, stable_hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -58,8 +68,13 @@ pub struct CampaignCell {
 pub struct CampaignReport {
     /// All cells, in grid order (seed-major, then workload).
     pub cells: Vec<CampaignCell>,
-    /// The final rule set (starting rules plus merged learnings).
+    /// The final rule set (starting rules plus merged learnings), as the
+    /// flat serialization façade — save this with [`RuleSet::to_json`].
     pub rules: RuleSet,
+    /// The same final rules in sharded form, for O(1) snapshots into
+    /// follow-up campaigns and per-shard introspection
+    /// ([`ShardedRuleStore::census`]; the CLI's `campaign --rule-shards`).
+    pub rule_store: ShardedRuleStore,
 }
 
 impl CampaignReport {
@@ -128,11 +143,12 @@ impl CampaignReport {
             ));
         }
         out.push_str(&format!(
-            "mean speedup x{:.2} over {} cells ({} evaluations); {} rules accumulated\n",
+            "mean speedup x{:.2} over {} cells ({} evaluations); {} rules accumulated in {} shards\n",
             self.mean_best_speedup(),
             self.cells.len(),
             self.total_evaluations(),
-            self.rules.len()
+            self.rules.len(),
+            self.rule_store.shard_count()
         ));
         out
     }
@@ -217,12 +233,13 @@ impl<'e> Campaign<'e> {
         )
     }
 
-    fn run_cell(&self, seed: u64, workload_idx: usize, rules: &RuleSet) -> CampaignCell {
+    fn run_cell(&self, seed: u64, workload_idx: usize, rules: &RuleSnapshot) -> CampaignCell {
         let w = &self.workloads[workload_idx];
         let cell_seed = self.cell_seed(seed, workload_idx);
         // The cell seed is fully derived (workload name + grid position
         // already mixed in), so bypass the engine's SeedPolicy instead of
-        // letting PerWorkload hash the name in a second time.
+        // letting PerWorkload hash the name in a second time. The snapshot
+        // clone is O(1): cells share the round's shards, not copies.
         let run = crate::session::TuningSession::with_run_seed(
             self.engine,
             w.as_ref(),
@@ -239,7 +256,7 @@ impl<'e> Campaign<'e> {
     }
 
     /// One round (all workloads at one seed), parallel across `threads`.
-    fn round_parallel(&self, seed: u64, rules: &RuleSet) -> Vec<CampaignCell> {
+    fn round_parallel(&self, seed: u64, rules: &RuleSnapshot) -> Vec<CampaignCell> {
         let n = self.workloads.len();
         let results: Mutex<Vec<Option<CampaignCell>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
@@ -264,7 +281,7 @@ impl<'e> Campaign<'e> {
             .collect()
     }
 
-    fn round_serial(&self, seed: u64, rules: &RuleSet) -> Vec<CampaignCell> {
+    fn round_serial(&self, seed: u64, rules: &RuleSnapshot) -> Vec<CampaignCell> {
         (0..self.workloads.len())
             .map(|i| self.run_cell(seed, i, rules))
             .collect()
@@ -275,12 +292,18 @@ impl<'e> Campaign<'e> {
             !self.workloads.is_empty() && !self.seeds.is_empty(),
             "campaign grid is empty: add workloads and seeds"
         );
-        let mut rules = self.base_rules.clone();
+        let mut store = ShardedRuleStore::for_topology(self.engine.sim().topology().ost_count())
+            .with_rules(&self.base_rules);
+        // Cold rounds always start from the pre-campaign state; taking the
+        // snapshot once up front shares it across every round for free.
+        let base_snapshot = store.snapshot();
         let mut cells = Vec::with_capacity(self.workloads.len() * self.seeds.len());
         for &seed in &self.seeds {
+            // O(1) either way: snapshots share shards, they don't clone
+            // rules — warm rounds no longer pay for the set they've grown.
             let snapshot = match self.mode {
-                RuleMode::Cold => self.base_rules.clone(),
-                RuleMode::Warm => rules.clone(),
+                RuleMode::Cold => base_snapshot.clone(),
+                RuleMode::Warm => store.snapshot(),
             };
             let round = if parallel {
                 self.round_parallel(seed, &snapshot)
@@ -288,13 +311,18 @@ impl<'e> Campaign<'e> {
                 self.round_serial(seed, &snapshot)
             };
             // Merge learnings in grid order — deterministic regardless of
-            // which thread finished first.
+            // which thread finished first. Only the shards the new rules
+            // land in are copied; outstanding snapshots are untouched.
             for cell in &round {
-                rules.merge(cell.run.new_rules.clone());
+                store.merge(cell.run.new_rules.clone());
             }
             cells.extend(round);
         }
-        CampaignReport { cells, rules }
+        CampaignReport {
+            cells,
+            rules: store.to_rule_set(),
+            rule_store: store,
+        }
     }
 
     /// Run the grid with deterministic parallel execution.

@@ -6,7 +6,7 @@
 //! [`Stellar::standard`] for the paper defaults).
 
 use crate::session::TuningSession;
-use agents::{RuleSet, TuningOptions};
+use agents::{RuleSet, RuleSnapshot, TuningOptions};
 use darshan::{tables::to_tables, Collector, Table};
 use llmsim::{ModelProfile, ParamFact, SimLlm, UsageMeter};
 use pfs::params::{ParamRegistry, TuningConfig};
@@ -189,17 +189,19 @@ impl Stellar {
 
     /// Open a steppable tuning session against `workload`.
     ///
-    /// The session consults `rules` (a snapshot — clone your global set)
-    /// when priming the Tuning Agent; merge the finished run's `new_rules`
-    /// back into your global set to accumulate knowledge, as
-    /// [`Stellar::tune`] does.
+    /// The session consults `rules` when priming the Tuning Agent —
+    /// anything convertible into a [`RuleSnapshot`]: a
+    /// [`agents::ShardedRuleStore`] snapshot (O(1), the campaign path) or
+    /// a flat [`RuleSet`] (partitioned into shards on entry). Merge the
+    /// finished run's `new_rules` back into your global store to
+    /// accumulate knowledge, as [`Stellar::tune`] does.
     pub fn session<'a>(
         &'a self,
         workload: &'a dyn Workload,
-        rules: RuleSet,
+        rules: impl Into<RuleSnapshot>,
         seed: u64,
     ) -> TuningSession<'a> {
-        TuningSession::new(self, workload, rules, seed)
+        TuningSession::new(self, workload, rules.into(), seed)
     }
 
     /// Execute a complete Tuning Run against `workload`, consulting and

@@ -21,9 +21,39 @@
 //!   execution, aggregating into a [`CampaignReport`] — the substrate for
 //!   the Fig. 6/7 sweeps and multi-workload serving.
 //!
+//! Accumulated rules live in a sharded, copy-on-write
+//! [`agents::ShardedRuleStore`]; sessions and campaign rounds read O(1)
+//! [`agents::RuleSnapshot`]s instead of cloning the set (see
+//! `ARCHITECTURE.md` at the repository root for the full data flow).
+//!
 //! Baselines ([`baselines::expert_oracle`], [`baselines::random_search`])
 //! and per-figure [`experiments`] drivers ride on top; the `bench` crate's
 //! binaries print their outputs.
+//!
+//! # Example
+//!
+//! One tuning run, stepped to completion:
+//!
+//! ```
+//! use agents::RuleSet;
+//! use stellar::{SessionEvent, StellarBuilder};
+//! use workloads::WorkloadKind;
+//!
+//! let engine = StellarBuilder::new().attempt_budget(5).build();
+//! let workload = WorkloadKind::Ior16M.spec().scaled(0.05);
+//! let mut session = engine.session(workload.as_ref(), RuleSet::new(), 42);
+//! let mut attempts = 0;
+//! while !session.is_ended() {
+//!     if let SessionEvent::Attempt(_) = session.step() {
+//!         attempts += 1;
+//!     }
+//! }
+//! let run = session.into_run();
+//! assert_eq!(run.attempts.len(), attempts);
+//! assert!(run.best_speedup >= 1.0);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod builder;

@@ -22,7 +22,8 @@
 
 use crate::engine::{AttemptRecord, SeedPolicy, Stellar, TuningRun};
 use agents::{
-    AnalysisAgent, AnalysisQuestion, Answer, ContextTag, IoReport, RuleSet, ToolCall, TuningAgent,
+    AnalysisAgent, AnalysisQuestion, Answer, ContextTag, IoReport, RuleSnapshot, ToolCall,
+    TuningAgent,
 };
 use darshan::Table;
 use llmsim::{LlmBackend, SimLlm, UsageMeter};
@@ -95,7 +96,7 @@ enum Phase {
 pub struct TuningSession<'a> {
     engine: &'a Stellar,
     workload: &'a dyn Workload,
-    rules: RuleSet,
+    rules: RuleSnapshot,
     run_seed: u64,
     registry: ParamRegistry,
     analysis_backend: SimLlm,
@@ -119,7 +120,7 @@ impl<'a> TuningSession<'a> {
     pub(crate) fn new(
         engine: &'a Stellar,
         workload: &'a dyn Workload,
-        rules: RuleSet,
+        rules: RuleSnapshot,
         seed: u64,
     ) -> Self {
         let run_seed = match engine.options().seed_policy {
@@ -135,7 +136,7 @@ impl<'a> TuningSession<'a> {
     pub(crate) fn with_run_seed(
         engine: &'a Stellar,
         workload: &'a dyn Workload,
-        rules: RuleSet,
+        rules: RuleSnapshot,
         run_seed: u64,
     ) -> Self {
         let analysis_backend = SimLlm::new(
@@ -413,6 +414,7 @@ impl<'a> TuningSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use agents::RuleSet;
     use std::cell::RefCell;
     use std::rc::Rc;
     use workloads::WorkloadKind;
