@@ -1,0 +1,70 @@
+//! Campaign-scheduler benchmarks.
+//!
+//! Two layers:
+//!
+//! * `plan/*` — the planner itself (cost-model construction, LPT sort,
+//!   greedy list-schedule simulation) at round sizes far beyond any real
+//!   grid, pinning its overhead at effectively zero next to a cell run;
+//! * `round/*` — one real (tiny) campaign executed under each scheduling
+//!   policy end to end, exercising cost hints, the per-slot result
+//!   collection and the measured-feedback loop.
+//!
+//! The recorded A/B numbers for the skewed MDWorkbench-heavy grid live in
+//! `BENCH_sched.json`, produced by the `perfsuite` binary (which models
+//! makespans from measured per-cell costs, independent of host cores).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stellar::sched::{self, CostModel, Schedule};
+use stellar::{Campaign, Stellar, StellarBuilder};
+use workloads::{CostHint, WorkloadKind};
+
+/// A synthetic n-cell round with a long-tailed cost distribution.
+fn synth_model(n: usize) -> CostModel {
+    CostModel::from_hints((0..n).map(|i| CostHint {
+        data_ops: ((i as u64 * 2_654_435_761) % 10_000) + 1,
+        meta_ops: (i as u64 % 7) * 1_000,
+        bytes: (i as u64 % 13) << 24,
+    }))
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_sched");
+    for n in [64usize, 4096] {
+        let model = synth_model(n);
+        let costs: Vec<f64> = (0..n).map(|i| model.cost(i, Schedule::Lpt)).collect();
+        group.bench_function(&format!("plan/lpt/{n}"), |b| {
+            b.iter(|| black_box(sched::plan(Schedule::Lpt, &model)))
+        });
+        let order = sched::plan(Schedule::Lpt, &model);
+        group.bench_function(&format!("plan/makespan/{n}"), |b| {
+            b.iter(|| black_box(sched::makespan(&order, &costs, 8)))
+        });
+    }
+    group.finish();
+}
+
+fn tiny_campaign(engine: &Stellar, schedule: Schedule) {
+    let report = Campaign::new(engine)
+        .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench2K], 0.03)
+        .seeds([1])
+        .threads(2)
+        .schedule(schedule)
+        .run();
+    black_box(report);
+}
+
+fn bench_round_policies(c: &mut Criterion) {
+    let engine = StellarBuilder::new().attempt_budget(2).build();
+    let mut group = c.benchmark_group("campaign_sched");
+    group.sample_size(10);
+    for schedule in [Schedule::Fifo, Schedule::Lpt, Schedule::Adaptive] {
+        group.bench_function(&format!("round/{}", schedule.label()), |b| {
+            b.iter(|| tiny_campaign(&engine, schedule))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner, bench_round_policies);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! `perfsuite` — records the repository's performance trajectory
+//! (`BENCH_sched.json`).
+//!
+//! The headline experiment is the campaign-scheduler A/B of this PR: a
+//! skewed, MDWorkbench-heavy workload grid is run once per seed round and
+//! each cell's wall time measured; the three scheduling policies (naive
+//! FIFO grid order, hint-driven LPT, measurement-driven adaptive) are then
+//! compared by replaying those *measured* costs through
+//! `stellar::sched::makespan` — the same greedy claim loop the parallel
+//! runner executes — so the round-makespan numbers are deterministic given
+//! the measurements and independent of how many cores the benching host
+//! happens to have. A small hot-path probe (mean simulator run time) rides
+//! along so inner-loop regressions show up in the same artifact.
+//!
+//! ```text
+//! perfsuite [--quick] [--out FILE] [--workers N] [--seeds N]
+//!           [--light-scale F] [--heavy-scale F] [--attempts N]
+//! ```
+//!
+//! `--quick` (the CI `bench-smoke` job) shrinks seeds and scales so the
+//! suite finishes in well under a minute; the committed baseline is a full
+//! run (8 seeds × 5 workloads).
+
+use serde::Serialize;
+use std::time::Instant;
+use stellar::sched::{self, CostModel, Schedule};
+use stellar::{Campaign, StellarBuilder};
+use workloads::{Workload, WorkloadKind};
+
+#[derive(Serialize)]
+struct RoundNumbers {
+    seed: u64,
+    /// Measured wall seconds per cell, grid order.
+    cell_secs: Vec<f64>,
+    fifo_makespan_secs: f64,
+    lpt_makespan_secs: f64,
+    adaptive_makespan_secs: f64,
+}
+
+#[derive(Serialize)]
+struct HotPath {
+    workload: String,
+    scale: f64,
+    reps: usize,
+    mean_run_secs: f64,
+}
+
+#[derive(Serialize)]
+struct SchedReport {
+    bench: &'static str,
+    mode: &'static str,
+    grid: Vec<String>,
+    light_scale: f64,
+    heavy_scale: f64,
+    attempts: usize,
+    workers: usize,
+    seeds: Vec<u64>,
+    rounds: Vec<RoundNumbers>,
+    total_fifo_makespan_secs: f64,
+    total_lpt_makespan_secs: f64,
+    total_adaptive_makespan_secs: f64,
+    /// Round-makespan reduction of LPT vs FIFO, percent.
+    lpt_reduction_pct: f64,
+    /// Round-makespan reduction of adaptive vs FIFO, percent.
+    adaptive_reduction_pct: f64,
+    hot_path: HotPath,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The skewed grid: four comparably light cells and one dominant
+/// MDWorkbench cell, heaviest *last* in grid order — the worst case for
+/// FIFO, which claims cells in grid order and strands the round on the
+/// late straggler. Per-cell multipliers equalize the light cells
+/// (MDWorkbench_2K is metadata-dense and IOR_16M cheap to simulate, so at
+/// a uniform scale the round would have two self-balancing heavies
+/// instead of one straggler).
+fn grid(light: f64, heavy: f64) -> Vec<(WorkloadKind, f64)> {
+    vec![
+        (WorkloadKind::Ior64K, light),
+        (WorkloadKind::Ior16M, light * 2.0),
+        (WorkloadKind::Io500, light),
+        (WorkloadKind::MdWorkbench2K, light * 0.25),
+        (WorkloadKind::MdWorkbench8K, heavy),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_sched.json".into());
+    let workers: usize = flag(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let n_seeds: usize = flag(&args, "--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 8 });
+    let light_scale: f64 = flag(&args, "--light-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 0.04 } else { 0.05 });
+    let heavy_scale: f64 = flag(&args, "--heavy-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 0.04 } else { 0.05 });
+    let attempts: usize = flag(&args, "--attempts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2 } else { 3 });
+
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| 1_041 + i).collect();
+    let cells = grid(light_scale, heavy_scale);
+    let engine = StellarBuilder::new().attempt_budget(attempts).build();
+    let topo = engine.sim().topology();
+
+    // The static cost model the LPT policy plans from (what the Campaign
+    // runner derives internally).
+    let workloads: Vec<Box<dyn Workload>> = cells.iter().map(|(k, s)| k.spec_at(*s)).collect();
+    let hint_model = CostModel::from_hints(workloads.iter().map(|w| w.cost_hint(topo)));
+
+    // Measure every cell once per round, serially, so per-cell timings are
+    // undistorted by co-scheduling.
+    eprintln!(
+        "perfsuite: measuring {} rounds x {} cells (serial)...",
+        seeds.len(),
+        cells.len()
+    );
+    let mut campaign = Campaign::new(&engine).seeds(seeds.iter().copied());
+    for w in workloads {
+        campaign = campaign.workload(w);
+    }
+    let report = campaign.run_serial();
+
+    // Replay the measured costs through each policy's plan.
+    let fifo_order: Vec<usize> = (0..cells.len()).collect();
+    let lpt_order = sched::plan(Schedule::Lpt, &hint_model);
+    let mut adaptive_model = hint_model.clone();
+    let mut rounds = Vec::new();
+    let (mut tot_fifo, mut tot_lpt, mut tot_adapt) = (0.0, 0.0, 0.0);
+    for r in &report.sched_stats.rounds {
+        let costs = &r.cell_secs;
+        let adaptive_order = sched::plan(Schedule::Adaptive, &adaptive_model);
+        let fifo = sched::makespan(&fifo_order, costs, workers);
+        let lpt = sched::makespan(&lpt_order, costs, workers);
+        let adaptive = sched::makespan(&adaptive_order, costs, workers);
+        for (i, &secs) in costs.iter().enumerate() {
+            adaptive_model.observe(i, secs);
+        }
+        tot_fifo += fifo;
+        tot_lpt += lpt;
+        tot_adapt += adaptive;
+        rounds.push(RoundNumbers {
+            seed: r.seed,
+            cell_secs: costs.clone(),
+            fifo_makespan_secs: fifo,
+            lpt_makespan_secs: lpt,
+            adaptive_makespan_secs: adaptive,
+        });
+    }
+
+    // Hot-path probe: mean wall-clock of one traced-free simulator run.
+    let hot_w = WorkloadKind::Ior16M.spec_at(if quick { 0.1 } else { 0.3 });
+    let reps = if quick { 3 } else { 8 };
+    let cfg = pfs::params::TuningConfig::lustre_default();
+    let t0 = Instant::now();
+    let _ = stellar::measure::measure(engine.sim(), hot_w.as_ref(), &cfg, reps, "perfsuite-hot");
+    let hot_mean = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let json = SchedReport {
+        bench: "campaign_sched",
+        mode: if quick { "quick" } else { "full" },
+        grid: cells
+            .iter()
+            .map(|(k, s)| format!("{}@{s}", k.label()))
+            .collect(),
+        light_scale,
+        heavy_scale,
+        attempts,
+        workers,
+        seeds,
+        rounds,
+        total_fifo_makespan_secs: tot_fifo,
+        total_lpt_makespan_secs: tot_lpt,
+        total_adaptive_makespan_secs: tot_adapt,
+        lpt_reduction_pct: (1.0 - tot_lpt / tot_fifo) * 100.0,
+        adaptive_reduction_pct: (1.0 - tot_adapt / tot_fifo) * 100.0,
+        hot_path: HotPath {
+            workload: hot_w.name(),
+            scale: if quick { 0.1 } else { 0.3 },
+            reps,
+            mean_run_secs: hot_mean,
+        },
+    };
+
+    println!(
+        "campaign_sched ({} mode, {} workers): FIFO {:.2}s | LPT {:.2}s ({:+.1}%) | adaptive {:.2}s ({:+.1}%)",
+        json.mode,
+        workers,
+        tot_fifo,
+        tot_lpt,
+        -json.lpt_reduction_pct,
+        tot_adapt,
+        -json.adaptive_reduction_pct,
+    );
+    println!(
+        "hot path: {} x{} reps, {:.3}s mean per simulated run",
+        json.hot_path.workload, reps, hot_mean
+    );
+    let rendered = serde_json::to_string_pretty(&json).expect("report serializes");
+    std::fs::write(&out, rendered + "\n").expect("write BENCH json");
+    println!("wrote {out}");
+}

@@ -13,7 +13,7 @@ use crate::model::state::{
 };
 use crate::ops::{DirId, FileId, IoOp, Module, RankStream};
 use crate::params::TuningConfig;
-use crate::stripe::Layout;
+use crate::stripe::{Layout, ObjectExtent, PlacementCache};
 use crate::topology::ClusterSpec;
 use crate::trace::{OpClass, OpRecord, TraceSink};
 use simcore::resources::{BandwidthChannel, MultiServer};
@@ -91,6 +91,10 @@ pub struct Engine<'s> {
     dirs: HashMap<DirId, DirState>,
 
     next_start_ost: u32,
+    // Per-op allocation avoidance: memoized stripe→OST tables plus a
+    // reusable extent buffer (taken/restored around each decomposition).
+    placements: PlacementCache,
+    scratch_extents: Vec<ObjectExtent>,
     diag: Diagnostics,
     sink: &'s mut dyn TraceSink,
 }
@@ -155,6 +159,8 @@ impl<'s> Engine<'s> {
             files: HashMap::new(),
             dirs: HashMap::new(),
             next_start_ost: 0,
+            placements: PlacementCache::new(topo.ost_count()),
+            scratch_extents: Vec::new(),
             diag: Diagnostics::default(),
             sink,
         }
@@ -444,10 +450,18 @@ impl<'s> Engine<'s> {
         }
 
         let mut t = now + self.lock_acquire(client, file, offset, len);
+        let osts = self.placements.osts(&layout);
+        let mut extents = std::mem::take(&mut self.scratch_extents);
+        layout.map_into(
+            offset,
+            len,
+            self.topo.ost_count(),
+            Some(&osts),
+            &mut extents,
+        );
 
         // Short I/O fast path: synchronous inline RPC, no bulk setup.
         if len <= self.cfg.osc_short_io_bytes as u64 && len > 0 {
-            let extents = layout.map(offset, len, self.topo.ost_count());
             let mut end = t;
             for e in &extents {
                 let done = self.bulk_rpc(
@@ -463,6 +477,7 @@ impl<'s> Engine<'s> {
                 );
                 end = end.max(done);
             }
+            self.scratch_extents = extents;
             if let Some(f) = self.files.get_mut(&file) {
                 f.last_wb_end = f.last_wb_end.max(end);
             }
@@ -481,7 +496,6 @@ impl<'s> Engine<'s> {
 
         let dirty_cap = self.cfg.osc_max_dirty_mb as u64 * (1 << 20);
         let rpc_bytes = self.cfg.rpc_bytes().max(4096);
-        let extents = layout.map(offset, len, self.topo.ost_count());
         for e in &extents {
             let osc = self.osc_index(client, e.ost);
             // Dirty-limit backpressure.
@@ -513,6 +527,7 @@ impl<'s> Engine<'s> {
                 self.flush_object(client, file, e.obj_index, t, false);
             }
         }
+        self.scratch_extents = extents;
         t
     }
 
@@ -567,12 +582,15 @@ impl<'s> Engine<'s> {
         let rpc_bytes = self.cfg.rpc_bytes().max(CHUNK_BYTES);
         let short = len <= self.cfg.osc_short_io_bytes as u64;
         let mut end = wait_until;
+        let osts = self.placements.osts(&layout);
+        let mut extents = std::mem::take(&mut self.scratch_extents);
         for (roff, rlen) in &miss_runs {
             let mut cur = *roff;
             let stop = roff + rlen;
             while cur < stop {
                 let take = (stop - cur).min(rpc_bytes);
-                for e in layout.map(cur, take, self.topo.ost_count()) {
+                layout.map_into(cur, take, self.topo.ost_count(), Some(&osts), &mut extents);
+                for e in &extents {
                     let done = self.bulk_rpc(
                         client,
                         file,
@@ -592,6 +610,7 @@ impl<'s> Engine<'s> {
                 self.caches[client as usize].insert(file, chunk);
             }
         }
+        self.scratch_extents = extents;
         // Memory copy to the application buffer.
         end = end.max(t) + self.memcpy(len);
 
@@ -674,6 +693,8 @@ impl<'s> Engine<'s> {
 
         // Issue asynchronous readahead RPCs for not-yet-resident chunks.
         let rpc_bytes = self.cfg.rpc_bytes().max(CHUNK_BYTES);
+        let osts = self.placements.osts(&layout);
+        let mut extents = std::mem::take(&mut self.scratch_extents);
         let mut cur = start;
         let stop = start + window;
         while cur < stop {
@@ -685,7 +706,8 @@ impl<'s> Engine<'s> {
             });
             if !all_resident {
                 let mut piece_end = now;
-                for e in layout.map(cur, take, self.topo.ost_count()) {
+                layout.map_into(cur, take, self.topo.ost_count(), Some(&osts), &mut extents);
+                for e in &extents {
                     let done = self.bulk_rpc(
                         client,
                         file,
@@ -708,6 +730,7 @@ impl<'s> Engine<'s> {
             }
             cur += take;
         }
+        self.scratch_extents = extents;
     }
 
     fn do_stat(&mut self, rank: u32, file: FileId, now: SimTime) -> SimTime {
@@ -1019,7 +1042,9 @@ impl<'s> Engine<'s> {
             })
             .collect();
 
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        // One in-flight event per rank, so pre-sizing to the rank count
+        // makes the run loop's push/pop cycle allocation-free.
+        let mut queue: EventQueue<Event> = EventQueue::with_capacity(n + 1);
         for i in 0..n {
             queue.push(SimTime::ZERO, Event::RankReady(i));
         }

@@ -4,8 +4,17 @@
 //! `stripe_size` bytes go to object 0, the next `stripe_size` bytes to
 //! object 1, and so on round-robin over `stripe_count` objects, each living
 //! on a distinct OST starting at `start_ost`.
+//!
+//! Extent mapping is on the simulation hot path — every read, write and
+//! readahead RPC decomposes through a layout. Two allocation-avoidance
+//! tools keep it cheap: [`Layout::map_into`] reuses a caller-owned extent
+//! buffer instead of allocating a `Vec` per operation, and
+//! [`PlacementCache`] memoizes each layout's stripe-object → OST table so
+//! per-op placement stops re-deriving the same modular arithmetic.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A file's stripe layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,11 +60,38 @@ impl Layout {
 
     /// Map a file extent `[offset, offset+len)` to object extents, in file
     /// offset order. Zero-length extents map to nothing.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths should hold a scratch
+    /// buffer and use [`Layout::map_into`] (optionally with a memoized
+    /// placement table from [`PlacementCache`]) instead.
     pub fn map(&self, offset: u64, len: u64, ost_count: u32) -> Vec<ObjectExtent> {
         let mut out = Vec::new();
+        self.map_into(offset, len, ost_count, None, &mut out);
+        out
+    }
+
+    /// [`Layout::map`] into a caller-owned buffer (cleared first), so a
+    /// per-op scratch `Vec` amortizes to zero allocations.
+    ///
+    /// `osts`, when given, must be this layout's stripe-object → OST table
+    /// (from [`PlacementCache::osts`]); placement then becomes a lookup
+    /// instead of re-deriving `(start_ost + obj) % ost_count` per piece.
+    pub fn map_into(
+        &self,
+        offset: u64,
+        len: u64,
+        ost_count: u32,
+        osts: Option<&[u32]>,
+        out: &mut Vec<ObjectExtent>,
+    ) {
+        out.clear();
         if len == 0 {
-            return out;
+            return;
         }
+        debug_assert!(
+            osts.is_none_or(|t| t.len() == self.stripe_count as usize),
+            "placement table does not match layout"
+        );
         let ss = self.stripe_size;
         let sc = self.stripe_count as u64;
         let mut cur = offset;
@@ -68,7 +104,10 @@ impl Layout {
             // The object sees stripes stripe_index/sc, each ss bytes.
             let obj_offset = (stripe_index / sc) * ss + within;
             out.push(ObjectExtent {
-                ost: self.ost_of(obj_index, ost_count),
+                ost: match osts {
+                    Some(table) => table[obj_index as usize],
+                    None => self.ost_of(obj_index, ost_count),
+                },
                 obj_index,
                 obj_offset,
                 len: take,
@@ -76,7 +115,54 @@ impl Layout {
             });
             cur += take;
         }
-        out
+    }
+}
+
+/// Memoized stripe-object → OST placement tables, keyed by the layout
+/// fields that determine placement (`start_ost`, `stripe_count`).
+///
+/// Layouts recur constantly within a run — every file created under one
+/// configuration shares a `stripe_count` and cycles through `ost_count`
+/// start offsets — so the engine derives each table once and every
+/// subsequent op on any file with the same placement reuses it. Tables are
+/// `Arc`ed so callers can hold one across `&mut self` engine calls.
+#[derive(Debug, Default)]
+pub struct PlacementCache {
+    tables: HashMap<(u32, u32), Arc<[u32]>>,
+    ost_count: u32,
+}
+
+impl PlacementCache {
+    /// Cache for a cluster with `ost_count` OSTs.
+    pub fn new(ost_count: u32) -> Self {
+        PlacementCache {
+            tables: HashMap::new(),
+            ost_count,
+        }
+    }
+
+    /// The stripe-object → OST table for `layout`, derived on first use.
+    pub fn osts(&mut self, layout: &Layout) -> Arc<[u32]> {
+        let key = (layout.start_ost, layout.stripe_count);
+        let ost_count = self.ost_count;
+        self.tables
+            .entry(key)
+            .or_insert_with(|| {
+                (0..layout.stripe_count)
+                    .map(|obj| layout.ost_of(obj, ost_count))
+                    .collect()
+            })
+            .clone()
+    }
+
+    /// Number of distinct placements derived so far.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether no placement has been derived yet.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
     }
 }
 
@@ -159,6 +245,28 @@ mod tests {
     }
 
     #[test]
+    fn map_into_reuses_buffer_and_matches_map() {
+        let l = Layout::new(64 * 1024, 3, 1, 5);
+        let mut cache = PlacementCache::new(5);
+        assert!(cache.is_empty());
+        let table = cache.osts(&l);
+        assert_eq!(&*table, &[1, 2, 3]);
+        let mut buf = Vec::new();
+        for (off, len) in [(0u64, 1u64), (123_456, 1_000_000), (5, 0)] {
+            l.map_into(off, len, 5, Some(&table), &mut buf);
+            assert_eq!(buf, l.map(off, len, 5), "({off},{len})");
+        }
+        // Same placement key → same memoized table, no new derivation.
+        let again = cache.osts(&Layout::new(1 << 20, 3, 1, 5));
+        assert!(Arc::ptr_eq(&table, &again));
+        assert_eq!(cache.len(), 1);
+        // Different start_ost is a different placement.
+        let rotated = cache.osts(&Layout::new(64 * 1024, 3, 4, 5));
+        assert_eq!(&*rotated, &[4, 0, 1]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn clamps_degenerate_inputs() {
         let l = Layout::new(1, 0, 7, 5);
         assert_eq!(l.stripe_size, 64 * 1024);
@@ -208,6 +316,26 @@ mod proptests {
             let a = l.map(off, 1, 5);
             let b = l.map(off, 1, 5);
             prop_assert_eq!(a, b);
+        }
+
+        /// The memoized-table fast path is extensionally identical to the
+        /// allocating modulo path for any layout and extent.
+        #[test]
+        fn map_into_with_table_equals_map(
+            ss_exp in 16u32..24,
+            sc in 1u32..6,
+            start in 0u32..5,
+            off in 0u64..(1 << 30),
+            len in 0u64..(16 << 20),
+        ) {
+            let l = Layout::new(1u64 << ss_exp, sc, start, 5);
+            let mut cache = PlacementCache::new(5);
+            let table = cache.osts(&l);
+            let mut buf = vec![ObjectExtent {
+                ost: 99, obj_index: 99, obj_offset: 99, len: 99, file_offset: 99,
+            }]; // stale content must be cleared
+            l.map_into(off, len, 5, Some(&table), &mut buf);
+            prop_assert_eq!(buf, l.map(off, len, 5));
         }
     }
 }

@@ -61,6 +61,36 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Create an empty queue with room for `n` pending events.
+    ///
+    /// The PFS engine keeps at most one in-flight event per rank, so sizing
+    /// the queue to the rank count up front means the steady-state push/pop
+    /// cycle of the simulation loop never reallocates the heap.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(n),
+            next_seq: 0,
+            last_popped: SimTime::ZERO,
+        }
+    }
+
+    /// Remove all pending events and rewind the clock to [`SimTime::ZERO`],
+    /// keeping the heap's allocation so the queue can be reused for another
+    /// run without reallocating.
+    ///
+    /// The sequence counter restarts too: a cleared queue breaks
+    /// `(time, seq)` ties in exactly the order a fresh queue would.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.last_popped = SimTime::ZERO;
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedule `event` at `time`.
     ///
     /// # Panics
@@ -155,6 +185,38 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    /// Regression pin for the heap-reuse change: `(time, seq)` ties pop in
+    /// insertion order through interleaved pushes/pops, a `clear()`, and a
+    /// pre-sized queue — the exact property the PFS engine's rank
+    /// interleaving depends on.
+    #[test]
+    fn tie_order_survives_reuse_and_presizing() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.capacity() >= 8);
+        let t = SimTime::from_secs(1);
+        q.push(t, 10u32);
+        q.push(t, 11);
+        assert_eq!(q.pop().unwrap().1, 10);
+        q.push(t, 12); // later seq than the pending 11
+        assert_eq!(q.pop().unwrap().1, 11);
+        assert_eq!(q.pop().unwrap().1, 12);
+
+        // A cleared queue replays ties exactly like a fresh one.
+        q.clear();
+        assert_eq!(q.now(), SimTime::ZERO);
+        let mut fresh = EventQueue::new();
+        for (queue, tag) in [(&mut q, "reused"), (&mut fresh, "fresh")] {
+            queue.push(t, 2u32);
+            queue.push(SimTime::from_secs(2), 4);
+            queue.push(t, 3);
+            let popped: Vec<u32> = std::iter::from_fn(|| queue.pop().map(|(_, e)| e)).collect();
+            assert_eq!(popped, vec![2, 3, 4], "{tag}");
+        }
+
+        // Reuse kept the allocation.
+        assert!(q.capacity() >= 8);
     }
 
     #[test]

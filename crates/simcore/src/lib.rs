@@ -22,6 +22,8 @@
 //! **given the same seed and the same inputs, a simulation is bit-for-bit
 //! reproducible** on every platform.
 
+#![deny(missing_docs)]
+
 pub mod chacha;
 pub mod events;
 pub mod resources;

@@ -122,6 +122,95 @@ impl Accumulator {
     }
 }
 
+/// A retained sample set with amortized single-sort percentile queries.
+///
+/// [`Accumulator`] is streaming but cannot answer order statistics;
+/// `Samples` keeps the observations and sorts them **once**, lazily, when
+/// the first percentile is queried after a mutation — instead of the
+/// clone-and-sort-per-query pattern reporting code otherwise falls into.
+/// Repeated queries between mutations are O(1). Used by the campaign
+/// scheduler's `sched_stats` to summarize per-cell wall-time distributions.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    data: Vec<f64>,
+    /// How many of the leading entries of `data` are already sorted.
+    sorted_len: usize,
+}
+
+impl Samples {
+    /// Create an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Create an empty sample set with room for `n` observations.
+    pub fn with_capacity(n: usize) -> Self {
+        Samples {
+            data: Vec::with_capacity(n),
+            sorted_len: 0,
+        }
+    }
+
+    /// Record one observation (NaN-free input assumed).
+    pub fn add(&mut self, x: f64) {
+        self.data.push(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The observations in insertion order — only valid before the first
+    /// percentile query (which reorders in place rather than cloning).
+    pub fn raw(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.sorted_len < self.data.len() {
+            self.data
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN-free samples"));
+            self.sorted_len = self.data.len();
+        }
+    }
+
+    /// The `p`-th percentile (`0.0..=100.0`) with linear interpolation
+    /// between order statistics; 0 when empty. Sorts at most once per
+    /// batch of mutations.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (self.data.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.data[lo] * (1.0 - frac) + self.data[hi] * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&mut self) -> f64 {
+        self.percentile(100.0)
+    }
+}
+
 /// Log2-binned histogram of non-negative integer values (sizes, latencies).
 ///
 /// Bin `i` counts values in `[2^i, 2^(i+1))`; bin 0 also includes 0.
@@ -350,6 +439,35 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.count_at(10), 2);
         assert_eq!(a.count_at(1000), 1);
+    }
+
+    #[test]
+    fn samples_percentiles_interpolate() {
+        let mut s = Samples::with_capacity(4);
+        assert_eq!(s.percentile(50.0), 0.0);
+        // Insert unsorted; queries must see sorted order.
+        for x in [4.0, 1.0, 3.0, 2.0] {
+            s.add(x);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.median(), 2.5);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert!((s.percentile(25.0) - 1.75).abs() < 1e-12);
+        assert_eq!(s.sum(), 10.0);
+    }
+
+    #[test]
+    fn samples_resort_after_mutation() {
+        let mut s = Samples::new();
+        s.add(10.0);
+        assert_eq!(s.median(), 10.0);
+        // A later, smaller observation must be seen by later queries.
+        s.add(0.0);
+        assert_eq!(s.median(), 5.0);
+        assert_eq!(s.max(), 10.0);
+        assert!(!s.is_empty());
+        assert_eq!(s.raw().len(), 2);
     }
 
     #[test]

@@ -23,13 +23,14 @@
 //!   --warm             accumulate rules across seed rounds
 //!   --serial           disable parallel cell execution
 //!   --threads <n>      worker threads (default: hardware parallelism)
+//!   --schedule <s>     cell order: fifo | lpt | adaptive (default adaptive)
 //!   --rule-shards      print the final sharded rule store's census
 //! ```
 
 use agents::RuleSet;
 use llmsim::ModelProfile;
 use stellar::baselines::{expert_oracle, random_search};
-use stellar::{Campaign, RuleMode, RunObserver, Stellar, StellarBuilder};
+use stellar::{Campaign, RuleMode, RunObserver, Schedule, Stellar, StellarBuilder};
 use workloads::{WorkloadKind, BENCHMARKS, REAL_APPS};
 
 fn main() {
@@ -267,12 +268,24 @@ fn cmd_campaign(args: &[String]) -> i32 {
     if let Some(n) = flag_value(args, "--threads").and_then(|v| v.parse().ok()) {
         campaign = campaign.threads(n);
     }
+    if let Some(name) = flag_value(args, "--schedule") {
+        match Schedule::parse(&name) {
+            Some(s) => campaign = campaign.schedule(s),
+            None => {
+                eprintln!("unknown schedule `{name}`; use fifo, lpt or adaptive");
+                return 2;
+            }
+        }
+    }
     let report = if has_flag(args, "--serial") {
         campaign.run_serial()
     } else {
         campaign.run()
     };
     print!("{}", report.render());
+    // Timing telemetry goes to stderr: stdout stays bit-identical across
+    // reruns of the same command (the workspace determinism invariant).
+    eprintln!("{}", report.sched_stats.render());
     let (tuning, analysis) = report.total_usage();
     println!(
         "tokens: tuning {} in / {} out ({:.0}% cached), analysis {} in / {} out",

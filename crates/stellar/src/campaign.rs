@@ -27,13 +27,28 @@
 //! `rule_store` bench). Round merges touch only the shards the learned
 //! rules land in, and merge order stays the grid order, keeping
 //! serial == parallel.
+//!
+//! ## Scheduling
+//!
+//! Within a parallel round, workers claim cells in the order planned by
+//! [`crate::sched`] — longest-processing-time-first over a cost model
+//! seeded from each workload's `CostHint` and refined with measured wall
+//! times after every round ([`Schedule::Adaptive`], the default).
+//! Reordering never changes results (cells are independent and results
+//! collect into grid-indexed slots), it only stops a late-claimed heavy
+//! cell from stranding the round at its barrier; the
+//! [`CampaignReport::sched_stats`] telemetry records makespans and worker
+//! utilization so the effect is measurable (`perfsuite` / the
+//! `campaign_sched` bench).
 
 use crate::engine::{Stellar, TuningRun};
+use crate::sched::{self, CostModel, RoundSched, SchedStats, Schedule};
 use agents::{RuleSet, RuleSnapshot, ShardedRuleStore};
 use llmsim::UsageMeter;
 use simcore::rng::{combine, stable_hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::OnceLock;
+use std::time::Instant;
 use workloads::{Workload, WorkloadKind};
 
 /// How cells share the accumulating rule set.
@@ -75,6 +90,11 @@ pub struct CampaignReport {
     /// follow-up campaigns and per-shard introspection
     /// ([`ShardedRuleStore::census`]; the CLI's `campaign --rule-shards`).
     pub rule_store: ShardedRuleStore,
+    /// Scheduling telemetry: policy, chosen worker count (including
+    /// whether the parallelism probe fell back), per-round makespans and
+    /// worker utilization. Timing-derived, so unlike `cells`/`rules` it is
+    /// not bit-reproducible across runs.
+    pub sched_stats: SchedStats,
 }
 
 impl CampaignReport {
@@ -150,6 +170,11 @@ impl CampaignReport {
             self.rules.len(),
             self.rule_store.shard_count()
         ));
+        // `sched_stats` is deliberately absent here: render() output is
+        // bit-identical across reruns (a repo-wide invariant) while the
+        // telemetry carries wall-clock timings — consumers print
+        // `sched_stats.render()` on a diagnostic channel instead, as the
+        // CLI does on stderr.
         out
     }
 }
@@ -169,21 +194,29 @@ pub struct Campaign<'e> {
     mode: RuleMode,
     base_rules: RuleSet,
     threads: usize,
+    parallelism_fallback: bool,
+    schedule: Schedule,
+    order_override: Option<Vec<usize>>,
 }
 
 impl<'e> Campaign<'e> {
     /// Empty campaign over `engine`: cold rules, hardware-sized thread
-    /// pool, no cells until workloads and seeds are added.
+    /// pool, adaptive scheduling, no cells until workloads and seeds are
+    /// added.
     pub fn new(engine: &'e Stellar) -> Self {
+        let detected = std::thread::available_parallelism();
         Campaign {
             engine,
             workloads: Vec::new(),
             seeds: Vec::new(),
             mode: RuleMode::Cold,
             base_rules: RuleSet::new(),
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: detected.as_ref().map(|n| n.get()).unwrap_or(1),
+            // A failed probe used to default silently; record it so the
+            // report can say why the campaign ran single-threaded.
+            parallelism_fallback: detected.is_err(),
+            schedule: Schedule::default(),
+            order_override: None,
         }
     }
 
@@ -222,6 +255,36 @@ impl<'e> Campaign<'e> {
     /// Worker-thread cap for [`Campaign::run`] (at least 1).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self.parallelism_fallback = false; // explicit choice, not a fallback
+        self
+    }
+
+    /// Cell-ordering policy for parallel rounds (default
+    /// [`Schedule::Adaptive`]). Any policy yields the same report —
+    /// scheduling only changes when cells *execute*, never what they
+    /// compute (see [`crate::sched`]).
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Pin every parallel round's execution order to a fixed permutation
+    /// of the workload indices, bypassing the planner.
+    ///
+    /// This is the verification seam behind the claim the scheduler rests
+    /// on: *any* permutation must produce a bit-identical report. The
+    /// `schedule_permutations_preserve_reports` property test drives it
+    /// with LPT, reversed and seeded-random orders
+    /// ([`crate::sched::permutation_from_seed`]).
+    ///
+    /// [`Campaign::run_serial`] ignores the override — serial rounds
+    /// always execute (and report) grid order.
+    ///
+    /// # Panics
+    /// [`Campaign::run`] panics if the override is not a permutation of
+    /// `0..workloads`.
+    pub fn order_override(mut self, order: Vec<usize>) -> Self {
+        self.order_override = Some(order);
         self
     }
 
@@ -255,35 +318,50 @@ impl<'e> Campaign<'e> {
         }
     }
 
-    /// One round (all workloads at one seed), parallel across `threads`.
-    fn round_parallel(&self, seed: u64, rules: &RuleSnapshot) -> Vec<CampaignCell> {
+    /// One round (all workloads at one seed), parallel across `threads`,
+    /// claiming cells in `order`. Returns `(cell, wall_secs)` in grid
+    /// order: results land in per-slot `OnceLock`s — one lock-free atomic
+    /// publish per cell instead of the old `Mutex<Vec<Option<_>>>` that
+    /// serialized every worker through one lock.
+    fn round_parallel(
+        &self,
+        seed: u64,
+        rules: &RuleSnapshot,
+        order: &[usize],
+    ) -> Vec<(CampaignCell, f64)> {
         let n = self.workloads.len();
-        let results: Mutex<Vec<Option<CampaignCell>>> = Mutex::new((0..n).map(|_| None).collect());
+        debug_assert_eq!(order.len(), n);
+        let slots: Vec<OnceLock<(CampaignCell, f64)>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.min(n).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= n {
                         break;
                     }
+                    let i = order[k];
+                    let t0 = Instant::now();
                     let cell = self.run_cell(seed, i, rules);
-                    results.lock().expect("no poisoned workers")[i] = Some(cell);
+                    let set = slots[i].set((cell, t0.elapsed().as_secs_f64()));
+                    assert!(set.is_ok(), "cell {i} executed twice");
                 });
             }
         });
-        results
-            .into_inner()
-            .expect("scope joined")
+        slots
             .into_iter()
-            .map(|c| c.expect("every cell executed"))
+            .map(|s| s.into_inner().expect("every cell executed"))
             .collect()
     }
 
-    fn round_serial(&self, seed: u64, rules: &RuleSnapshot) -> Vec<CampaignCell> {
+    fn round_serial(&self, seed: u64, rules: &RuleSnapshot) -> Vec<(CampaignCell, f64)> {
         (0..self.workloads.len())
-            .map(|i| self.run_cell(seed, i, rules))
+            .map(|i| {
+                let t0 = Instant::now();
+                let cell = self.run_cell(seed, i, rules);
+                (cell, t0.elapsed().as_secs_f64())
+            })
             .collect()
     }
 
@@ -297,6 +375,42 @@ impl<'e> Campaign<'e> {
         // Cold rounds always start from the pre-campaign state; taking the
         // snapshot once up front shares it across every round for free.
         let base_snapshot = store.snapshot();
+        let workers = if parallel {
+            self.threads.min(self.workloads.len()).max(1)
+        } else {
+            1
+        };
+        let mut sched_stats = SchedStats {
+            schedule: if parallel {
+                self.schedule
+            } else {
+                Schedule::Fifo
+            },
+            threads_requested: self.threads,
+            workers,
+            parallelism_fallback: self.parallelism_fallback,
+            rounds: Vec::with_capacity(self.seeds.len()),
+        };
+        // Cost model: parameter-derived hints up front, measured wall times
+        // folded back in after every round (the adaptive feedback loop).
+        // Only planned schedules consult it — serial runs, FIFO and order
+        // overrides execute without paying for hints (whose default
+        // derivation generates a stream set for custom workloads).
+        let needs_model =
+            parallel && self.order_override.is_none() && sched_stats.schedule != Schedule::Fifo;
+        let mut model = needs_model.then(|| {
+            let topo = self.engine.sim().topology();
+            CostModel::from_hints(self.workloads.iter().map(|w| w.cost_hint(topo)))
+        });
+        if let Some(o) = self.order_override.as_ref().filter(|_| parallel) {
+            let mut check = o.clone();
+            check.sort_unstable();
+            assert!(
+                check.iter().copied().eq(0..self.workloads.len()),
+                "order override must be a permutation of 0..{}",
+                self.workloads.len()
+            );
+        }
         let mut cells = Vec::with_capacity(self.workloads.len() * self.seeds.len());
         for &seed in &self.seeds {
             // O(1) either way: snapshots share shards, they don't clone
@@ -305,23 +419,47 @@ impl<'e> Campaign<'e> {
                 RuleMode::Cold => base_snapshot.clone(),
                 RuleMode::Warm => store.snapshot(),
             };
+            // Serial rounds always execute in grid order, so that is what
+            // the telemetry must report (overrides only steer `run()`).
+            let order = match (&model, self.order_override.as_ref().filter(|_| parallel)) {
+                (_, Some(o)) => o.clone(),
+                (Some(m), None) => sched::plan(sched_stats.schedule, m),
+                (None, None) => (0..self.workloads.len()).collect(),
+            };
+            let round_start = Instant::now();
             let round = if parallel {
-                self.round_parallel(seed, &snapshot)
+                self.round_parallel(seed, &snapshot, &order)
             } else {
                 self.round_serial(seed, &snapshot)
             };
+            let makespan_secs = round_start.elapsed().as_secs_f64();
+            let cell_secs: Vec<f64> = round.iter().map(|(_, s)| *s).collect();
+            if let Some(m) = model.as_mut() {
+                for (i, &secs) in cell_secs.iter().enumerate() {
+                    m.observe(i, secs);
+                }
+            }
+            let busy: f64 = cell_secs.iter().sum();
+            sched_stats.rounds.push(RoundSched {
+                seed,
+                order,
+                cell_secs,
+                makespan_secs,
+                utilization: busy / (workers as f64 * makespan_secs).max(f64::MIN_POSITIVE),
+            });
             // Merge learnings in grid order — deterministic regardless of
             // which thread finished first. Only the shards the new rules
             // land in are copied; outstanding snapshots are untouched.
-            for cell in &round {
+            for (cell, _) in &round {
                 store.merge(cell.run.new_rules.clone());
             }
-            cells.extend(round);
+            cells.extend(round.into_iter().map(|(cell, _)| cell));
         }
         CampaignReport {
             cells,
             rules: store.to_rule_set(),
             rule_store: store,
+            sched_stats,
         }
     }
 
@@ -398,5 +536,68 @@ mod tests {
     fn empty_grid_panics() {
         let e = engine();
         let _ = Campaign::new(&e).run();
+    }
+
+    /// The satellite fix for the silent `available_parallelism` fallback:
+    /// the report must say which policy ran, over how many workers, and
+    /// what each round's makespan and utilization were.
+    #[test]
+    fn report_records_scheduling_telemetry() {
+        let e = engine();
+        let report = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K], 0.08)
+            .seeds([1, 2])
+            .threads(2)
+            .schedule(Schedule::Lpt)
+            .run();
+        let s = &report.sched_stats;
+        assert_eq!(s.schedule, Schedule::Lpt);
+        assert_eq!(s.threads_requested, 2);
+        assert_eq!(s.workers, 2);
+        assert!(!s.parallelism_fallback, "explicit threads() is no fallback");
+        assert_eq!(s.rounds.len(), 2);
+        for r in &s.rounds {
+            assert_eq!(r.cell_secs.len(), 2);
+            assert!(r.makespan_secs > 0.0);
+            assert!(r.cell_secs.iter().all(|&c| c > 0.0));
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9);
+            // LPT claims the heavy MDWorkbench cell (grid index 1) first —
+            // from the static hint in round 1, from measurement in round 2.
+            assert_eq!(r.order[0], 1, "seed {}: order {:?}", r.seed, r.order);
+        }
+        assert!(s.total_busy_secs() > 0.0);
+        assert!(s.render().contains("sched: lpt over 2 worker(s)"));
+        // render() stays timing-free so identical grids render
+        // bit-identically across reruns.
+        assert!(!report.render().contains("sched:"));
+    }
+
+    /// Serial runs record telemetry too, pinned to one worker in grid
+    /// order, so serial/parallel comparisons read off one report shape.
+    #[test]
+    fn serial_sched_stats_use_one_worker() {
+        let e = engine();
+        let report = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M], 0.08)
+            .seeds([5])
+            .run_serial();
+        let s = &report.sched_stats;
+        assert_eq!(s.schedule, Schedule::Fifo);
+        assert_eq!(s.workers, 1);
+        assert_eq!(s.rounds[0].order, vec![0]);
+        assert!(s.mean_utilization() > 0.9, "serial rounds have no idle");
+    }
+
+    /// Order overrides steer `run()` only: serial rounds execute — and
+    /// report — grid order, without validating the unused override.
+    #[test]
+    fn serial_ignores_order_override() {
+        let e = engine();
+        let report = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M, WorkloadKind::Macsio16M], 0.05)
+            .seeds([3])
+            .order_override(vec![9, 9])
+            .run_serial();
+        assert_eq!(report.sched_stats.rounds[0].order, vec![0, 1]);
     }
 }

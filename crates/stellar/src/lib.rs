@@ -61,9 +61,11 @@ pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod measure;
+pub mod sched;
 pub mod session;
 
 pub use builder::StellarBuilder;
 pub use campaign::{Campaign, CampaignCell, CampaignReport, RuleMode};
 pub use engine::{default_topology, AttemptRecord, SeedPolicy, Stellar, StellarOptions, TuningRun};
+pub use sched::{CostModel, SchedStats, Schedule};
 pub use session::{RunObserver, SessionEvent, TuningSession};

@@ -1,0 +1,365 @@
+//! Cost-model-driven scheduling of campaign rounds.
+//!
+//! A campaign round is a set of independent cells (one per workload) that
+//! must all finish before the round's rule merge — a classic makespan
+//! problem. The historical scheduler drained cells in naive grid (FIFO)
+//! order from an atomic counter, so one late-claimed heavy MDWorkbench
+//! cell could strand every other worker at the round barrier.
+//!
+//! This module supplies the three pieces the [`crate::Campaign`] runner
+//! composes:
+//!
+//! * a [`CostModel`] seeded from parameter-derived [`CostHint`]s
+//!   (`workloads::Workload::cost_hint`) and refined with measured per-cell
+//!   wall times after every round (exponential moving average), so later
+//!   rounds schedule on observation instead of estimation;
+//! * [`plan`], which turns the model into a deterministic execution order —
+//!   longest-processing-time-first for [`Schedule::Lpt`] /
+//!   [`Schedule::Adaptive`], grid order for [`Schedule::Fifo`];
+//! * [`makespan`], a greedy list-scheduling simulator mirroring the
+//!   runner's claim loop, used by benches and the `perfsuite` binary to
+//!   compare policies on measured costs independently of host core count.
+//!
+//! ## Why reordering preserves determinism
+//!
+//! Scheduling only permutes *execution* order within a round. Cells are
+//! data-independent — every cell of a round reads the same starting
+//! [`agents::RuleSnapshot`] and its noise stream derives from the grid
+//! seed and cell position, not the executing thread or instant — and the
+//! runner still collects results into grid-indexed slots and merges
+//! learned rules in grid order. Any permutation therefore yields a
+//! bit-identical [`crate::CampaignReport`] (property-tested in
+//! `tests/integration_campaign.rs`).
+
+use simcore::stats::Samples;
+use workloads::CostHint;
+
+/// Cell-ordering policy for a campaign round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Naive grid order — the historical behaviour, kept as the explicit
+    /// baseline the `campaign_sched` bench compares against.
+    Fifo,
+    /// Longest-processing-time-first over the static, parameter-derived
+    /// cost hints.
+    Lpt,
+    /// LPT over measured per-cell wall times (EMA-smoothed), falling back
+    /// to the static hints until a workload has been observed once.
+    #[default]
+    Adaptive,
+}
+
+impl Schedule {
+    /// Parse a CLI name (`fifo`, `lpt`, `adaptive`).
+    pub fn parse(s: &str) -> Option<Schedule> {
+        match s {
+            "fifo" => Some(Schedule::Fifo),
+            "lpt" => Some(Schedule::Lpt),
+            "adaptive" => Some(Schedule::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// The CLI/JSON name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Schedule::Fifo => "fifo",
+            Schedule::Lpt => "lpt",
+            Schedule::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Smoothing factor for measured-cost feedback: new observations get half
+/// the weight, so one noisy round cannot thrash the order.
+const EMA_ALPHA: f64 = 0.5;
+
+/// Per-workload cost estimates: static hints refined by observation.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    hints: Vec<f64>,
+    measured: Vec<Option<f64>>,
+}
+
+impl CostModel {
+    /// Model seeded from the grid's parameter-derived hints, in grid
+    /// (workload index) order.
+    pub fn from_hints(hints: impl IntoIterator<Item = CostHint>) -> Self {
+        let hints: Vec<f64> = hints.into_iter().map(|h| h.weight()).collect();
+        let measured = vec![None; hints.len()];
+        CostModel { hints, measured }
+    }
+
+    /// Number of workloads modeled.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Whether the model covers no workloads.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    /// Feed back one measured cell wall time for workload `idx`.
+    pub fn observe(&mut self, idx: usize, secs: f64) {
+        let m = &mut self.measured[idx];
+        *m = Some(match *m {
+            Some(prev) => prev * (1.0 - EMA_ALPHA) + secs * EMA_ALPHA,
+            None => secs,
+        });
+    }
+
+    /// The scheduling cost of workload `idx` under `schedule`.
+    ///
+    /// Hint weights and measured seconds are different units; that is fine
+    /// because only the *relative order within one round* matters, and a
+    /// round is either fully unobserved (round 1) or fully observed.
+    pub fn cost(&self, idx: usize, schedule: Schedule) -> f64 {
+        match schedule {
+            Schedule::Fifo | Schedule::Lpt => self.hints[idx],
+            Schedule::Adaptive => self.measured[idx].unwrap_or(self.hints[idx]),
+        }
+    }
+
+    /// Whether workload `idx` has been observed at least once.
+    pub fn is_observed(&self, idx: usize) -> bool {
+        self.measured[idx].is_some()
+    }
+}
+
+/// The deterministic execution order for one round.
+///
+/// FIFO returns grid order; LPT/adaptive sort descending by modeled cost,
+/// breaking ties by grid index so equal-cost cells keep a stable order.
+pub fn plan(schedule: Schedule, model: &CostModel) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..model.len()).collect();
+    if schedule != Schedule::Fifo {
+        order.sort_by(|&a, &b| {
+            model
+                .cost(b, schedule)
+                .partial_cmp(&model.cost(a, schedule))
+                .expect("finite costs")
+                .then(a.cmp(&b))
+        });
+    }
+    order
+}
+
+/// Greedy list-scheduling makespan: cells execute in `order`, each claimed
+/// by the earliest-free of `workers` workers (ties to the lowest worker).
+///
+/// This mirrors the claim loop in `Campaign::round_parallel` exactly, so
+/// benches can compare policies from measured per-cell costs without
+/// needing the host to actually have that many cores.
+pub fn makespan(order: &[usize], costs: &[f64], workers: usize) -> f64 {
+    let w = workers.clamp(1, order.len().max(1));
+    let mut busy = vec![0.0f64; w];
+    for &i in order {
+        let k = (0..w)
+            .min_by(|&a, &b| {
+                busy[a]
+                    .partial_cmp(&busy[b])
+                    .expect("finite")
+                    .then(a.cmp(&b))
+            })
+            .expect("at least one worker");
+        busy[k] += costs[i];
+    }
+    busy.iter().fold(0.0, |m, &b| m.max(b))
+}
+
+/// A deterministic pseudo-random permutation of `0..n` derived from
+/// `seed` (Fisher–Yates over a [`simcore::SimRng`] stream).
+///
+/// Used by the determinism property test and the `campaign_sched` bench
+/// to exercise arbitrary execution orders through
+/// [`crate::Campaign::order_override`].
+pub fn permutation_from_seed(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = simcore::SimRng::new(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.index(i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Scheduling telemetry for one executed round.
+#[derive(Debug, Clone)]
+pub struct RoundSched {
+    /// The grid seed of this round.
+    pub seed: u64,
+    /// Execution order used (grid indices, first-claimed first).
+    pub order: Vec<usize>,
+    /// Measured wall seconds per cell, in grid order.
+    pub cell_secs: Vec<f64>,
+    /// Measured wall-clock duration of the whole round.
+    pub makespan_secs: f64,
+    /// Worker busy fraction: `Σ cell_secs / (workers × makespan)`.
+    pub utilization: f64,
+}
+
+/// Campaign-level scheduling telemetry, recorded on every
+/// [`crate::CampaignReport`] so speedups are observable rather than vibes.
+#[derive(Debug, Clone)]
+pub struct SchedStats {
+    /// The ordering policy the campaign ran under.
+    pub schedule: Schedule,
+    /// Worker threads requested (builder/CLI `--threads`).
+    pub threads_requested: usize,
+    /// Workers actually used per round (`min(threads, cells per round)`).
+    pub workers: usize,
+    /// Whether `available_parallelism` failed and the default worker count
+    /// silently fell back to 1 — previously invisible, now recorded.
+    pub parallelism_fallback: bool,
+    /// Per-round telemetry, in seed order.
+    pub rounds: Vec<RoundSched>,
+}
+
+impl SchedStats {
+    /// Total measured cell seconds across all rounds.
+    pub fn total_busy_secs(&self) -> f64 {
+        self.rounds
+            .iter()
+            .map(|r| r.cell_secs.iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Total measured round makespan across all rounds.
+    pub fn total_makespan_secs(&self) -> f64 {
+        self.rounds.iter().map(|r| r.makespan_secs).sum()
+    }
+
+    /// Mean per-round worker utilization (0 when no rounds ran).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.utilization).sum::<f64>() / self.rounds.len() as f64
+    }
+
+    /// `(p50, p90, max)` of per-cell wall times across the campaign,
+    /// via a single-sort [`Samples`] set.
+    pub fn cell_time_percentiles(&self) -> (f64, f64, f64) {
+        let mut s = Samples::with_capacity(self.rounds.iter().map(|r| r.cell_secs.len()).sum());
+        for r in &self.rounds {
+            for &c in &r.cell_secs {
+                s.add(c);
+            }
+        }
+        (s.percentile(50.0), s.percentile(90.0), s.max())
+    }
+
+    /// One-line human summary for reports and the CLI.
+    pub fn render(&self) -> String {
+        let (p50, p90, max) = self.cell_time_percentiles();
+        format!(
+            "sched: {} over {} worker(s){} — {} round(s), makespan {:.3}s, \
+             utilization {:.0}%, cell p50/p90/max {:.3}/{:.3}/{:.3}s",
+            self.schedule.label(),
+            self.workers,
+            if self.parallelism_fallback {
+                " (parallelism probe failed; fell back to 1)"
+            } else {
+                ""
+            },
+            self.rounds.len(),
+            self.total_makespan_secs(),
+            self.mean_utilization() * 100.0,
+            p50,
+            p90,
+            max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hint(data_ops: u64) -> CostHint {
+        CostHint {
+            data_ops,
+            meta_ops: 0,
+            bytes: 0,
+        }
+    }
+
+    #[test]
+    fn schedule_parse_roundtrips() {
+        for s in [Schedule::Fifo, Schedule::Lpt, Schedule::Adaptive] {
+            assert_eq!(Schedule::parse(s.label()), Some(s));
+        }
+        assert_eq!(Schedule::parse("nope"), None);
+        assert_eq!(Schedule::default(), Schedule::Adaptive);
+    }
+
+    #[test]
+    fn fifo_keeps_grid_order_lpt_sorts_heaviest_first() {
+        let model = CostModel::from_hints([hint(1), hint(100), hint(10), hint(100)]);
+        assert_eq!(plan(Schedule::Fifo, &model), vec![0, 1, 2, 3]);
+        // Descending by cost, equal costs tie-broken by grid index.
+        assert_eq!(plan(Schedule::Lpt, &model), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn adaptive_prefers_measurement_over_hint() {
+        let mut model = CostModel::from_hints([hint(1), hint(100)]);
+        // Hints say cell 1 is heavy; measurement says otherwise.
+        model.observe(0, 9.0);
+        model.observe(1, 1.0);
+        assert_eq!(plan(Schedule::Lpt, &model), vec![1, 0]);
+        assert_eq!(plan(Schedule::Adaptive, &model), vec![0, 1]);
+        // EMA smooths: a second observation moves halfway.
+        model.observe(0, 1.0);
+        assert!((model.cost(0, Schedule::Adaptive) - 5.0).abs() < 1e-12);
+        assert!(model.is_observed(0) && model.is_observed(1));
+        assert_eq!(model.len(), 2);
+        assert!(!model.is_empty());
+    }
+
+    #[test]
+    fn makespan_rewards_lpt_on_skewed_rounds() {
+        // One heavy straggler scheduled last under FIFO.
+        let costs = [1.0, 1.0, 2.0, 3.0, 5.0];
+        let model = CostModel::from_hints(costs.map(|c| hint(c as u64 * 100)));
+        let fifo = makespan(&plan(Schedule::Fifo, &model), &costs, 2);
+        let lpt = makespan(&plan(Schedule::Lpt, &model), &costs, 2);
+        assert_eq!(fifo, 8.0); // [1+2+5 | 1+3]
+        assert_eq!(lpt, 6.0); // [5+1 | 3+2+1]
+        assert!(lpt <= fifo);
+        // Degenerate worker counts clamp sanely.
+        assert_eq!(makespan(&[0, 1], &[2.0, 3.0], 0), 5.0);
+        assert_eq!(makespan(&[], &[], 4), 0.0);
+    }
+
+    #[test]
+    fn sched_stats_summarize() {
+        let stats = SchedStats {
+            schedule: Schedule::Lpt,
+            threads_requested: 4,
+            workers: 2,
+            parallelism_fallback: false,
+            rounds: vec![RoundSched {
+                seed: 42,
+                order: vec![1, 0],
+                cell_secs: vec![1.0, 3.0],
+                makespan_secs: 3.0,
+                utilization: 4.0 / 6.0,
+            }],
+        };
+        assert_eq!(stats.total_busy_secs(), 4.0);
+        assert_eq!(stats.total_makespan_secs(), 3.0);
+        assert!((stats.mean_utilization() - 2.0 / 3.0).abs() < 1e-12);
+        let (p50, p90, max) = stats.cell_time_percentiles();
+        assert_eq!(p50, 2.0);
+        assert!(p90 > p50 && max == 3.0);
+        let line = stats.render();
+        assert!(line.contains("lpt over 2 worker(s)"), "{line}");
+        let empty = SchedStats {
+            rounds: vec![],
+            ..stats
+        };
+        assert_eq!(empty.mean_utilization(), 0.0);
+    }
+}

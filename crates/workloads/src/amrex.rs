@@ -7,7 +7,7 @@
 //! Several timesteps dump in sequence with computation in between — the
 //! bursty checkpoint pattern the paper's intro motivates.
 
-use crate::{scale_count, Workload};
+use crate::{scale_count, CostHint, Workload};
 use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
 use pfs::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
@@ -117,6 +117,27 @@ impl Workload for AmrexIo {
         w.base_grid_bytes = (scale_count(self.base_grid_bytes >> 20, factor, 1)) << 20;
         w.steps = scale_count(self.steps as u64, factor.sqrt(), 1) as u32;
         Box::new(w)
+    }
+
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        let nranks = topo.total_ranks() as u64;
+        let steps = self.steps as u64;
+        let chunk = 4u64 << 20;
+        let mut writes_per_rank = 0u64;
+        let mut bytes_per_rank = 0u64;
+        for level in 0..self.levels {
+            let bytes = self.level_bytes(level);
+            writes_per_rank += bytes.div_ceil(chunk.min(bytes).max(1));
+            bytes_per_rank += bytes;
+        }
+        CostHint {
+            // Grid data across all ranks plus rank 0's 16 header writes.
+            data_ops: steps * (nranks * writes_per_rank + 16),
+            // Per level: create/open + close on every rank; header file
+            // create + close on rank 0.
+            meta_ops: steps * (nranks * 2 * self.levels as u64 + 2),
+            bytes: steps * (nranks * bytes_per_rank + 16 * 512),
+        }
     }
 
     fn describe(&self) -> String {

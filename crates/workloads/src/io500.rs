@@ -10,7 +10,7 @@
 //! files in per-process directories; MDTest-Hard creates 3901-byte files in
 //! one shared directory.
 
-use crate::{scale_count, Workload};
+use crate::{scale_count, CostHint, Workload};
 use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
 use pfs::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
@@ -211,6 +211,26 @@ impl Workload for Io500 {
         })
     }
 
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        let nranks = topo.total_ranks() as u64;
+        let transfers = self.easy_bytes_per_rank / EASY_TRANSFER;
+        let records = self.hard_records_per_rank;
+        let md_easy = self.md_easy_files_per_rank as u64;
+        let md_hard = self.md_hard_files_per_rank as u64;
+        CostHint {
+            // Easy write+read, hard write+read, md-hard write+read.
+            data_ops: nranks * 2 * (transfers + records + md_hard),
+            // Four IOR phases (create/open + close each), MDTest-Easy
+            // (mkdir + create/close/stat/unlink per file), MDTest-Hard
+            // (create/close + stat/open/close + unlink per file), plus the
+            // one shared mkdir rank 0 issues.
+            meta_ops: nranks * (8 + 1 + 4 * md_easy + 6 * md_hard) + 1,
+            bytes: nranks
+                * 2
+                * (transfers * EASY_TRANSFER + records * HARD_RECORD + md_hard * MD_HARD_SIZE),
+        }
+    }
+
     fn describe(&self) -> String {
         format!(
             "IO500 composite: IOR-Easy ({} MiB/rank sequential, file-per-process), \
@@ -301,6 +321,14 @@ mod tests {
                     if file.0 >= MD_EASY_FILE_BASE && file.0 < MD_HARD_FILE_BASE
             )));
         }
+    }
+
+    #[test]
+    fn cost_hint_matches_generated_streams() {
+        let w = Io500::standard();
+        let t = topo();
+        let exact = crate::CostHint::from_streams(&w.generate(&t, 1));
+        assert_eq!(w.cost_hint(&t), exact);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! MPI process write/read three 128 MB blocks using a large transfer size of
 //! 16 MB with a sequential access pattern to a shared file."*
 
-use crate::{scale_count, Workload};
+use crate::{scale_count, CostHint, Workload};
 use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
 use pfs::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
@@ -172,6 +172,18 @@ impl Workload for Ior {
         Box::new(w)
     }
 
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        let nranks = topo.total_ranks() as u64;
+        let phases = 1 + self.read_phase as u64;
+        let transfers = self.blocks_per_rank * self.transfers_per_block();
+        CostHint {
+            data_ops: nranks * transfers * phases,
+            // create/open + close per phase.
+            meta_ops: nranks * 2 * phases,
+            bytes: nranks * transfers * self.transfer * phases,
+        }
+    }
+
     fn describe(&self) -> String {
         format!(
             "IOR: each rank {}s {} blocks of {} MiB with {} KiB transfers to a shared file{}",
@@ -332,6 +344,15 @@ mod tests {
         let b = w.generate(&topo(), 42);
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.ops, y.ops);
+        }
+    }
+
+    #[test]
+    fn cost_hint_matches_generated_streams() {
+        for w in [Ior::ior_64k(), Ior::ior_16m()] {
+            let t = topo();
+            let exact = crate::CostHint::from_streams(&w.generate(&t, 1));
+            assert_eq!(w.cost_hint(&t), exact, "{}", w.label);
         }
     }
 

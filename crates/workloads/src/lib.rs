@@ -22,7 +22,11 @@
 //!
 //! All generators implement [`Workload`], are deterministic given a seed, and
 //! support [`Workload::scaled`] down-scaling so unit tests stay fast while
-//! benches run at paper scale.
+//! benches run at paper scale. Each generator also derives a [`CostHint`]
+//! from its parameters — the campaign scheduler's a-priori estimate of how
+//! much simulation work a cell costs (see `stellar::sched`).
+
+#![deny(missing_docs)]
 
 pub mod amrex;
 pub mod io500;
@@ -35,6 +39,60 @@ pub use suite::{WorkloadKind, BENCHMARKS, REAL_APPS};
 
 use pfs::ops::RankStream;
 use pfs::topology::ClusterSpec;
+
+/// A parameter-derived estimate of how much *simulation* work one run of a
+/// workload costs, used by the campaign scheduler to order cells before any
+/// wall time has been observed.
+///
+/// Simulation cost is driven by the number of operations the engine must
+/// event-step (each op is at least one event plus resource-calendar work),
+/// with bytes contributing through per-RPC striping and aggregation. The
+/// hint does not need to be accurate in absolute terms — only its *relative
+/// order* matters for longest-processing-time-first scheduling, and the
+/// adaptive scheduler replaces it with measured wall times after one round.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostHint {
+    /// Estimated data operations (reads + writes) across all ranks.
+    pub data_ops: u64,
+    /// Estimated metadata operations (create/open/close/stat/unlink/mkdir/
+    /// fsync/readdir) across all ranks.
+    pub meta_ops: u64,
+    /// Estimated bytes moved (written + read) across all ranks.
+    pub bytes: u64,
+}
+
+impl CostHint {
+    /// Collapse the hint into one scalar scheduling weight.
+    ///
+    /// Operations dominate (each is an event plus calendar bookkeeping);
+    /// metadata ops weigh double (MDS window + glimpse chain); bytes add
+    /// one unit per RPC-sized (8 MiB) piece for striping/aggregation work.
+    pub fn weight(&self) -> f64 {
+        self.data_ops as f64
+            + 2.0 * self.meta_ops as f64
+            + self.bytes as f64 / (8.0 * 1024.0 * 1024.0)
+    }
+
+    /// Exact hint for an already-generated set of streams (used by the
+    /// default [`Workload::cost_hint`] and by tests as ground truth).
+    pub fn from_streams(streams: &[RankStream]) -> Self {
+        let mut hint = CostHint::default();
+        for s in streams {
+            for op in &s.ops {
+                use pfs::ops::IoOp;
+                match op {
+                    IoOp::Write { len, .. } | IoOp::Read { len, .. } => {
+                        hint.data_ops += 1;
+                        hint.bytes += len;
+                    }
+                    IoOp::Barrier | IoOp::Compute { .. } => {}
+                    _ => hint.meta_ops += 1,
+                }
+            }
+        }
+        hint
+    }
+}
 
 /// A workload: generates per-rank operation streams for a cluster.
 ///
@@ -52,6 +110,16 @@ pub trait Workload: Send + Sync {
 
     /// One-paragraph description fed to agent context and docs.
     fn describe(&self) -> String;
+
+    /// Estimated per-run cost for `topo`, derived from the workload's
+    /// parameters without generating streams.
+    ///
+    /// The default generates one stream set (seed 0) and counts — correct
+    /// for any implementor but O(workload size); the suite workloads all
+    /// override it with closed-form parameter math.
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        CostHint::from_streams(&self.generate(topo, 0))
+    }
 }
 
 /// Apply a scale factor to a count, keeping at least `min`.

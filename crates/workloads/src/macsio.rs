@@ -9,7 +9,7 @@
 //! into its own region. Object sizes jitter ±25% around the nominal size
 //! ("highly variable data object distribution").
 
-use crate::{scale_count, Workload};
+use crate::{scale_count, CostHint, Workload};
 use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
 use pfs::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
@@ -116,6 +116,18 @@ impl Workload for Macsio {
         w.objects_per_rank = scale_count(self.objects_per_rank as u64, factor, 1) as u32;
         w.dumps = scale_count(self.dumps as u64, factor.sqrt(), 1) as u32;
         Box::new(w)
+    }
+
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        let nranks = topo.total_ranks() as u64;
+        let dumps = self.dumps as u64;
+        CostHint {
+            data_ops: nranks * dumps * self.objects_per_rank as u64,
+            // Per dump: create/open + fsync + close.
+            meta_ops: nranks * dumps * 3,
+            // Jitter is uniform on ±25%, so nominal size is the mean.
+            bytes: nranks * dumps * self.objects_per_rank as u64 * self.object_bytes,
+        }
     }
 
     fn describe(&self) -> String {

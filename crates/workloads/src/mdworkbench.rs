@@ -9,7 +9,7 @@
 //! start of round k+1 (MDWorkbench's working-set semantics), so each round
 //! performs create/write/close then stat/open/read/close/unlink per file.
 
-use crate::{scale_count, Workload};
+use crate::{scale_count, CostHint, Workload};
 use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
 use pfs::topology::ClusterSpec;
 use serde::{Deserialize, Serialize};
@@ -124,6 +124,20 @@ impl Workload for MdWorkbench {
         Box::new(w)
     }
 
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        let nranks = topo.total_ranks() as u64;
+        let fpr = self.files_per_rank() as u64;
+        let rounds = self.rounds as u64;
+        CostHint {
+            // One write + one read per file per round.
+            data_ops: nranks * rounds * fpr * 2,
+            // Per file per round: create, close, stat, open, close, unlink;
+            // plus the initial mkdirs.
+            meta_ops: nranks * (self.dirs_per_rank as u64 + rounds * fpr * 6),
+            bytes: nranks * rounds * fpr * 2 * self.file_size,
+        }
+    }
+
     fn describe(&self) -> String {
         format!(
             "MDWorkbench: {} dirs/rank x {} files/dir of {} KiB, {} rounds of \
@@ -225,6 +239,15 @@ mod tests {
             .filter(|o| matches!(o, IoOp::Unlink { .. }))
             .count();
         assert_eq!(creates, unlinks);
+    }
+
+    #[test]
+    fn cost_hint_matches_generated_streams() {
+        for w in [MdWorkbench::mdw_2k(), MdWorkbench::mdw_8k()] {
+            let t = topo();
+            let exact = crate::CostHint::from_streams(&w.generate(&t, 1));
+            assert_eq!(w.cost_hint(&t), exact, "{}", w.label);
+        }
     }
 
     #[test]

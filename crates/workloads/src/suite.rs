@@ -143,6 +143,46 @@ mod tests {
             assert!(!k.spec().describe().is_empty());
         }
     }
+
+    /// Every suite workload's closed-form hint tracks the generated stream
+    /// counts: op counts exact, bytes within 5% (MACSio jitters sizes).
+    #[test]
+    fn cost_hints_track_generated_streams() {
+        let topo = ClusterSpec::tiny();
+        for k in BENCHMARKS.iter().chain(REAL_APPS.iter()) {
+            let w = k.spec();
+            let hint = w.cost_hint(&topo);
+            let exact = crate::CostHint::from_streams(&w.generate(&topo, 1));
+            assert_eq!(hint.data_ops, exact.data_ops, "{}", k.label());
+            assert_eq!(hint.meta_ops, exact.meta_ops, "{}", k.label());
+            let err = (hint.bytes as f64 - exact.bytes as f64).abs() / exact.bytes as f64;
+            assert!(
+                err < 0.05,
+                "{}: byte estimate off by {:.1}%",
+                k.label(),
+                err * 100.0
+            );
+        }
+    }
+
+    /// The scheduling skew the campaign scheduler exploits: MDWorkbench
+    /// cells cost orders of magnitude more simulation work than the IOR
+    /// cells that share their rounds.
+    #[test]
+    fn mdworkbench_dominates_benchmark_weights() {
+        let topo = ClusterSpec::tiny();
+        let weight = |k: WorkloadKind| k.spec().cost_hint(&topo).weight();
+        for heavy in [WorkloadKind::MdWorkbench2K, WorkloadKind::MdWorkbench8K] {
+            for light in [WorkloadKind::Ior64K, WorkloadKind::Ior16M] {
+                assert!(
+                    weight(heavy) > 4.0 * weight(light),
+                    "{} should far outweigh {}",
+                    heavy.label(),
+                    light.label()
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 //! cross-layer consistency with single sessions.
 
 use agents::RuleSet;
-use stellar::{Campaign, RuleMode, StellarBuilder};
+use stellar::{sched, Campaign, CampaignReport, RuleMode, Schedule, StellarBuilder};
 use workloads::WorkloadKind;
 
 const KINDS: [WorkloadKind; 2] = [WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K];
@@ -42,6 +42,70 @@ fn campaign_parallel_equals_serial() {
         assert_eq!(p.run.attempts.len(), s.run.attempts.len());
     }
     assert_eq!(parallel.rules, serial.rules, "accumulated rules diverged");
+}
+
+fn assert_reports_identical(tag: &str, a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{tag}: cell count");
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.workload, y.workload, "{tag}");
+        assert_eq!(x.seed, y.seed, "{tag}");
+        assert_eq!(x.cell_seed, y.cell_seed, "{tag}");
+        assert_eq!(
+            x.run.best_wall.to_bits(),
+            y.run.best_wall.to_bits(),
+            "{tag}: {} @ seed {} best_wall diverged",
+            x.workload,
+            x.seed
+        );
+        assert_eq!(x.run.best_config, y.run.best_config, "{tag}");
+        assert_eq!(x.run.transcript, y.run.transcript, "{tag}");
+    }
+    assert_eq!(a.rules, b.rules, "{tag}: accumulated rules diverged");
+}
+
+/// The property the cost-model scheduler rests on: *any* execution-order
+/// permutation of a round — the planner's LPT/adaptive orders, reversed
+/// grid order, or random permutations derived from seeds — produces a
+/// report bit-identical to the serial grid-order run, in warm mode where
+/// cross-round rule flow would expose any ordering leak.
+#[test]
+fn schedule_permutations_preserve_reports() {
+    let engine = StellarBuilder::new().attempt_budget(3).build();
+    let grid = [
+        WorkloadKind::Ior64K,
+        WorkloadKind::Ior16M,
+        WorkloadKind::MdWorkbench2K,
+    ];
+    let campaign = |order: Option<Vec<usize>>, schedule: Schedule| {
+        let mut c = Campaign::new(&engine)
+            .kinds(&grid, 0.05)
+            .seeds([31, 32])
+            .rule_mode(RuleMode::Warm)
+            .threads(3)
+            .schedule(schedule);
+        if let Some(o) = order {
+            c = c.order_override(o);
+        }
+        c
+    };
+    let baseline = campaign(None, Schedule::Fifo).run_serial();
+
+    for schedule in [Schedule::Fifo, Schedule::Lpt, Schedule::Adaptive] {
+        let report = campaign(None, schedule).run();
+        assert_reports_identical(schedule.label(), &report, &baseline);
+    }
+    let reversed: Vec<usize> = (0..grid.len()).rev().collect();
+    let mut orders = vec![("reversed", reversed)];
+    for perm_seed in [7u64, 8, 9] {
+        orders.push((
+            "random",
+            sched::permutation_from_seed(grid.len(), perm_seed),
+        ));
+    }
+    for (tag, order) in orders {
+        let report = campaign(Some(order.clone()), Schedule::Fifo).run();
+        assert_reports_identical(&format!("{tag} {order:?}"), &report, &baseline);
+    }
 }
 
 /// A cold campaign cell reproduces the stand-alone session for the same
