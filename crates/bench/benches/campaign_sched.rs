@@ -66,5 +66,36 @@ fn bench_round_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_planner, bench_round_policies);
+/// The non-blocking seam under load: the same tiny campaign with seeded
+/// backend latency injected, driven by a single multiplexing worker. The
+/// interesting number is not the wall time (poll ticks are free) but the
+/// overhead of the suspend/claim/poll machinery relative to `round/*` —
+/// the gate should cost nanoseconds per turn, not microseconds.
+fn bench_round_with_latency(c: &mut Criterion) {
+    let engine = StellarBuilder::new()
+        .attempt_budget(2)
+        .backend_latency(llmsim::LatencyProfile::uniform(1, 4))
+        .build();
+    let mut group = c.benchmark_group("campaign_sched");
+    group.sample_size(10);
+    group.bench_function("round/latency-multiplexed-1-worker", |b| {
+        b.iter(|| {
+            let report = Campaign::new(&engine)
+                .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench2K], 0.03)
+                .seeds([1])
+                .threads(1)
+                .run();
+            debug_assert!(report.sched_stats.max_in_flight() >= 2);
+            black_box(report);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planner,
+    bench_round_policies,
+    bench_round_with_latency
+);
 criterion_main!(benches);

@@ -18,15 +18,28 @@
 //!   §5.7.
 //! * [`backend::SimLlm`] — the backend handle agents hold: fact queries,
 //!   discipline-modulated decision noise, and prompt/response accounting.
+//! * [`nonblocking`] — the submit/poll seam for providers that should not
+//!   pin a thread per call: [`nonblocking::NonBlockingBackend`], the
+//!   [`nonblocking::SyncAdapter`] blanket adapter over any sync backend,
+//!   and [`nonblocking::SimLatency`], deterministic seeded latency for
+//!   exercising suspension and call overlap in tests and benches.
 //!
-//! Real providers can be substituted by implementing [`backend::LlmBackend`].
+//! Real providers can be substituted by implementing [`backend::LlmBackend`]
+//! (blocking) or [`nonblocking::NonBlockingBackend`] (submit/poll).
+
+#![deny(missing_docs)]
 
 pub mod backend;
 pub mod facts;
+pub mod nonblocking;
 pub mod profiles;
 pub mod tokens;
 
 pub use backend::{LlmBackend, SimLlm};
 pub use facts::{FactQuality, ParamFact};
+pub use nonblocking::{
+    CallHandle, CallStatus, LatencyProfile, LlmCall, LlmReply, NonBlockingBackend, SimLatency,
+    SyncAdapter,
+};
 pub use profiles::ModelProfile;
 pub use tokens::{estimate_tokens, PrefixCache, UsageMeter};

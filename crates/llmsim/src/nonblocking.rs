@@ -1,0 +1,591 @@
+//! The non-blocking backend seam.
+//!
+//! [`LlmBackend`] is synchronous: a caller invoking a
+//! real provider API through it would pin its thread for the full network
+//! round trip. This module supplies the seam that lets higher layers
+//! overlap in-flight calls instead of blocking on them:
+//!
+//! * [`NonBlockingBackend`] — the submit/poll shape: [`submit`] hands the
+//!   transport a reified [`LlmCall`] and returns a [`CallHandle`];
+//!   [`poll`] reports [`CallStatus::Pending`] until the reply is in, then
+//!   yields it as [`CallStatus::Ready`].
+//! * [`SyncAdapter`] — the blanket adapter giving **every** existing
+//!   synchronous [`LlmBackend`] the non-blocking shape:
+//!   `submit` executes the call inline and the first `poll` is `Ready`.
+//! * [`Immediate`] — the degenerate transport for callers that keep the
+//!   semantic computation elsewhere (a session holding its own
+//!   [`crate::SimLlm`]) and only need readiness gating.
+//! * [`SimLatency`] — a wrapper injecting **deterministic seeded latency**
+//!   (measured in poll ticks, not wall time) around any inner
+//!   non-blocking backend, so tests and benches can exercise suspension
+//!   and call overlap without timers or nondeterminism.
+//!
+//! ## The contract with callers
+//!
+//! A handle is live from `submit` until the `poll` that returns `Ready`
+//! (which consumes it) or until [`cancel`]. Polling a consumed, cancelled
+//! or foreign handle panics — sessions hold exactly one in-flight call at
+//! a time, so a stale handle is a caller bug, not a recoverable state.
+//!
+//! Latency is counted in *ticks*: each `poll` of a pending call burns one
+//! tick. A driver that keeps polling therefore always makes progress, and
+//! a multiplexing driver (the campaign worker loop) that polls K suspended
+//! sessions round-robin advances all K calls concurrently — which is
+//! exactly the overlap a real async provider would give, reproduced
+//! deterministically.
+//!
+//! [`submit`]: NonBlockingBackend::submit
+//! [`poll`]: NonBlockingBackend::poll
+//! [`cancel`]: NonBlockingBackend::cancel
+
+use crate::backend::LlmBackend;
+use crate::facts::ParamFact;
+use simcore::rng::combine;
+use simcore::SimRng;
+use std::collections::BTreeMap;
+
+/// Opaque identifier of one in-flight backend call.
+///
+/// Handles are only meaningful to the backend that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallHandle(u64);
+
+impl CallHandle {
+    /// The raw id, for logs and telemetry.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One reified inference request — the wire form of the
+/// [`LlmBackend`] methods, plus [`LlmCall::Turn`], the
+/// session-level unit (one agent turn = one provider API call).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmCall {
+    /// Recall what the model knows about a parameter
+    /// (see [`LlmBackend::param_fact`]).
+    ParamFact {
+        /// Ground-truth fact used to service grounded answers and to seed
+        /// corruption.
+        truth: ParamFact,
+        /// Whether retrieved documentation grounds the answer.
+        grounded: bool,
+    },
+    /// Multiplicative value-selection jitter for `context`.
+    DecisionJitter {
+        /// Decision-point label the jitter stream derives from.
+        context: String,
+    },
+    /// Whether the model deviates from the policy's first choice.
+    Deviates {
+        /// Decision-point label the deviation stream derives from.
+        context: String,
+    },
+    /// One whole agent turn. Carries no content of its own — the caller
+    /// computes the turn through its synchronous backend once the
+    /// transport reports the call complete. This is the granularity the
+    /// session layer suspends at.
+    Turn {
+        /// Turn label (phase and index), for latency derivation and logs.
+        context: String,
+    },
+}
+
+impl LlmCall {
+    /// The context label of the call (empty for [`LlmCall::ParamFact`],
+    /// whose stream derives from the parameter name instead).
+    pub fn context(&self) -> &str {
+        match self {
+            LlmCall::ParamFact { .. } => "",
+            LlmCall::DecisionJitter { context }
+            | LlmCall::Deviates { context }
+            | LlmCall::Turn { context } => context,
+        }
+    }
+}
+
+/// The answer to a completed [`LlmCall`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmReply {
+    /// Reply to [`LlmCall::ParamFact`].
+    ParamFact(ParamFact),
+    /// Reply to [`LlmCall::DecisionJitter`].
+    DecisionJitter(f64),
+    /// Reply to [`LlmCall::Deviates`].
+    Deviates(bool),
+    /// Reply to [`LlmCall::Turn`]: the transport round trip is done.
+    Done,
+}
+
+/// Outcome of polling an in-flight call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallStatus {
+    /// The call completed; the reply is yours and the handle is consumed.
+    Ready(LlmReply),
+    /// Still in flight — suspend and poll again later.
+    Pending,
+}
+
+/// A backend that accepts calls without blocking on their completion.
+///
+/// See the [module docs](self) for the handle lifecycle contract.
+pub trait NonBlockingBackend {
+    /// Dispatch `call` and return a handle to poll it by.
+    fn submit(&mut self, call: LlmCall) -> CallHandle;
+
+    /// Check on an in-flight call. `Ready` consumes the handle.
+    ///
+    /// # Panics
+    /// Panics on a handle this backend did not issue or has already
+    /// completed or cancelled.
+    fn poll(&mut self, handle: CallHandle) -> CallStatus;
+
+    /// Abandon an in-flight call (e.g. the session aborted). No-op
+    /// semantics for transports that cannot cancel; the handle is dead
+    /// either way.
+    fn cancel(&mut self, handle: CallHandle);
+
+    /// Number of calls currently in flight.
+    fn in_flight(&self) -> usize;
+}
+
+/// Blanket adapter: every synchronous [`LlmBackend`] viewed through the
+/// non-blocking shape. `submit` executes the call inline on the wrapped
+/// backend, so the first `poll` always returns [`CallStatus::Ready`] —
+/// the zero-latency degenerate case the sync path is equivalent to.
+#[derive(Debug, Clone)]
+pub struct SyncAdapter<B> {
+    inner: B,
+    replies: BTreeMap<u64, LlmReply>,
+    next_id: u64,
+}
+
+impl<B: LlmBackend> SyncAdapter<B> {
+    /// Adapt a synchronous backend.
+    pub fn new(inner: B) -> Self {
+        SyncAdapter {
+            inner,
+            replies: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn get_ref(&self) -> &B {
+        &self.inner
+    }
+
+    /// The wrapped backend, mutably (e.g. to charge usage).
+    pub fn get_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+
+    /// Unwrap, discarding any unclaimed replies.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: LlmBackend> NonBlockingBackend for SyncAdapter<B> {
+    fn submit(&mut self, call: LlmCall) -> CallHandle {
+        let reply = match call {
+            LlmCall::ParamFact { truth, grounded } => {
+                LlmReply::ParamFact(self.inner.param_fact(&truth, grounded))
+            }
+            LlmCall::DecisionJitter { context } => {
+                LlmReply::DecisionJitter(self.inner.decision_jitter(&context))
+            }
+            LlmCall::Deviates { context } => LlmReply::Deviates(self.inner.deviates(&context)),
+            LlmCall::Turn { .. } => LlmReply::Done,
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.replies.insert(id, reply);
+        CallHandle(id)
+    }
+
+    fn poll(&mut self, handle: CallHandle) -> CallStatus {
+        CallStatus::Ready(
+            self.replies
+                .remove(&handle.0)
+                .expect("polled unknown or already-completed call"),
+        )
+    }
+
+    fn cancel(&mut self, handle: CallHandle) {
+        self.replies.remove(&handle.0);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.replies.len()
+    }
+}
+
+/// Content-free transport that completes every call instantly with
+/// [`LlmReply::Done`].
+///
+/// For callers that keep the semantic computation in a synchronous
+/// backend they own (the session's [`crate::SimLlm`]) and use the
+/// non-blocking seam purely for readiness: wrap `Immediate` in a
+/// [`SimLatency`] and the caller suspends exactly as it would on a real
+/// provider, while replies keep coming from the sync path bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct Immediate {
+    live: BTreeMap<u64, ()>,
+    next_id: u64,
+}
+
+impl Immediate {
+    /// A fresh instant transport.
+    pub fn new() -> Self {
+        Immediate::default()
+    }
+}
+
+impl NonBlockingBackend for Immediate {
+    fn submit(&mut self, _call: LlmCall) -> CallHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, ());
+        CallHandle(id)
+    }
+
+    fn poll(&mut self, handle: CallHandle) -> CallStatus {
+        self.live
+            .remove(&handle.0)
+            .expect("polled unknown or already-completed call");
+        CallStatus::Ready(LlmReply::Done)
+    }
+
+    fn cancel(&mut self, handle: CallHandle) {
+        self.live.remove(&handle.0);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// How many poll ticks a simulated call stays in flight.
+///
+/// `min_ticks..=max_ticks`, drawn deterministically per call from the
+/// wrapper's seed and the call's submission index — so a given session
+/// always sees the same latency sequence regardless of what else runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Fewest ticks a call can take (0 = can complete on the first poll).
+    pub min_ticks: u32,
+    /// Most ticks a call can take.
+    pub max_ticks: u32,
+}
+
+impl LatencyProfile {
+    /// Every call takes exactly `ticks` polls.
+    pub fn fixed(ticks: u32) -> Self {
+        LatencyProfile {
+            min_ticks: ticks,
+            max_ticks: ticks,
+        }
+    }
+
+    /// Calls take between `min` and `max` ticks inclusive.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn uniform(min: u32, max: u32) -> Self {
+        assert!(min <= max, "latency profile: min {min} > max {max}");
+        LatencyProfile {
+            min_ticks: min,
+            max_ticks: max,
+        }
+    }
+
+    /// Parse a CLI spelling: a single tick count (`"3"`) or an inclusive
+    /// range (`"1..4"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some((lo, hi)) = s.split_once("..") {
+            let (min, max) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+            (min <= max).then(|| LatencyProfile::uniform(min, max))
+        } else {
+            s.trim().parse().ok().map(LatencyProfile::fixed)
+        }
+    }
+
+    /// The CLI spelling (`"3"` or `"1..4"`).
+    pub fn label(&self) -> String {
+        if self.min_ticks == self.max_ticks {
+            format!("{}", self.min_ticks)
+        } else {
+            format!("{}..{}", self.min_ticks, self.max_ticks)
+        }
+    }
+
+    /// Whether every call completes on its first poll.
+    pub fn is_instant(&self) -> bool {
+        self.max_ticks == 0
+    }
+
+    fn draw(&self, seed: u64, submission: u64) -> u32 {
+        if self.min_ticks == self.max_ticks {
+            return self.min_ticks;
+        }
+        let span = (self.max_ticks - self.min_ticks + 1) as usize;
+        self.min_ticks + SimRng::new(combine(seed, submission)).index(span) as u32
+    }
+}
+
+/// Deterministic seeded latency around any [`NonBlockingBackend`].
+///
+/// `submit` forwards to the inner backend immediately (the call is "on
+/// the wire") and assigns it a tick budget from the [`LatencyProfile`];
+/// each `poll` of a pending call burns one tick, and only when the budget
+/// is spent does the inner backend's status pass through. With the
+/// default [`Immediate`] inner this is a pure readiness gate.
+#[derive(Debug, Clone)]
+pub struct SimLatency<B = Immediate> {
+    inner: B,
+    profile: LatencyProfile,
+    seed: u64,
+    submitted: u64,
+    /// Our id → (inner handle, remaining ticks).
+    pending: BTreeMap<u64, (CallHandle, u32)>,
+    peak_in_flight: usize,
+}
+
+impl SimLatency<Immediate> {
+    /// A readiness gate: seeded latency over the instant transport.
+    pub fn gate(profile: LatencyProfile, seed: u64) -> Self {
+        SimLatency::wrapping(Immediate::new(), profile, seed)
+    }
+}
+
+impl<B> SimLatency<B> {
+    /// Inject latency around `inner`.
+    pub fn wrapping(inner: B, profile: LatencyProfile, seed: u64) -> Self {
+        SimLatency {
+            inner,
+            profile,
+            seed,
+            submitted: 0,
+            pending: BTreeMap::new(),
+            peak_in_flight: 0,
+        }
+    }
+
+    /// The latency profile in force.
+    pub fn profile(&self) -> LatencyProfile {
+        self.profile
+    }
+
+    /// Most calls ever simultaneously in flight through this wrapper.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
+    /// Unwrap the inner backend, dropping any in-flight calls.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+}
+
+impl<B: NonBlockingBackend> NonBlockingBackend for SimLatency<B> {
+    fn submit(&mut self, call: LlmCall) -> CallHandle {
+        let ticks = self.profile.draw(self.seed, self.submitted);
+        let inner_handle = self.inner.submit(call);
+        let id = self.submitted;
+        self.submitted += 1;
+        self.pending.insert(id, (inner_handle, ticks));
+        self.peak_in_flight = self.peak_in_flight.max(self.pending.len());
+        CallHandle(id)
+    }
+
+    fn poll(&mut self, handle: CallHandle) -> CallStatus {
+        let (inner_handle, ticks) = self
+            .pending
+            .get_mut(&handle.0)
+            .expect("polled unknown or already-completed call");
+        if *ticks > 0 {
+            *ticks -= 1;
+            return CallStatus::Pending;
+        }
+        let inner_handle = *inner_handle;
+        match self.inner.poll(inner_handle) {
+            CallStatus::Pending => CallStatus::Pending,
+            ready => {
+                self.pending.remove(&handle.0);
+                ready
+            }
+        }
+    }
+
+    fn cancel(&mut self, handle: CallHandle) {
+        if let Some((inner_handle, _)) = self.pending.remove(&handle.0) {
+            self.inner.cancel(inner_handle);
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ModelProfile;
+    use crate::SimLlm;
+
+    fn truth() -> ParamFact {
+        ParamFact::grounded("osc.max_dirty_mb", "Dirty page cache cap per OSC.", 0, 2048)
+    }
+
+    /// The blanket adapter computes exactly what the sync backend would.
+    #[test]
+    fn sync_adapter_matches_direct_calls() {
+        let mut direct = SimLlm::new(ModelProfile::claude_37_sonnet(), 9);
+        let mut adapted = SyncAdapter::new(SimLlm::new(ModelProfile::claude_37_sonnet(), 9));
+
+        let h = adapted.submit(LlmCall::ParamFact {
+            truth: truth(),
+            grounded: false,
+        });
+        let CallStatus::Ready(LlmReply::ParamFact(fact)) = adapted.poll(h) else {
+            panic!("sync adapter must be ready on first poll");
+        };
+        assert_eq!(fact, direct.param_fact(&truth(), false));
+
+        let h = adapted.submit(LlmCall::DecisionJitter {
+            context: "stripe_count:1".into(),
+        });
+        let CallStatus::Ready(LlmReply::DecisionJitter(j)) = adapted.poll(h) else {
+            panic!("ready");
+        };
+        assert_eq!(
+            j.to_bits(),
+            direct.decision_jitter("stripe_count:1").to_bits()
+        );
+
+        let h = adapted.submit(LlmCall::Deviates {
+            context: "ctx".into(),
+        });
+        let CallStatus::Ready(LlmReply::Deviates(d)) = adapted.poll(h) else {
+            panic!("ready");
+        };
+        assert_eq!(d, direct.deviates("ctx"));
+        assert_eq!(adapted.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-completed")]
+    fn polling_a_consumed_handle_panics() {
+        let mut adapted = SyncAdapter::new(SimLlm::new(ModelProfile::gpt_4o(), 1));
+        let h = adapted.submit(LlmCall::Turn {
+            context: "t".into(),
+        });
+        let _ = adapted.poll(h);
+        let _ = adapted.poll(h);
+    }
+
+    #[test]
+    fn latency_holds_calls_for_their_tick_budget() {
+        let mut gate = SimLatency::gate(LatencyProfile::fixed(3), 42);
+        let h = gate.submit(LlmCall::Turn {
+            context: "turn0".into(),
+        });
+        assert_eq!(gate.in_flight(), 1);
+        for _ in 0..3 {
+            assert_eq!(gate.poll(h), CallStatus::Pending);
+        }
+        assert_eq!(gate.poll(h), CallStatus::Ready(LlmReply::Done));
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.peak_in_flight(), 1);
+    }
+
+    #[test]
+    fn latency_draws_are_deterministic_and_within_profile() {
+        let profile = LatencyProfile::uniform(1, 4);
+        let draws = |seed| -> Vec<u32> { (0..32).map(|i| profile.draw(seed, i)).collect() };
+        let a = draws(7);
+        assert_eq!(a, draws(7), "same seed, same latency sequence");
+        assert_ne!(a, draws(8), "different seed, different sequence");
+        assert!(a.iter().all(|&t| (1..=4).contains(&t)));
+        assert!(a.iter().any(|&t| t != a[0]), "spread over the range");
+    }
+
+    #[test]
+    fn overlapping_calls_are_tracked() {
+        let mut gate = SimLatency::gate(LatencyProfile::fixed(2), 1);
+        let a = gate.submit(LlmCall::Turn {
+            context: "a".into(),
+        });
+        let b = gate.submit(LlmCall::Turn {
+            context: "b".into(),
+        });
+        assert_eq!(gate.in_flight(), 2);
+        assert_eq!(gate.peak_in_flight(), 2);
+        // Round-robin polling drains both concurrently.
+        assert_eq!(gate.poll(a), CallStatus::Pending);
+        assert_eq!(gate.poll(b), CallStatus::Pending);
+        assert_eq!(gate.poll(a), CallStatus::Pending);
+        assert_eq!(gate.poll(b), CallStatus::Pending);
+        assert_eq!(gate.poll(a), CallStatus::Ready(LlmReply::Done));
+        assert_eq!(gate.poll(b), CallStatus::Ready(LlmReply::Done));
+    }
+
+    #[test]
+    fn cancel_kills_the_handle() {
+        let mut gate = SimLatency::gate(LatencyProfile::fixed(5), 1);
+        let h = gate.submit(LlmCall::Turn {
+            context: "t".into(),
+        });
+        gate.cancel(h);
+        assert_eq!(gate.in_flight(), 0);
+        // Cancelling twice is a no-op, not a panic.
+        gate.cancel(h);
+    }
+
+    #[test]
+    fn latency_profile_parsing() {
+        assert_eq!(LatencyProfile::parse("3"), Some(LatencyProfile::fixed(3)));
+        assert_eq!(
+            LatencyProfile::parse("1..4"),
+            Some(LatencyProfile::uniform(1, 4))
+        );
+        assert_eq!(LatencyProfile::parse("4..1"), None);
+        assert_eq!(LatencyProfile::parse("fast"), None);
+        assert_eq!(LatencyProfile::fixed(2).label(), "2");
+        assert_eq!(LatencyProfile::uniform(0, 3).label(), "0..3");
+        assert!(LatencyProfile::fixed(0).is_instant());
+        assert!(!LatencyProfile::uniform(0, 1).is_instant());
+    }
+
+    /// Zero latency through the gate is indistinguishable from Immediate.
+    #[test]
+    fn instant_profile_is_ready_on_first_poll() {
+        let mut gate = SimLatency::gate(LatencyProfile::fixed(0), 3);
+        let h = gate.submit(LlmCall::Turn {
+            context: "t".into(),
+        });
+        assert_eq!(gate.poll(h), CallStatus::Ready(LlmReply::Done));
+    }
+
+    /// SimLatency over the blanket adapter: the full seam composed — a
+    /// sync backend behind simulated provider latency.
+    #[test]
+    fn latency_over_sync_adapter_delivers_the_sync_reply() {
+        let mut direct = SimLlm::new(ModelProfile::gpt_4o(), 5);
+        let expected = direct.decision_jitter("osc:attempt2");
+
+        let adapter = SyncAdapter::new(SimLlm::new(ModelProfile::gpt_4o(), 5));
+        let mut wired = SimLatency::wrapping(adapter, LatencyProfile::fixed(2), 11);
+        let h = wired.submit(LlmCall::DecisionJitter {
+            context: "osc:attempt2".into(),
+        });
+        assert_eq!(wired.poll(h), CallStatus::Pending);
+        assert_eq!(wired.poll(h), CallStatus::Pending);
+        let CallStatus::Ready(LlmReply::DecisionJitter(j)) = wired.poll(h) else {
+            panic!("ready after ticks");
+        };
+        assert_eq!(j.to_bits(), expected.to_bits());
+    }
+}

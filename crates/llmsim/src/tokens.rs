@@ -73,7 +73,7 @@ fn hash_bytes(b: &[u8]) -> u64 {
 }
 
 /// Per-agent usage accounting.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UsageMeter {
     /// Total input tokens across calls.
     pub input_tokens: u64,

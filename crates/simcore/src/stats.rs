@@ -151,8 +151,17 @@ impl Samples {
         }
     }
 
-    /// Record one observation (NaN-free input assumed).
+    /// Record one observation.
+    ///
+    /// NaN is rejected with a debug assertion — a NaN (e.g. a 0/0
+    /// utilization feeding telemetry) carries no order information, so it
+    /// can only corrupt percentile queries. In release builds, where the
+    /// assertion is compiled out, a slipped-through NaN still cannot
+    /// poison the sort: ordering uses [`f64::total_cmp`], which places
+    /// NaN deterministically at the extremes instead of making the
+    /// comparator panic or the sort order undefined.
     pub fn add(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "NaN observation pushed into Samples");
         self.data.push(x);
     }
 
@@ -174,8 +183,11 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if self.sorted_len < self.data.len() {
-            self.data
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN-free samples"));
+            // Total order, not partial: never panics, and any NaN that
+            // reached a release build sorts to the ends deterministically
+            // rather than leaving the order (and every later percentile)
+            // undefined.
+            self.data.sort_unstable_by(f64::total_cmp);
             self.sorted_len = self.data.len();
         }
     }
@@ -468,6 +480,45 @@ mod tests {
         assert_eq!(s.max(), 10.0);
         assert!(!s.is_empty());
         assert_eq!(s.raw().len(), 2);
+    }
+
+    /// Regression: a NaN observation is caught at the door in debug
+    /// builds instead of silently poisoning later percentile queries.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "NaN observation")]
+    fn samples_reject_nan_observations() {
+        let mut s = Samples::new();
+        s.add(f64::NAN);
+    }
+
+    /// Regression (release semantics): if a NaN slips into a build
+    /// without debug assertions, sorting must neither panic (the old
+    /// `partial_cmp(..).expect` did) nor scramble the real observations —
+    /// `total_cmp` sends NaN to the ends and every interior percentile
+    /// stays correct.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn samples_survive_nan_in_release() {
+        let mut s = Samples::new();
+        for x in [2.0, f64::NAN, 1.0, 3.0] {
+            s.add(x);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        // Positive NaN sorts after every number under total_cmp, so the
+        // interior order statistics see [1, 2, 3, NaN].
+        assert_eq!(s.median(), 2.5);
+        assert!(s.max().is_nan());
+    }
+
+    /// `total_cmp` is bit-exact about signed zero: -0.0 sorts before 0.0.
+    #[test]
+    fn samples_order_signed_zeros_totally() {
+        let mut s = Samples::new();
+        s.add(0.0);
+        s.add(-0.0);
+        assert_eq!(s.percentile(0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(s.percentile(100.0).to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

@@ -16,9 +16,13 @@
 //!   --save-rules <f>   write the updated rule set back
 //!   --seed <n>         experiment seed (default 42)
 //!   --stream           print agent transcript lines as they happen
+//!   --backend-latency <t|a..b>   simulated provider latency in poll ticks
+//!                      (fixed or inclusive range); sessions suspend
+//!                      instead of blocking — results are unchanged
 //!   --no-analysis / --no-descriptions / --no-rules   ablation switches
 //!
-//! campaign options (plus --scale/--rules/--save-rules/--attempts/--model):
+//! campaign options (plus --scale/--rules/--save-rules/--attempts/--model/
+//!                   --backend-latency):
 //!   --seeds <a,b,c>    grid seeds (default 42)
 //!   --warm             accumulate rules across seed rounds
 //!   --serial           disable parallel cell execution
@@ -28,7 +32,7 @@
 //! ```
 
 use agents::RuleSet;
-use llmsim::ModelProfile;
+use llmsim::{LatencyProfile, ModelProfile};
 use stellar::baselines::{expert_oracle, random_search};
 use stellar::{Campaign, RuleMode, RunObserver, Schedule, Stellar, StellarBuilder};
 use workloads::{WorkloadKind, BENCHMARKS, REAL_APPS};
@@ -124,6 +128,15 @@ fn engine_from_flags(args: &[String]) -> Result<Stellar, i32> {
                 return Err(2);
             }
         });
+    }
+    if let Some(spec) = flag_value(args, "--backend-latency") {
+        match LatencyProfile::parse(&spec) {
+            Some(profile) => builder = builder.backend_latency(profile),
+            None => {
+                eprintln!("bad --backend-latency `{spec}`; use ticks (`3`) or a range (`1..4`)");
+                return Err(2);
+            }
+        }
     }
     Ok(builder.build())
 }

@@ -107,6 +107,16 @@ impl StellarBuilder {
         self
     }
 
+    /// Inject deterministic seeded backend latency (`profile` ticks per
+    /// agent turn): sessions suspend with [`crate::SessionEvent::Waiting`]
+    /// while a call is in flight instead of blocking, and campaign
+    /// workers overlap suspended cells. Off by default (instant backend).
+    /// Reports stay bit-identical to the instant path.
+    pub fn backend_latency(mut self, profile: llmsim::LatencyProfile) -> Self {
+        self.options.backend_latency = Some(profile);
+        self
+    }
+
     /// Build the engine: construct the simulator and run the offline RAG
     /// extraction phase.
     pub fn build(self) -> Stellar {

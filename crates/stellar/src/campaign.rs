@@ -40,6 +40,19 @@
 //! [`CampaignReport::sched_stats`] telemetry records makespans and worker
 //! utilization so the effect is measurable (`perfsuite` / the
 //! `campaign_sched` bench).
+//!
+//! ## Non-blocking backends
+//!
+//! When the engine injects backend latency
+//! (`StellarBuilder::backend_latency` / CLI `--backend-latency`), cells
+//! suspend while their agent turn's provider call is in flight instead of
+//! pinning their worker. Workers multiplex: a worker whose open cells are
+//! all suspended claims the next planned cell and keeps polling the
+//! suspended set, so several backend calls overlap in flight on one
+//! thread ([`crate::sched::RoundSched::max_in_flight`] records the peak).
+//! Suspension changes only *when* cells execute — reports stay
+//! bit-identical to the blocking path, property-tested in
+//! `tests/integration_nonblocking.rs`.
 
 use crate::engine::{Stellar, TuningRun};
 use crate::sched::{self, CostModel, RoundSched, SchedStats, Schedule};
@@ -296,63 +309,144 @@ impl<'e> Campaign<'e> {
         )
     }
 
-    fn run_cell(&self, seed: u64, workload_idx: usize, rules: &RuleSnapshot) -> CampaignCell {
-        let w = &self.workloads[workload_idx];
-        let cell_seed = self.cell_seed(seed, workload_idx);
-        // The cell seed is fully derived (workload name + grid position
-        // already mixed in), so bypass the engine's SeedPolicy instead of
-        // letting PerWorkload hash the name in a second time. The snapshot
-        // clone is O(1): cells share the round's shards, not copies.
-        let run = crate::session::TuningSession::with_run_seed(
+    /// Open (but do not run) the session for one cell. The cell seed is
+    /// fully derived (workload name + grid position already mixed in), so
+    /// this bypasses the engine's SeedPolicy instead of letting
+    /// PerWorkload hash the name in a second time. The snapshot clone is
+    /// O(1): cells share the round's shards, not copies.
+    fn open_session(
+        &self,
+        seed: u64,
+        workload_idx: usize,
+        rules: &RuleSnapshot,
+    ) -> crate::session::TuningSession<'_> {
+        crate::session::TuningSession::with_run_seed(
             self.engine,
-            w.as_ref(),
+            self.workloads[workload_idx].as_ref(),
             rules.clone(),
-            cell_seed,
+            self.cell_seed(seed, workload_idx),
         )
-        .drain();
+    }
+
+    fn run_cell(&self, seed: u64, workload_idx: usize, rules: &RuleSnapshot) -> CampaignCell {
+        let run = self.open_session(seed, workload_idx, rules).drain();
         CampaignCell {
-            workload: w.name(),
+            workload: self.workloads[workload_idx].name(),
             seed,
-            cell_seed,
+            cell_seed: self.cell_seed(seed, workload_idx),
             run,
         }
     }
 
     /// One round (all workloads at one seed), parallel across `threads`,
-    /// claiming cells in `order`. Returns `(cell, wall_secs)` in grid
-    /// order: results land in per-slot `OnceLock`s — one lock-free atomic
-    /// publish per cell instead of the old `Mutex<Vec<Option<_>>>` that
-    /// serialized every worker through one lock.
+    /// claiming cells in `order`. Returns `(cell, busy_secs)` pairs in
+    /// grid order plus the round's peak of simultaneously in-flight
+    /// backend calls on any one worker: results land in per-slot
+    /// `OnceLock`s — one lock-free atomic publish per cell instead of
+    /// the old `Mutex<Vec<Option<_>>>` that serialized every worker
+    /// through one lock.
+    ///
+    /// ## Worker multiplexing
+    ///
+    /// Workers *step* sessions rather than draining them. On the instant
+    /// backend a session never suspends, so a worker carries one cell to
+    /// completion before claiming the next — exactly the historical
+    /// behaviour. With backend latency injected, a session step can
+    /// return [`SessionEvent::Waiting`]; once **all** of a worker's open
+    /// cells are suspended it claims the next planned cell instead of
+    /// idling, then keeps polling the suspended set round-robin. K
+    /// backend calls thereby overlap in flight on a single thread, while
+    /// results still publish into grid-indexed slots and rule merges stay
+    /// in grid order — reports are bit-identical to the blocking path
+    /// (property-tested in `tests/integration_nonblocking.rs`).
     fn round_parallel(
         &self,
         seed: u64,
         rules: &RuleSnapshot,
         order: &[usize],
-    ) -> Vec<(CampaignCell, f64)> {
+    ) -> (Vec<(CampaignCell, f64)>, usize) {
         let n = self.workloads.len();
         debug_assert_eq!(order.len(), n);
         let slots: Vec<OnceLock<(CampaignCell, f64)>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
+        let in_flight_peak = AtomicUsize::new(0);
         let workers = self.threads.min(n).max(1);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= n {
-                        break;
+                scope.spawn(|| {
+                    struct Open<'s> {
+                        grid_idx: usize,
+                        session: crate::session::TuningSession<'s>,
+                        /// Time this worker actively spent stepping the
+                        /// cell — NOT claim-to-publish elapsed time,
+                        /// which under multiplexing would also count
+                        /// suspension and sibling cells' work, feeding
+                        /// the adaptive cost model makespan-sized
+                        /// "measurements" for every overlapped cell.
+                        busy_secs: f64,
+                        waiting: bool,
                     }
-                    let i = order[k];
-                    let t0 = Instant::now();
-                    let cell = self.run_cell(seed, i, rules);
-                    let set = slots[i].set((cell, t0.elapsed().as_secs_f64()));
-                    assert!(set.is_ok(), "cell {i} executed twice");
+                    let mut open: Vec<Open> = Vec::new();
+                    let mut peak = 0usize;
+                    loop {
+                        // Claim when idle (nothing open) or when every
+                        // open cell is suspended on an in-flight call.
+                        if (open.is_empty() || open.iter().all(|c| c.waiting))
+                            && next.load(Ordering::Relaxed) < n
+                        {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k < n {
+                                let i = order[k];
+                                open.push(Open {
+                                    grid_idx: i,
+                                    session: self.open_session(seed, i, rules),
+                                    busy_secs: 0.0,
+                                    waiting: false,
+                                });
+                            }
+                        }
+                        if open.is_empty() {
+                            break;
+                        }
+                        // Advance every open cell by one step; a step on
+                        // a suspended cell polls its call (one tick).
+                        let mut idx = 0;
+                        while idx < open.len() {
+                            let t0 = Instant::now();
+                            let event = open[idx].session.step();
+                            open[idx].busy_secs += t0.elapsed().as_secs_f64();
+                            open[idx].waiting =
+                                matches!(event, crate::session::SessionEvent::Waiting { .. });
+                            // A waiting cell holds a live in-flight call
+                            // until a later step completes it, so this
+                            // count is the worker's simultaneous
+                            // in-flight calls at this instant.
+                            peak = peak.max(open.iter().filter(|c| c.waiting).count());
+                            if open[idx].session.is_ended() {
+                                let done = open.swap_remove(idx);
+                                let i = done.grid_idx;
+                                let cell = CampaignCell {
+                                    workload: self.workloads[i].name(),
+                                    seed,
+                                    cell_seed: self.cell_seed(seed, i),
+                                    run: done.session.into_run(),
+                                };
+                                let set = slots[i].set((cell, done.busy_secs));
+                                assert!(set.is_ok(), "cell {i} executed twice");
+                            } else {
+                                idx += 1;
+                            }
+                        }
+                    }
+                    in_flight_peak.fetch_max(peak, Ordering::Relaxed);
                 });
             }
         });
-        slots
+        let cells = slots
             .into_iter()
             .map(|s| s.into_inner().expect("every cell executed"))
-            .collect()
+            .collect();
+        (cells, in_flight_peak.into_inner())
     }
 
     fn round_serial(&self, seed: u64, rules: &RuleSnapshot) -> Vec<(CampaignCell, f64)> {
@@ -427,10 +521,19 @@ impl<'e> Campaign<'e> {
                 (None, None) => (0..self.workloads.len()).collect(),
             };
             let round_start = Instant::now();
-            let round = if parallel {
+            let (round, max_in_flight) = if parallel {
                 self.round_parallel(seed, &snapshot, &order)
             } else {
-                self.round_serial(seed, &snapshot)
+                // Serial rounds drain cells one at a time: a suspended
+                // cell is polled to completion before the next starts,
+                // so exactly one call is in flight whenever the backend
+                // actually suspends, and none on the instant backend.
+                let suspends = self
+                    .engine
+                    .options()
+                    .backend_latency
+                    .is_some_and(|p| !p.is_instant());
+                (self.round_serial(seed, &snapshot), usize::from(suspends))
             };
             let makespan_secs = round_start.elapsed().as_secs_f64();
             let cell_secs: Vec<f64> = round.iter().map(|(_, s)| *s).collect();
@@ -446,6 +549,7 @@ impl<'e> Campaign<'e> {
                 cell_secs,
                 makespan_secs,
                 utilization: busy / (workers as f64 * makespan_secs).max(f64::MIN_POSITIVE),
+                max_in_flight,
             });
             // Merge learnings in grid order — deterministic regardless of
             // which thread finished first. Only the shards the new rules

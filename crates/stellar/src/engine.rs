@@ -50,6 +50,15 @@ pub struct StellarOptions {
     pub tuning: TuningOptions,
     /// Run-seed derivation policy.
     pub seed_policy: SeedPolicy,
+    /// When set, every agent turn goes through a non-blocking
+    /// [`llmsim::SimLatency`] gate with this profile: sessions suspend
+    /// ([`crate::SessionEvent::Waiting`]) instead of blocking while the
+    /// simulated provider call is in flight, and campaign workers
+    /// multiplex suspended cells. `None` (the default) keeps the
+    /// historical instant-backend behaviour. Results are bit-identical
+    /// either way — latency changes *when* work happens, never what it
+    /// computes.
+    pub backend_latency: Option<llmsim::LatencyProfile>,
 }
 
 impl Default for StellarOptions {
@@ -59,6 +68,7 @@ impl Default for StellarOptions {
             analysis_model: ModelProfile::gpt_4o(),
             tuning: TuningOptions::default(),
             seed_policy: SeedPolicy::default(),
+            backend_latency: None,
         }
     }
 }

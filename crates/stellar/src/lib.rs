@@ -13,7 +13,10 @@
 //!   Tuning Agent trial-and-error loop (≤ 5 configurations), Reflect &
 //!   Summarize. Each [`TuningSession::step`] returns a [`SessionEvent`];
 //!   [`RunObserver`]s stream transcripts and token usage; sessions can be
-//!   aborted mid-run. [`Stellar::tune`] remains as a thin wrapper draining
+//!   aborted mid-run, and under injected backend latency
+//!   (`StellarBuilder::backend_latency`) they *suspend* on in-flight
+//!   provider calls ([`SessionEvent::Waiting`]) instead of blocking.
+//!   [`Stellar::tune`] remains as a thin wrapper draining
 //!   a session to completion. Between runs the simulator state is rebuilt
 //!   from scratch (the paper's delete/clear/remount hygiene).
 //! * **Campaign** — [`Campaign`] runs workload × seed grids with shared

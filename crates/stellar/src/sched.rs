@@ -79,6 +79,10 @@ const EMA_ALPHA: f64 = 0.5;
 pub struct CostModel {
     hints: Vec<f64>,
     measured: Vec<Option<f64>>,
+    /// EMA of measured seconds per hint-weight unit — the anchor that
+    /// rescales unobserved hints into seconds-space so adaptive costs
+    /// compare like with like (see [`CostModel::cost`]).
+    hint_scale: Option<f64>,
 }
 
 impl CostModel {
@@ -87,7 +91,11 @@ impl CostModel {
     pub fn from_hints(hints: impl IntoIterator<Item = CostHint>) -> Self {
         let hints: Vec<f64> = hints.into_iter().map(|h| h.weight()).collect();
         let measured = vec![None; hints.len()];
-        CostModel { hints, measured }
+        CostModel {
+            hints,
+            measured,
+            hint_scale: None,
+        }
     }
 
     /// Number of workloads modeled.
@@ -101,23 +109,44 @@ impl CostModel {
     }
 
     /// Feed back one measured cell wall time for workload `idx`.
+    ///
+    /// Besides the per-workload EMA, each observation with a positive
+    /// hint refreshes the model's seconds-per-hint-unit anchor, so
+    /// workloads that have *not* been observed yet are costed in the same
+    /// unit as those that have.
     pub fn observe(&mut self, idx: usize, secs: f64) {
         let m = &mut self.measured[idx];
         *m = Some(match *m {
             Some(prev) => prev * (1.0 - EMA_ALPHA) + secs * EMA_ALPHA,
             None => secs,
         });
+        if self.hints[idx] > 0.0 {
+            let ratio = secs / self.hints[idx];
+            self.hint_scale = Some(match self.hint_scale {
+                Some(prev) => prev * (1.0 - EMA_ALPHA) + ratio * EMA_ALPHA,
+                None => ratio,
+            });
+        }
     }
 
     /// The scheduling cost of workload `idx` under `schedule`.
     ///
-    /// Hint weights and measured seconds are different units; that is fine
-    /// because only the *relative order within one round* matters, and a
-    /// round is either fully unobserved (round 1) or fully observed.
+    /// Hint weights (op-count scale) and measured wall times (seconds)
+    /// are different units, and a round *can* be partially observed — a
+    /// cell aborts, or the grid grows between rounds — so adaptive mode
+    /// must never compare them raw: an unobserved hint in the millions
+    /// would dwarf every measured cost and hijack the order. Once
+    /// anything has been observed, unobserved hints are rescaled into
+    /// seconds-space through the anchor ratio maintained by
+    /// [`CostModel::observe`]; before the first observation all costs are
+    /// hints, which compare consistently among themselves.
     pub fn cost(&self, idx: usize, schedule: Schedule) -> f64 {
         match schedule {
             Schedule::Fifo | Schedule::Lpt => self.hints[idx],
-            Schedule::Adaptive => self.measured[idx].unwrap_or(self.hints[idx]),
+            Schedule::Adaptive => self.measured[idx].unwrap_or_else(|| match self.hint_scale {
+                Some(scale) => self.hints[idx] * scale,
+                None => self.hints[idx],
+            }),
         }
     }
 
@@ -191,12 +220,24 @@ pub struct RoundSched {
     pub seed: u64,
     /// Execution order used (grid indices, first-claimed first).
     pub order: Vec<usize>,
-    /// Measured wall seconds per cell, in grid order.
+    /// Active worker seconds per cell, in grid order: the time a worker
+    /// actually spent stepping the cell. Under multiplexing this
+    /// excludes suspension and sibling cells' work (claim-to-publish
+    /// elapsed time would count both, handing the adaptive cost model
+    /// makespan-sized "measurements" for every overlapped cell), so the
+    /// numbers stay comparable across blocking and non-blocking runs.
     pub cell_secs: Vec<f64>,
     /// Measured wall-clock duration of the whole round.
     pub makespan_secs: f64,
     /// Worker busy fraction: `Σ cell_secs / (workers × makespan)`.
     pub utilization: f64,
+    /// Most backend calls any single worker had simultaneously in flight
+    /// during the round (a suspended cell holds exactly one). 0 when the
+    /// backend completes instantly — nothing ever suspends; 1 when
+    /// suspended cells are drained one at a time (serial rounds); ≥ 2
+    /// means a worker multiplexed — that many provider calls genuinely
+    /// overlapped on one thread.
+    pub max_in_flight: usize,
 }
 
 /// Campaign-level scheduling telemetry, recorded on every
@@ -230,12 +271,36 @@ impl SchedStats {
         self.rounds.iter().map(|r| r.makespan_secs).sum()
     }
 
-    /// Mean per-round worker utilization (0 when no rounds ran).
+    /// Campaign-mean worker utilization, weighted by round makespan
+    /// (0 when no rounds ran or nothing took measurable time).
+    ///
+    /// Weighting matters: an unweighted mean lets a 1-cell tail round
+    /// lasting milliseconds drag the campaign figure exactly as hard as a
+    /// full multi-minute round — the classic mis-weighted composite
+    /// indicator. Weighted by duration, the mean equals total busy time
+    /// over total worker-time, which is what "utilization of the
+    /// campaign" actually means.
     pub fn mean_utilization(&self) -> f64 {
-        if self.rounds.is_empty() {
+        let total: f64 = self.rounds.iter().map(|r| r.makespan_secs).sum();
+        if total <= 0.0 {
             return 0.0;
         }
-        self.rounds.iter().map(|r| r.utilization).sum::<f64>() / self.rounds.len() as f64
+        self.rounds
+            .iter()
+            .map(|r| r.utilization * r.makespan_secs)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Most backend calls any single worker had simultaneously in flight
+    /// across the campaign (0 when no rounds ran or nothing suspended;
+    /// see [`RoundSched::max_in_flight`]).
+    pub fn max_in_flight(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.max_in_flight)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `(p50, p90, max)` of per-cell wall times across the campaign,
@@ -255,7 +320,7 @@ impl SchedStats {
         let (p50, p90, max) = self.cell_time_percentiles();
         format!(
             "sched: {} over {} worker(s){} — {} round(s), makespan {:.3}s, \
-             utilization {:.0}%, cell p50/p90/max {:.3}/{:.3}/{:.3}s",
+             utilization {:.0}%, in-flight peak {}, cell p50/p90/max {:.3}/{:.3}/{:.3}s",
             self.schedule.label(),
             self.workers,
             if self.parallelism_fallback {
@@ -266,6 +331,7 @@ impl SchedStats {
             self.rounds.len(),
             self.total_makespan_secs(),
             self.mean_utilization() * 100.0,
+            self.max_in_flight(),
             p50,
             p90,
             max,
@@ -318,6 +384,43 @@ mod tests {
         assert!(!model.is_empty());
     }
 
+    /// Regression: a partially observed round (cell aborted, or the grid
+    /// grew between rounds) used to compare raw hint weights (op-count
+    /// scale) against measured seconds, so an unobserved-but-cheap cell
+    /// with a large hint outranked every measured cell. The anchor ratio
+    /// rescales hints into seconds-space from the first observation on.
+    #[test]
+    fn adaptive_rescales_unobserved_hints_into_seconds() {
+        // Hints say cell 0 is twice the work of cell 1.
+        let mut model = CostModel::from_hints([hint(100), hint(50)]);
+        // Only cell 0 has been observed: 10 seconds.
+        model.observe(0, 10.0);
+        assert!(!model.is_observed(1));
+        // Cell 1's cost must be in seconds-space: 50 hint-units at the
+        // observed 0.1 s/unit anchor = 5 s, NOT a raw 50 that would
+        // out-rank the measured 10 s.
+        assert!((model.cost(1, Schedule::Adaptive) - 5.0).abs() < 1e-12);
+        assert!((model.cost(0, Schedule::Adaptive) - 10.0).abs() < 1e-12);
+        // So the genuinely heavier (measured) cell schedules first.
+        assert_eq!(plan(Schedule::Adaptive, &model), vec![0, 1]);
+        // The anchor itself is EMA-smoothed across observations.
+        model.observe(0, 30.0); // measured EMA -> 20; ratio EMA -> 0.2
+        assert!((model.cost(1, Schedule::Adaptive) - 10.0).abs() < 1e-12);
+        // Pure-hint schedules are unaffected (single consistent unit).
+        assert!((model.cost(1, Schedule::Lpt) - 50.0).abs() < 1e-12);
+    }
+
+    /// Zero-weight hints must not poison the anchor (no 0-division).
+    #[test]
+    fn zero_hints_leave_the_anchor_alone() {
+        let mut model = CostModel::from_hints([hint(0), hint(100)]);
+        model.observe(0, 4.0);
+        // No anchor yet (observed hint was 0): unobserved cost stays raw.
+        assert!((model.cost(1, Schedule::Adaptive) - 100.0).abs() < 1e-12);
+        model.observe(1, 1.0);
+        assert!((model.cost(1, Schedule::Adaptive) - 1.0).abs() < 1e-12);
+    }
+
     #[test]
     fn makespan_rewards_lpt_on_skewed_rounds() {
         // One heavy straggler scheduled last under FIFO.
@@ -346,6 +449,7 @@ mod tests {
                 cell_secs: vec![1.0, 3.0],
                 makespan_secs: 3.0,
                 utilization: 4.0 / 6.0,
+                max_in_flight: 1,
             }],
         };
         assert_eq!(stats.total_busy_secs(), 4.0);
@@ -356,10 +460,43 @@ mod tests {
         assert!(p90 > p50 && max == 3.0);
         let line = stats.render();
         assert!(line.contains("lpt over 2 worker(s)"), "{line}");
+        assert_eq!(stats.max_in_flight(), 1);
         let empty = SchedStats {
             rounds: vec![],
             ..stats
         };
         assert_eq!(empty.mean_utilization(), 0.0);
+        assert_eq!(empty.max_in_flight(), 0);
+    }
+
+    /// Regression: the campaign mean used to average per-round
+    /// utilization unweighted, so a millisecond 1-cell tail round dragged
+    /// the figure as hard as a full round. The mean is now weighted by
+    /// round makespan (≡ total busy over total worker-time).
+    #[test]
+    fn mean_utilization_weights_rounds_by_makespan() {
+        let round = |makespan_secs: f64, utilization: f64| RoundSched {
+            seed: 1,
+            order: vec![0],
+            cell_secs: vec![utilization * 2.0 * makespan_secs],
+            makespan_secs,
+            utilization,
+            max_in_flight: 1,
+        };
+        let stats = SchedStats {
+            schedule: Schedule::Adaptive,
+            threads_requested: 2,
+            workers: 2,
+            parallelism_fallback: false,
+            // A long fully-busy round and a tiny mostly-idle tail round.
+            rounds: vec![round(10.0, 1.0), round(1.0, 0.1)],
+        };
+        let weighted = (10.0 * 1.0 + 1.0 * 0.1) / 11.0;
+        assert!(
+            (stats.mean_utilization() - weighted).abs() < 1e-12,
+            "got {}, want {weighted} (unweighted mean would be 0.55)",
+            stats.mean_utilization()
+        );
+        assert!(stats.mean_utilization() > 0.9, "tail round must not drag");
     }
 }

@@ -18,7 +18,21 @@
 //! * **abort/budget hooks** — [`TuningSession::abort`] ends the run before
 //!   the next agent decision with a caller-supplied reason, and the attempt
 //!   budget rides in `TuningOptions::max_attempts` (settable through
-//!   `StellarBuilder::attempt_budget`).
+//!   `StellarBuilder::attempt_budget`);
+//! * **suspension** — when the engine carries a
+//!   [`llmsim::LatencyProfile`] (`StellarBuilder::backend_latency`, CLI
+//!   `--backend-latency`), every agent turn goes through a non-blocking
+//!   [`llmsim::SimLatency`] gate: [`TuningSession::step`] returns
+//!   [`SessionEvent::Waiting`] instead of blocking while the simulated
+//!   provider call is in flight, with all agent state intact. The caller
+//!   keeps stepping (each step polls the call once) and the session
+//!   resumes by itself when the call completes — the seam the campaign
+//!   worker loop multiplexes suspended cells over. Waiting is a
+//!   *scheduling artifact*: it is reported to observers only through
+//!   [`RunObserver::on_waiting`], never `on_event`, so the semantic event
+//!   stream, the transcript and every usage meter stay bit-identical to
+//!   the instant-backend path (property-tested in
+//!   `tests/integration_nonblocking.rs`).
 
 use crate::engine::{AttemptRecord, SeedPolicy, Stellar, TuningRun};
 use agents::{
@@ -26,7 +40,9 @@ use agents::{
     TuningAgent,
 };
 use darshan::Table;
-use llmsim::{LlmBackend, SimLlm, UsageMeter};
+use llmsim::{
+    CallHandle, CallStatus, LlmBackend, LlmCall, NonBlockingBackend, SimLatency, SimLlm, UsageMeter,
+};
 use pfs::params::{ParamRegistry, TuningConfig};
 use simcore::rng::{combine, stable_hash};
 use workloads::Workload;
@@ -52,6 +68,16 @@ pub enum SessionEvent {
     },
     /// One configuration attempt was executed.
     Attempt(AttemptRecord),
+    /// The next agent turn's backend call is in flight; nothing happened
+    /// this step. The session is suspended — step again to poll the call
+    /// (each step burns one latency tick) until it completes, or run
+    /// other work in between: all agent state is retained. Only produced
+    /// when the engine injects backend latency; observers hear about it
+    /// via [`RunObserver::on_waiting`], not `on_event`.
+    Waiting {
+        /// Handle of the in-flight call.
+        call: CallHandle,
+    },
     /// The run concluded.
     Ended {
         /// The agent's justification (or the abort reason).
@@ -79,6 +105,14 @@ pub trait RunObserver {
     fn on_usage(&mut self, tuning: &UsageMeter, analysis: &UsageMeter) {
         let _ = (tuning, analysis);
     }
+
+    /// Called each time a step finds the session still waiting on an
+    /// in-flight backend call. Deliberately separate from
+    /// [`RunObserver::on_event`] so the semantic event order an observer
+    /// records is identical whether or not the backend injects latency.
+    fn on_waiting(&mut self, call: CallHandle) {
+        let _ = call;
+    }
 }
 
 enum Phase {
@@ -92,6 +126,47 @@ enum Phase {
     Done,
 }
 
+/// The non-blocking transport gate an agent turn must clear before it
+/// executes. One call in flight at a time — a session is a single logical
+/// conversation; overlap comes from multiplexing *sessions*, not calls.
+struct Gate {
+    transport: SimLatency,
+    pending: Option<CallHandle>,
+    turns: u64,
+}
+
+impl Gate {
+    /// Poll (or open) the turn's call. `Some(handle)` means still in
+    /// flight; `None` means the gate is clear and the turn may execute.
+    fn acquire(&mut self, phase_label: &str) -> Option<CallHandle> {
+        let handle = match self.pending {
+            Some(h) => h,
+            None => {
+                let context = format!("{phase_label}:turn{}", self.turns);
+                self.turns += 1;
+                let h = self.transport.submit(LlmCall::Turn { context });
+                self.pending = Some(h);
+                h
+            }
+        };
+        match self.transport.poll(handle) {
+            CallStatus::Pending => Some(handle),
+            CallStatus::Ready(_) => {
+                self.pending = None;
+                None
+            }
+        }
+    }
+
+    /// Abandon any in-flight call (abort path): the session must end on
+    /// its next step, not wait out a provider round trip.
+    fn cancel_pending(&mut self) {
+        if let Some(h) = self.pending.take() {
+            self.transport.cancel(h);
+        }
+    }
+}
+
 /// A steppable tuning run. See the module docs.
 pub struct TuningSession<'a> {
     engine: &'a Stellar,
@@ -102,6 +177,7 @@ pub struct TuningSession<'a> {
     analysis_backend: SimLlm,
     tuning_backend: SimLlm,
     observers: Vec<Box<dyn RunObserver + 'a>>,
+    gate: Option<Gate>,
     phase: Phase,
     // Run state, filled as phases progress.
     default_cfg: TuningConfig,
@@ -154,6 +230,13 @@ impl<'a> TuningSession<'a> {
             analysis_backend,
             tuning_backend,
             observers: Vec::new(),
+            // Seeded per cell: a session's latency sequence is a pure
+            // function of its run seed, independent of sibling cells.
+            gate: engine.options().backend_latency.map(|profile| Gate {
+                transport: SimLatency::gate(profile, combine(run_seed, 3)),
+                pending: None,
+                turns: 0,
+            }),
             phase: Phase::Start,
             default_cfg: TuningConfig::lustre_default(),
             default_wall: 0.0,
@@ -188,6 +271,13 @@ impl<'a> TuningSession<'a> {
         matches!(self.phase, Phase::Done)
     }
 
+    /// Whether the session is suspended on an in-flight backend call —
+    /// i.e. the last [`TuningSession::step`] returned
+    /// [`SessionEvent::Waiting`] and the call has not completed since.
+    pub fn is_waiting(&self) -> bool {
+        self.gate.as_ref().is_some_and(|g| g.pending.is_some())
+    }
+
     /// Attempts executed so far.
     pub fn attempts(&self) -> &[AttemptRecord] {
         &self.attempts
@@ -204,9 +294,19 @@ impl<'a> TuningSession<'a> {
 
     /// Execute one step of the tuning run and report what happened.
     ///
+    /// With backend latency injected, a step may instead return
+    /// [`SessionEvent::Waiting`]: the turn's provider call is still in
+    /// flight and no agent work happened. Step again to poll it.
+    ///
     /// After the run has ended, further calls return the final
     /// [`SessionEvent::Ended`] again without side effects.
     pub fn step(&mut self) -> SessionEvent {
+        if let Some(call) = self.poll_gate() {
+            for obs in &mut self.observers {
+                obs.on_waiting(call);
+            }
+            return SessionEvent::Waiting { call };
+        }
         let event = match self.phase {
             Phase::Start => self.step_start(),
             Phase::Analyze => self.step_analyze(),
@@ -223,6 +323,29 @@ impl<'a> TuningSession<'a> {
         };
         self.notify(&event);
         event
+    }
+
+    /// Non-blocking seam: phases that spend agent turns (analysis, every
+    /// drive decision) must clear the transport gate first. Returns the
+    /// in-flight handle while the turn's call is pending, `None` once the
+    /// step may do real work. The initial default run is simulator work,
+    /// not an LLM call, so `Phase::Start` never gates; an abort abandons
+    /// the in-flight call so the session ends without waiting it out.
+    fn poll_gate(&mut self) -> Option<CallHandle> {
+        if !matches!(self.phase, Phase::Analyze | Phase::Drive) {
+            return None;
+        }
+        let aborting = self.abort_reason.is_some();
+        let gate = self.gate.as_mut()?;
+        if aborting {
+            gate.cancel_pending();
+            return None;
+        }
+        let label = match self.phase {
+            Phase::Analyze => "analyze",
+            _ => "drive",
+        };
+        gate.acquire(label)
     }
 
     /// Drain the session to completion and return the finished run.
@@ -414,6 +537,7 @@ impl<'a> TuningSession<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StellarBuilder;
     use agents::RuleSet;
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -425,6 +549,7 @@ mod tests {
         lines: Vec<String>,
         events: Vec<String>,
         last_tuning_calls: u64,
+        waits: u64,
     }
 
     struct SharedRecorder(Rc<RefCell<Recorder>>);
@@ -436,6 +561,9 @@ mod tests {
                 SessionEvent::AnalysisReport(_) => "report",
                 SessionEvent::MinorLoopQuestion { .. } => "question",
                 SessionEvent::Attempt(_) => "attempt",
+                // Never delivered through on_event — asserted below by
+                // comparing recorded orders with and without latency.
+                SessionEvent::Waiting { .. } => "waiting",
                 SessionEvent::Ended { .. } => "ended",
             };
             self.0.borrow_mut().events.push(tag.to_string());
@@ -445,6 +573,9 @@ mod tests {
         }
         fn on_usage(&mut self, tuning: &UsageMeter, _analysis: &UsageMeter) {
             self.0.borrow_mut().last_tuning_calls = tuning.calls;
+        }
+        fn on_waiting(&mut self, _call: llmsim::CallHandle) {
+            self.0.borrow_mut().waits += 1;
         }
     }
 
@@ -527,6 +658,84 @@ mod tests {
         assert!(matches!(again, SessionEvent::Ended { .. }));
         let run = session.into_run();
         assert!(run.best_speedup >= 1.0);
+    }
+
+    /// The tentpole seam at session level: with backend latency injected,
+    /// steps return `Waiting` while a turn's call is in flight (state
+    /// intact, `is_waiting()` true), observers hear of waits only through
+    /// `on_waiting`, and the drained run — events, transcript, usage —
+    /// is bit-identical to the instant-backend session.
+    #[test]
+    fn latency_suspends_steps_but_never_changes_the_run() {
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let drive = |engine: &Stellar| {
+            let recorder = Rc::new(RefCell::new(Recorder::default()));
+            let mut session = engine.session(w.as_ref(), RuleSet::new(), 9);
+            session.observe(Box::new(SharedRecorder(recorder.clone())));
+            let mut waiting_steps = 0u64;
+            while !session.is_ended() {
+                if matches!(session.step(), SessionEvent::Waiting { .. }) {
+                    waiting_steps += 1;
+                    assert!(session.is_waiting(), "Waiting step leaves gate pending");
+                }
+            }
+            assert!(!session.is_waiting());
+            (session.into_run(), recorder, waiting_steps)
+        };
+
+        let instant = StellarBuilder::new().build();
+        let (run_a, rec_a, waits_a) = drive(&instant);
+        let latent = StellarBuilder::new()
+            .backend_latency(llmsim::LatencyProfile::uniform(1, 3))
+            .build();
+        let (run_b, rec_b, waits_b) = drive(&latent);
+
+        assert_eq!(waits_a, 0, "instant backend never suspends");
+        assert!(waits_b > 0, "latency must suspend at least one turn");
+        assert_eq!(rec_b.borrow().waits, waits_b, "on_waiting per Waiting step");
+        // Semantic stream and result: bit-identical across the seam.
+        assert_eq!(rec_a.borrow().events, rec_b.borrow().events);
+        assert!(!rec_b.borrow().events.contains(&"waiting".to_string()));
+        assert_eq!(rec_a.borrow().lines, rec_b.borrow().lines);
+        assert_eq!(run_a.transcript, run_b.transcript);
+        assert_eq!(run_a.best_wall.to_bits(), run_b.best_wall.to_bits());
+        assert_eq!(run_a.best_config, run_b.best_config);
+        assert_eq!(run_a.end_reason, run_b.end_reason);
+        assert_eq!(run_a.new_rules, run_b.new_rules);
+        assert_eq!(run_a.tuning_usage, run_b.tuning_usage);
+        assert_eq!(run_a.analysis_usage, run_b.analysis_usage);
+    }
+
+    /// Aborting a suspended session abandons the in-flight call: the very
+    /// next step ends the run (abort takes effect before the next agent
+    /// decision, exactly as on the instant path) instead of waiting out
+    /// the provider's remaining latency.
+    #[test]
+    fn abort_while_waiting_ends_immediately() {
+        let engine = StellarBuilder::new()
+            .backend_latency(llmsim::LatencyProfile::fixed(50))
+            .build();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let mut session = engine.session(w.as_ref(), RuleSet::new(), 4);
+        session.step(); // initial run (ungated simulator work)
+        let mut event = session.step(); // analyze turn: call goes in flight
+        assert!(matches!(event, SessionEvent::Waiting { .. }));
+        assert!(session.is_waiting());
+        while matches!(event, SessionEvent::Waiting { .. }) {
+            event = session.step();
+        }
+        assert!(matches!(event, SessionEvent::AnalysisReport(_)));
+        let event = session.step(); // first agent decision goes in flight
+        assert!(matches!(event, SessionEvent::Waiting { .. }));
+        session.abort("deadline");
+        let event = session.step();
+        let SessionEvent::Ended { reason } = event else {
+            panic!("expected Ended, got {event:?}");
+        };
+        assert_eq!(reason, "deadline");
+        assert!(!session.is_waiting(), "abort cancels the in-flight call");
+        let run = session.into_run();
+        assert!(run.attempts.is_empty(), "aborted before any attempt");
     }
 
     #[test]

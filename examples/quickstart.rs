@@ -61,6 +61,13 @@ fn main() {
                     a.iteration, a.wall_secs, a.speedup
                 );
             }
+            SessionEvent::Waiting { call } => {
+                // Only seen when the builder injects backend latency
+                // (`.backend_latency(...)`): the turn's provider call is
+                // in flight and the session is suspended — keep stepping
+                // (or do other work) until it completes.
+                println!("  event: waiting on backend call #{}", call.id());
+            }
             SessionEvent::Ended { reason } => {
                 println!("  event: ended — {reason}");
             }

@@ -1,0 +1,146 @@
+//! Non-blocking backend seam, end to end: suspended sessions multiplexed
+//! by campaign workers must overlap backend calls on a single thread, and
+//! no seeded latency profile may ever change what a campaign computes —
+//! cells, rules, transcripts, usage meters, all bit-identical to the
+//! instant-backend path.
+
+use llmsim::LatencyProfile;
+use proptest::prelude::*;
+use stellar::{Campaign, CampaignReport, RuleMode, Stellar, StellarBuilder};
+use workloads::WorkloadKind;
+
+const GRID: [WorkloadKind; 3] = [
+    WorkloadKind::Ior64K,
+    WorkloadKind::Ior16M,
+    WorkloadKind::MdWorkbench2K,
+];
+const SCALE: f64 = 0.05;
+const SEEDS: [u64; 2] = [51, 52];
+
+fn engine(latency: Option<LatencyProfile>) -> Stellar {
+    let mut b = StellarBuilder::new().attempt_budget(3);
+    if let Some(p) = latency {
+        b = b.backend_latency(p);
+    }
+    b.build()
+}
+
+fn campaign(e: &Stellar) -> Campaign<'_> {
+    Campaign::new(e)
+        .kinds(&GRID, SCALE)
+        .seeds(SEEDS)
+        .rule_mode(RuleMode::Warm)
+        .threads(2)
+}
+
+/// Everything semantic in two reports, compared bit for bit — including
+/// the usage meters, which would drift if suspension replayed or skipped
+/// a single backend charge.
+fn assert_reports_identical(tag: &str, a: &CampaignReport, b: &CampaignReport) {
+    assert_eq!(a.cells.len(), b.cells.len(), "{tag}: cell count");
+    for (x, y) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(x.workload, y.workload, "{tag}");
+        assert_eq!(x.seed, y.seed, "{tag}");
+        assert_eq!(x.cell_seed, y.cell_seed, "{tag}");
+        assert_eq!(
+            x.run.best_wall.to_bits(),
+            y.run.best_wall.to_bits(),
+            "{tag}: {} @ seed {} best_wall diverged",
+            x.workload,
+            x.seed
+        );
+        assert_eq!(x.run.best_config, y.run.best_config, "{tag}");
+        assert_eq!(x.run.attempts.len(), y.run.attempts.len(), "{tag}");
+        assert_eq!(x.run.end_reason, y.run.end_reason, "{tag}");
+        assert_eq!(x.run.transcript, y.run.transcript, "{tag}");
+        assert_eq!(x.run.new_rules, y.run.new_rules, "{tag}");
+        assert_eq!(
+            x.run.tuning_usage, y.run.tuning_usage,
+            "{tag}: tuning usage"
+        );
+        assert_eq!(
+            x.run.analysis_usage, y.run.analysis_usage,
+            "{tag}: analysis usage"
+        );
+    }
+    assert_eq!(a.rules, b.rules, "{tag}: accumulated rules diverged");
+}
+
+/// The instant-backend serial report every latency variant must equal.
+fn baseline() -> &'static CampaignReport {
+    static BASELINE: std::sync::OnceLock<CampaignReport> = std::sync::OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let e = engine(None);
+        campaign(&e).run_serial()
+    })
+}
+
+/// Acceptance criterion for the seam: on a SINGLE worker thread, injected
+/// latency suspends cells and the worker claims ahead, so at least two
+/// cells' backend calls are in flight concurrently — while the report
+/// stays bit-identical to the instant serial baseline.
+#[test]
+fn single_worker_overlaps_backend_calls() {
+    let e = engine(Some(LatencyProfile::fixed(4)));
+    let report = campaign(&e).threads(1).run();
+    let stats = &report.sched_stats;
+    assert_eq!(stats.workers, 1, "one worker thread by construction");
+    assert!(
+        stats.max_in_flight() >= 2,
+        "a single worker must overlap suspended cells, peak {}",
+        stats.max_in_flight()
+    );
+    for round in &stats.rounds {
+        assert!(
+            round.max_in_flight >= 2,
+            "every 3-cell round overlaps under 4-tick latency, got {}",
+            round.max_in_flight
+        );
+    }
+    assert_reports_identical("1-worker overlap", &report, baseline());
+}
+
+/// Without latency the claim loop degenerates to the historical
+/// one-cell-per-worker behaviour: no call ever suspends, so none ever
+/// overlap.
+#[test]
+fn instant_backend_never_suspends() {
+    let e = engine(None);
+    let report = campaign(&e).run();
+    assert_eq!(report.sched_stats.max_in_flight(), 0);
+    assert_reports_identical("instant parallel", &report, baseline());
+}
+
+/// Serial campaigns poll suspended cells to completion one at a time:
+/// same report, exactly one call in flight at a time.
+#[test]
+fn serial_run_with_latency_matches_instant() {
+    let e = engine(Some(LatencyProfile::uniform(0, 3)));
+    let report = campaign(&e).run_serial();
+    assert_eq!(report.sched_stats.max_in_flight(), 1);
+    assert_reports_identical("serial latency", &report, baseline());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The property the whole seam rests on: for ANY seeded latency
+    /// profile, the multiplexed non-blocking campaign produces a report
+    /// bit-identical to the sync path — warm mode, so any ordering or
+    /// state leak between suspended cells would surface in the rules.
+    #[test]
+    fn any_latency_profile_preserves_reports(
+        min in 0u32..3,
+        span in 0u32..4,
+        threads in 1usize..4,
+    ) {
+        let profile = LatencyProfile::uniform(min, min + span);
+        let e = engine(Some(profile));
+        let report = campaign(&e).threads(threads).run();
+        assert_reports_identical(
+            &format!("latency {} over {threads} thread(s)", profile.label()),
+            &report,
+            baseline(),
+        );
+    }
+}
