@@ -58,7 +58,7 @@ impl AnalysisQuestion {
 }
 
 /// A follow-up answer: prose plus the headline number.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Answer {
     /// The question answered.
     pub question: AnalysisQuestion,

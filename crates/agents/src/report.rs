@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Application-level I/O characterization (the "I/O Report" of Fig. 1).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IoReport {
     /// MPI processes in the job.
     pub nprocs: u32,

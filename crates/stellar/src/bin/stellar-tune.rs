@@ -16,18 +16,21 @@
 //!   --save-rules <f>   write the updated rule set back
 //!   --seed <n>         experiment seed (default 42)
 //!   --stream           print agent transcript lines as they happen
+//!   --emit <path>      write the run record as JSONL (see stellar::obs;
+//!                      replay with `stellar-replay <path>`)
 //!   --backend-latency <t|a..b>   simulated provider latency in poll ticks
 //!                      (fixed or inclusive range); sessions suspend
 //!                      instead of blocking — results are unchanged
 //!   --no-analysis / --no-descriptions / --no-rules   ablation switches
 //!
 //! campaign options (plus --scale/--rules/--save-rules/--attempts/--model/
-//!                   --backend-latency):
+//!                   --backend-latency/--emit):
 //!   --seeds <a,b,c>    grid seeds (default 42)
 //!   --warm             accumulate rules across seed rounds
 //!   --serial           disable parallel cell execution
 //!   --threads <n>      worker threads (default: hardware parallelism)
 //!   --schedule <s>     cell order: fifo | lpt | adaptive (default adaptive)
+//!   --progress         draw a live per-worker status board on stderr
 //!   --rule-shards      print the final sharded rule store's census
 //! ```
 
@@ -141,6 +144,22 @@ fn engine_from_flags(args: &[String]) -> Result<Stellar, i32> {
     Ok(builder.build())
 }
 
+/// Open the `--emit <path>` run-record emitter, if requested.
+fn open_emitter(
+    args: &[String],
+) -> Result<Option<stellar::JsonlEmitter<std::io::BufWriter<std::fs::File>>>, i32> {
+    match flag_value(args, "--emit") {
+        Some(path) => match stellar::JsonlEmitter::create(&path) {
+            Ok(em) => Ok(Some(em)),
+            Err(e) => {
+                eprintln!("cannot create run record {path}: {e}");
+                Err(1)
+            }
+        },
+        None => Ok(None),
+    }
+}
+
 fn load_rules(args: &[String]) -> Result<RuleSet, i32> {
     match flag_value(args, "--rules") {
         Some(path) => match std::fs::read_to_string(&path) {
@@ -169,11 +188,46 @@ fn save_rules(args: &[String], rules: &RuleSet) -> i32 {
 }
 
 /// Observer printing transcript lines live (`tune --stream`).
-struct StreamPrinter;
+///
+/// Transcript lines go to stdout (they are latency-invariant, so stdout
+/// stays bit-identical across reruns); suspensions and usage growth go to
+/// stderr — under `--backend-latency` a streamed run used to go silent
+/// for every in-flight provider call, which read as a hang.
+#[derive(Default)]
+struct StreamPrinter {
+    tuning_calls: u64,
+    analysis_calls: u64,
+    last_wait: Option<u64>,
+}
 
 impl RunObserver for StreamPrinter {
     fn on_transcript(&mut self, line: &str) {
         println!("{line}");
+    }
+
+    fn on_waiting(&mut self, call: llmsim::CallHandle) {
+        // Once per suspension, not once per poll of the same call.
+        if self.last_wait != Some(call.id()) {
+            self.last_wait = Some(call.id());
+            eprintln!("... waiting on backend call #{}", call.id());
+        }
+    }
+
+    fn on_usage(&mut self, tuning: &llmsim::UsageMeter, analysis: &llmsim::UsageMeter) {
+        // One line per new inference call, not per step.
+        if tuning.calls != self.tuning_calls || analysis.calls != self.analysis_calls {
+            self.tuning_calls = tuning.calls;
+            self.analysis_calls = analysis.calls;
+            eprintln!(
+                "usage: tuning {} call(s) / {} in / {} out; analysis {} call(s) / {} in / {} out",
+                tuning.calls,
+                tuning.input_tokens,
+                tuning.output_tokens,
+                analysis.calls,
+                analysis.input_tokens,
+                analysis.output_tokens,
+            );
+        }
     }
 }
 
@@ -197,10 +251,20 @@ fn cmd_tune(args: &[String]) -> i32 {
         Err(c) => return c,
     };
 
+    let mut emitter = match open_emitter(args) {
+        Ok(e) => e,
+        Err(c) => return c,
+    };
+
     let workload = kind.spec_at(scale);
     let mut session = engine.session(workload.as_ref(), rules.clone(), seed);
     if has_flag(args, "--stream") {
-        session.observe(Box::new(StreamPrinter));
+        session.observe(Box::new(StreamPrinter::default()));
+    }
+    if let Some(em) = emitter.as_mut() {
+        // Lend the emitter to the session; it is handed back below to
+        // record the rule merge and flush.
+        session.observe(Box::new(em));
     }
     let run = session.drain();
     rules.merge(run.new_rules.clone());
@@ -220,7 +284,22 @@ fn cmd_tune(args: &[String]) -> i32 {
         run.end_reason
     );
     println!("{}", run.best_config.render());
-    save_rules(args, &rules)
+    // Results and learned rules persist before the run record settles: a
+    // full disk under --emit must not discard the finished run.
+    let save_code = save_rules(args, &rules);
+    if let Some(em) = emitter.as_mut() {
+        em.event(stellar::ObsEvent::RuleMerge {
+            workload: run.workload.clone(),
+            added: run.new_rules.len(),
+            total: rules.len(),
+        });
+        if let Err(e) = em.finish() {
+            eprintln!("cannot flush run record: {e}");
+            return 1;
+        }
+        eprintln!("run record: {} line(s) emitted", em.lines());
+    }
+    save_code
 }
 
 fn cmd_campaign(args: &[String]) -> i32 {
@@ -269,6 +348,11 @@ fn cmd_campaign(args: &[String]) -> i32 {
         Err(c) => return c,
     };
 
+    let mut emitter = match open_emitter(args) {
+        Ok(e) => e,
+        Err(c) => return c,
+    };
+
     let mut campaign = Campaign::new(&engine)
         .kinds(&kinds, scale)
         .seeds(seeds)
@@ -290,11 +374,21 @@ fn cmd_campaign(args: &[String]) -> i32 {
             }
         }
     }
+    if let Some(em) = emitter.as_mut() {
+        campaign = campaign.observe(Box::new(em));
+    }
+    if has_flag(args, "--progress") {
+        campaign = campaign.observe(Box::new(stellar::ProgressRenderer::stderr()));
+    }
     let report = if has_flag(args, "--serial") {
         campaign.run_serial()
     } else {
         campaign.run()
     };
+    // The campaign borrows the emitter through its observer box; release
+    // it before flushing (which happens last — the computed report and
+    // saved rules must survive a run-record write failure).
+    drop(campaign);
     print!("{}", report.render());
     // Timing telemetry goes to stderr: stdout stays bit-identical across
     // reruns of the same command (the workspace determinism invariant).
@@ -325,7 +419,15 @@ fn cmd_campaign(args: &[String]) -> i32 {
             );
         }
     }
-    save_rules(args, &report.rules)
+    let save_code = save_rules(args, &report.rules);
+    if let Some(mut em) = emitter.take() {
+        if let Err(e) = em.finish() {
+            eprintln!("cannot flush run record: {e}");
+            return 1;
+        }
+        eprintln!("run record: {} line(s) emitted", em.lines());
+    }
+    save_code
 }
 
 fn cmd_baseline(args: &[String]) -> i32 {

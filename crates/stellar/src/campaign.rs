@@ -53,14 +53,25 @@
 //! Suspension changes only *when* cells execute — reports stay
 //! bit-identical to the blocking path, property-tested in
 //! `tests/integration_nonblocking.rs`.
+//!
+//! ## Observation
+//!
+//! [`Campaign::observe`] attaches [`CampaignObserver`]s: canonical
+//! lifecycle callbacks (campaign/round start, cells finished in grid
+//! order, rule merges, campaign end) fire deterministically on the
+//! coordinating thread, while telemetry callbacks (claims, suspensions,
+//! publishes, planned orders, round stats) stream live from the worker
+//! loop. [`crate::obs`] builds the JSONL run record and the live
+//! progress board on this seam; observation never changes the report
+//! (pinned by `tests/integration_obs.rs`).
 
 use crate::engine::{Stellar, TuningRun};
 use crate::sched::{self, CostModel, RoundSched, SchedStats, Schedule};
 use agents::{RuleSet, RuleSnapshot, ShardedRuleStore};
-use llmsim::UsageMeter;
+use llmsim::{CallHandle, UsageMeter};
 use simcore::rng::{combine, stable_hash};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 use workloads::{Workload, WorkloadKind};
 
@@ -76,6 +87,121 @@ pub enum RuleMode {
     /// in grid order — before round *r + 1* (the Fig. 6 regime, made
     /// deterministic under parallelism).
     Warm,
+}
+
+impl RuleMode {
+    /// The CLI/JSON name (`cold`, `warm`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleMode::Cold => "cold",
+            RuleMode::Warm => "warm",
+        }
+    }
+}
+
+/// The static shape of a campaign, announced to
+/// [`CampaignObserver::on_campaign_start`] before any cell executes.
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    /// Workload labels, in grid order.
+    pub workloads: Vec<String>,
+    /// Grid seeds, in round order.
+    pub seeds: Vec<u64>,
+    /// Rule-sharing mode.
+    pub mode: RuleMode,
+    /// Workers the rounds will run over (1 for serial runs). Execution
+    /// detail: part of the *telemetry* surface, never of the canonical
+    /// record — serial and parallel runs of the same grid must produce
+    /// byte-identical canonical streams.
+    pub workers: usize,
+    /// Ordering policy the rounds will plan with. Telemetry, like
+    /// `workers`.
+    pub schedule: Schedule,
+}
+
+/// Streaming receiver for campaign progress, the grid-level sibling of
+/// [`crate::RunObserver`]. All methods have no-op defaults.
+///
+/// ## Canonical vs telemetry callbacks
+///
+/// The callbacks split into two classes, mirroring the run-record schema
+/// in [`crate::obs`]:
+///
+/// * **canonical** — [`on_campaign_start`](CampaignObserver::on_campaign_start),
+///   [`on_round_start`](CampaignObserver::on_round_start),
+///   [`on_cell_finished`](CampaignObserver::on_cell_finished),
+///   [`on_rules_merged`](CampaignObserver::on_rules_merged) and
+///   [`on_campaign_end`](CampaignObserver::on_campaign_end) fire on the
+///   coordinating thread in a deterministic order (cells in grid order at
+///   the end of each round), regardless of thread count, execution order
+///   or backend latency;
+/// * **telemetry** — [`on_round_planned`](CampaignObserver::on_round_planned),
+///   [`on_cell_claimed`](CampaignObserver::on_cell_claimed),
+///   [`on_cell_suspended`](CampaignObserver::on_cell_suspended),
+///   [`on_cell_published`](CampaignObserver::on_cell_published) and
+///   [`on_round_finished`](CampaignObserver::on_round_finished) report
+///   *how* the grid executed — worker claims interleave live from worker
+///   threads, so their order is real but not reproducible.
+///
+/// Observers must be [`Send`]: telemetry callbacks arrive from the worker
+/// threads of [`Campaign::run`] (serialized through a lock — methods never
+/// run concurrently, but may run on different threads).
+pub trait CampaignObserver: Send {
+    /// Canonical: the grid is about to execute.
+    fn on_campaign_start(&mut self, grid: &CampaignGrid) {
+        let _ = grid;
+    }
+
+    /// Canonical: a seed round is about to execute.
+    fn on_round_start(&mut self, seed: u64) {
+        let _ = seed;
+    }
+
+    /// Telemetry: the execution order planned for this round
+    /// (grid indices, first-claimed first).
+    fn on_round_planned(&mut self, seed: u64, schedule: Schedule, order: &[usize]) {
+        let _ = (seed, schedule, order);
+    }
+
+    /// Telemetry: `worker` claimed the cell at `grid_idx`.
+    fn on_cell_claimed(&mut self, worker: usize, seed: u64, grid_idx: usize, workload: &str) {
+        let _ = (worker, seed, grid_idx, workload);
+    }
+
+    /// Telemetry: the cell at `grid_idx` suspended on an in-flight
+    /// backend call (fires once per suspension, not once per poll).
+    fn on_cell_suspended(&mut self, worker: usize, seed: u64, grid_idx: usize, call: CallHandle) {
+        let _ = (worker, seed, grid_idx, call);
+    }
+
+    /// Telemetry: `worker` finished the cell at `grid_idx` after
+    /// `busy_secs` of active stepping time.
+    fn on_cell_published(&mut self, worker: usize, seed: u64, grid_idx: usize, busy_secs: f64) {
+        let _ = (worker, seed, grid_idx, busy_secs);
+    }
+
+    /// Canonical: one finished cell, delivered in grid order after the
+    /// round's barrier (not in completion order).
+    fn on_cell_finished(&mut self, cell: &CampaignCell) {
+        let _ = cell;
+    }
+
+    /// Canonical: one cell's learned rules merged into the store (grid
+    /// order). `added` counts the rules the cell learned, `total` the
+    /// store size after the merge.
+    fn on_rules_merged(&mut self, workload: &str, added: usize, total: usize) {
+        let _ = (workload, added, total);
+    }
+
+    /// Telemetry: the round's measured scheduling record.
+    fn on_round_finished(&mut self, round: &RoundSched) {
+        let _ = round;
+    }
+
+    /// Canonical: the campaign's aggregated report.
+    fn on_campaign_end(&mut self, report: &CampaignReport) {
+        let _ = report;
+    }
 }
 
 /// One completed grid cell.
@@ -161,27 +287,22 @@ impl CampaignReport {
     /// Fixed-width text summary (one row per cell).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(
-            "{:<18} {:>10} {:>8} {:>9} {:>9}\n",
-            "workload", "seed", "attempts", "best", "speedup"
-        ));
+        out.push_str(&table::header());
         for c in &self.cells {
-            out.push_str(&format!(
-                "{:<18} {:>10} {:>8} {:>8.3}s {:>8.2}x\n",
-                c.workload,
+            out.push_str(&table::row(
+                &c.workload,
                 c.seed,
                 c.run.attempts.len(),
                 c.run.best_wall,
-                c.run.best_speedup
+                c.run.best_speedup,
             ));
         }
-        out.push_str(&format!(
-            "mean speedup x{:.2} over {} cells ({} evaluations); {} rules accumulated in {} shards\n",
+        out.push_str(&table::trailer(
             self.mean_best_speedup(),
             self.cells.len(),
             self.total_evaluations(),
             self.rules.len(),
-            self.rule_store.shard_count()
+            self.rule_store.shard_count(),
         ));
         // `sched_stats` is deliberately absent here: render() output is
         // bit-identical across reruns (a repo-wide invariant) while the
@@ -189,6 +310,44 @@ impl CampaignReport {
         // `sched_stats.render()` on a diagnostic channel instead, as the
         // CLI does on stderr.
         out
+    }
+}
+
+/// The campaign summary's fixed-width formats — single source of truth
+/// for [`CampaignReport::render`] and the run-record replay
+/// (`RunRecord::summary` promises a byte-identical table, so the format
+/// strings must not fork).
+pub(crate) mod table {
+    /// Column header line.
+    pub(crate) fn header() -> String {
+        format!(
+            "{:<18} {:>10} {:>8} {:>9} {:>9}\n",
+            "workload", "seed", "attempts", "best", "speedup"
+        )
+    }
+
+    /// One per-cell row.
+    pub(crate) fn row(
+        workload: &str,
+        seed: u64,
+        attempts: usize,
+        best_wall: f64,
+        best_speedup: f64,
+    ) -> String {
+        format!("{workload:<18} {seed:>10} {attempts:>8} {best_wall:>8.3}s {best_speedup:>8.2}x\n")
+    }
+
+    /// The aggregate trailer line.
+    pub(crate) fn trailer(
+        mean_best_speedup: f64,
+        cells: usize,
+        evaluations: usize,
+        rules: usize,
+        shards: usize,
+    ) -> String {
+        format!(
+            "mean speedup x{mean_best_speedup:.2} over {cells} cells ({evaluations} evaluations); {rules} rules accumulated in {shards} shards\n"
+        )
     }
 }
 
@@ -210,6 +369,10 @@ pub struct Campaign<'e> {
     parallelism_fallback: bool,
     schedule: Schedule,
     order_override: Option<Vec<usize>>,
+    // Behind a Mutex because telemetry callbacks fire from worker threads
+    // while `run(&self)` only holds a shared borrow; the lock also keeps
+    // multi-observer delivery atomic per event.
+    observers: Mutex<Vec<Box<dyn CampaignObserver + 'e>>>,
 }
 
 impl<'e> Campaign<'e> {
@@ -230,6 +393,34 @@ impl<'e> Campaign<'e> {
             parallelism_fallback: detected.is_err(),
             schedule: Schedule::default(),
             order_override: None,
+            observers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attach a [`CampaignObserver`]. Multiple observers receive every
+    /// event, in attachment order. Observation never changes the report —
+    /// `tests/integration_obs.rs` pins observer-attached runs bit-identical
+    /// to observer-free ones.
+    pub fn observe(self, observer: Box<dyn CampaignObserver + 'e>) -> Self {
+        self.observers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(observer);
+        self
+    }
+
+    /// Deliver one event to every attached observer (no-op when none are
+    /// attached — the common case pays one uncontended lock). Recovers a
+    /// poisoned lock: if one worker's observer panicked (say, a run-record
+    /// write hit a full disk), sibling workers must surface *that* panic
+    /// through the thread join, not a misleading cascade of lock panics.
+    fn notify(&self, mut f: impl FnMut(&mut dyn CampaignObserver)) {
+        let mut obs = self
+            .observers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for o in obs.iter_mut() {
+            f(o.as_mut());
         }
     }
 
@@ -372,8 +563,9 @@ impl<'e> Campaign<'e> {
         let in_flight_peak = AtomicUsize::new(0);
         let workers = self.threads.min(n).max(1);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            for worker in 0..workers {
+                let (slots, next, in_flight_peak) = (&slots, &next, &in_flight_peak);
+                scope.spawn(move || {
                     struct Open<'s> {
                         grid_idx: usize,
                         session: crate::session::TuningSession<'s>,
@@ -403,6 +595,9 @@ impl<'e> Campaign<'e> {
                                     busy_secs: 0.0,
                                     waiting: false,
                                 });
+                                self.notify(|o| {
+                                    o.on_cell_claimed(worker, seed, i, &self.workloads[i].name())
+                                });
                             }
                         }
                         if open.is_empty() {
@@ -415,8 +610,17 @@ impl<'e> Campaign<'e> {
                             let t0 = Instant::now();
                             let event = open[idx].session.step();
                             open[idx].busy_secs += t0.elapsed().as_secs_f64();
+                            let was_waiting = open[idx].waiting;
                             open[idx].waiting =
                                 matches!(event, crate::session::SessionEvent::Waiting { .. });
+                            // Announce the *transition* into suspension,
+                            // not every poll of an already-waiting cell.
+                            if open[idx].waiting && !was_waiting {
+                                if let crate::session::SessionEvent::Waiting { call } = event {
+                                    let i = open[idx].grid_idx;
+                                    self.notify(|o| o.on_cell_suspended(worker, seed, i, call));
+                                }
+                            }
                             // A waiting cell holds a live in-flight call
                             // until a later step completes it, so this
                             // count is the worker's simultaneous
@@ -433,6 +637,9 @@ impl<'e> Campaign<'e> {
                                 };
                                 let set = slots[i].set((cell, done.busy_secs));
                                 assert!(set.is_ok(), "cell {i} executed twice");
+                                self.notify(|o| {
+                                    o.on_cell_published(worker, seed, i, done.busy_secs)
+                                });
                             } else {
                                 idx += 1;
                             }
@@ -449,12 +656,19 @@ impl<'e> Campaign<'e> {
         (cells, in_flight_peak.into_inner())
     }
 
+    /// Serial counterpart of [`Campaign::round_parallel`]: one implicit
+    /// worker (index 0) drains cells in grid order. Sessions are drained
+    /// internally, so suspension telemetry is not observable here — only
+    /// claims and publishes are reported.
     fn round_serial(&self, seed: u64, rules: &RuleSnapshot) -> Vec<(CampaignCell, f64)> {
         (0..self.workloads.len())
             .map(|i| {
+                self.notify(|o| o.on_cell_claimed(0, seed, i, &self.workloads[i].name()));
                 let t0 = Instant::now();
                 let cell = self.run_cell(seed, i, rules);
-                (cell, t0.elapsed().as_secs_f64())
+                let busy = t0.elapsed().as_secs_f64();
+                self.notify(|o| o.on_cell_published(0, seed, i, busy));
+                (cell, busy)
             })
             .collect()
     }
@@ -505,6 +719,14 @@ impl<'e> Campaign<'e> {
                 self.workloads.len()
             );
         }
+        let grid = CampaignGrid {
+            workloads: self.workloads.iter().map(|w| w.name()).collect(),
+            seeds: self.seeds.clone(),
+            mode: self.mode,
+            workers,
+            schedule: sched_stats.schedule,
+        };
+        self.notify(|o| o.on_campaign_start(&grid));
         let mut cells = Vec::with_capacity(self.workloads.len() * self.seeds.len());
         for &seed in &self.seeds {
             // O(1) either way: snapshots share shards, they don't clone
@@ -520,6 +742,8 @@ impl<'e> Campaign<'e> {
                 (Some(m), None) => sched::plan(sched_stats.schedule, m),
                 (None, None) => (0..self.workloads.len()).collect(),
             };
+            self.notify(|o| o.on_round_start(seed));
+            self.notify(|o| o.on_round_planned(seed, sched_stats.schedule, &order));
             let round_start = Instant::now();
             let (round, max_in_flight) = if parallel {
                 self.round_parallel(seed, &snapshot, &order)
@@ -554,17 +778,29 @@ impl<'e> Campaign<'e> {
             // Merge learnings in grid order — deterministic regardless of
             // which thread finished first. Only the shards the new rules
             // land in are copied; outstanding snapshots are untouched.
+            // Canonical observer events follow the same grid order, so an
+            // attached emitter's semantic stream is reproducible no matter
+            // which worker finished which cell first.
             for (cell, _) in &round {
+                self.notify(|o| o.on_cell_finished(cell));
                 store.merge(cell.run.new_rules.clone());
+                self.notify(|o| {
+                    o.on_rules_merged(&cell.workload, cell.run.new_rules.len(), store.len())
+                });
             }
+            self.notify(|o| {
+                o.on_round_finished(sched_stats.rounds.last().expect("round just pushed"))
+            });
             cells.extend(round.into_iter().map(|(cell, _)| cell));
         }
-        CampaignReport {
+        let report = CampaignReport {
             cells,
             rules: store.to_rule_set(),
             rule_store: store,
             sched_stats,
-        }
+        };
+        self.notify(|o| o.on_campaign_end(&report));
+        report
     }
 
     /// Run the grid with deterministic parallel execution.

@@ -74,7 +74,7 @@ impl Default for StellarOptions {
 }
 
 /// One configuration attempt within a tuning run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AttemptRecord {
     /// 1-based attempt index.
     pub iteration: usize,
@@ -87,7 +87,7 @@ pub struct AttemptRecord {
 }
 
 /// A complete Tuning Run (initial execution through End Tuning).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TuningRun {
     /// Workload label.
     pub workload: String,

@@ -29,6 +29,13 @@
 //! [`agents::RuleSnapshot`]s instead of cloning the set (see
 //! `ARCHITECTURE.md` at the repository root for the full data flow).
 //!
+//! Both layers stream progress: sessions to [`RunObserver`]s, campaigns
+//! to [`CampaignObserver`]s. The [`obs`] module turns those streams into
+//! durable artifacts — [`JsonlEmitter`] writes a versioned, deterministic
+//! JSONL run record (CLI `--emit`), [`ProgressRenderer`] draws a live
+//! status board (CLI `--progress`), and [`RunRecord`] parses a record
+//! back for the `stellar-replay` binary.
+//!
 //! Baselines ([`baselines::expert_oracle`], [`baselines::random_search`])
 //! and per-figure [`experiments`] drivers ride on top; the `bench` crate's
 //! binaries print their outputs.
@@ -64,11 +71,15 @@ pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod measure;
+pub mod obs;
 pub mod sched;
 pub mod session;
 
 pub use builder::StellarBuilder;
-pub use campaign::{Campaign, CampaignCell, CampaignReport, RuleMode};
+pub use campaign::{
+    Campaign, CampaignCell, CampaignGrid, CampaignObserver, CampaignReport, RuleMode,
+};
 pub use engine::{default_topology, AttemptRecord, SeedPolicy, Stellar, StellarOptions, TuningRun};
+pub use obs::{JsonlEmitter, ObsEvent, ProgressRenderer, RecordLine, RunRecord, SchedNote};
 pub use sched::{CostModel, SchedStats, Schedule};
 pub use session::{RunObserver, SessionEvent, TuningSession};

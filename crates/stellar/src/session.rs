@@ -89,6 +89,14 @@ pub enum SessionEvent {
 ///
 /// All methods have no-op defaults; implement the ones you need.
 pub trait RunObserver {
+    /// Called once, before the first step does any work, with the
+    /// session's workload label and fully derived run seed — the metadata
+    /// a run record needs to be replayable on its own (see
+    /// [`crate::obs::ObsEvent::SessionStart`]).
+    fn on_session_start(&mut self, workload: &str, run_seed: u64) {
+        let _ = (workload, run_seed);
+    }
+
     /// Called once per [`TuningSession::step`] with the produced event.
     fn on_event(&mut self, event: &SessionEvent) {
         let _ = event;
@@ -301,6 +309,14 @@ impl<'a> TuningSession<'a> {
     /// After the run has ended, further calls return the final
     /// [`SessionEvent::Ended`] again without side effects.
     pub fn step(&mut self) -> SessionEvent {
+        // First step ever: announce the session before any work happens
+        // (`Phase::Start` holds exactly until `step_start` runs below).
+        if matches!(self.phase, Phase::Start) && !self.observers.is_empty() {
+            let name = self.workload.name();
+            for obs in &mut self.observers {
+                obs.on_session_start(&name, self.run_seed);
+            }
+        }
         if let Some(call) = self.poll_gate() {
             for obs in &mut self.observers {
                 obs.on_waiting(call);

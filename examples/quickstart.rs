@@ -8,10 +8,12 @@
 //!    synthetic manual) with fluent configuration.
 //! 2. **Session** — run one Tuning Run step by step, watching every agent
 //!    event as it happens, with a live transcript observer.
-//! 3. **Campaign** — tune a small workload grid in parallel and aggregate.
+//! 3. **Campaign** — tune a small workload grid in parallel and aggregate,
+//!    recording the whole run as a structured JSONL record
+//!    (`stellar::obs`) and replaying the summary from the record alone.
 
 use agents::RuleSet;
-use stellar::{Campaign, RunObserver, SessionEvent, StellarBuilder};
+use stellar::{Campaign, JsonlEmitter, RunObserver, RunRecord, SessionEvent, StellarBuilder};
 use workloads::WorkloadKind;
 
 /// Prints each transcript line the Tuning Agent narrates, as it happens.
@@ -91,13 +93,29 @@ fn main() {
         run.tuning_usage.cache_hit_ratio() * 100.0,
     );
 
-    // ---- 3. Campaign: a parallel workload grid with warm rules. ----
+    // ---- 3. Campaign: a parallel workload grid with warm rules,     ----
+    // ----    recorded as a structured JSONL run record.              ----
     println!("campaign: two workloads x two seeds, warm rule sharing");
+    let mut emitter = JsonlEmitter::new(Vec::new());
     let report = Campaign::new(&engine)
         .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K], 0.15)
         .seeds([1, 2])
         .rule_mode(stellar::RuleMode::Warm)
         .starting_rules(rules)
+        .observe(Box::new(&mut emitter)) // every event -> one JSON line
         .run();
     print!("{}", report.render());
+
+    // The record alone reproduces the summary (what `stellar-replay`
+    // does for files written with `stellar-tune campaign --emit`). The
+    // canonical half of the record is byte-identical across serial,
+    // parallel and latency-injected runs of the same seeded grid.
+    let jsonl = String::from_utf8(emitter.into_inner()).expect("utf-8 record");
+    let record = RunRecord::parse(&jsonl).expect("record parses back");
+    println!(
+        "\nrun record: {} line(s), {} canonical event(s); replayed summary:",
+        record.lines.len(),
+        record.events().count(),
+    );
+    print!("{}", record.summary());
 }

@@ -71,7 +71,11 @@ fn baseline() -> &'static CampaignReport {
     static BASELINE: std::sync::OnceLock<CampaignReport> = std::sync::OnceLock::new();
     BASELINE.get_or_init(|| {
         let e = engine(None);
-        campaign(&e).run_serial()
+        // Bind the campaign so it drops before `e`: since campaigns can
+        // carry 'e-bounded observer boxes, a tail-expression temporary
+        // would outlive the block's locals and trip dropck.
+        let c = campaign(&e);
+        c.run_serial()
     })
 }
 

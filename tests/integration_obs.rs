@@ -1,0 +1,200 @@
+//! The observability layer end to end: JSONL run records must round-trip
+//! losslessly, observation must never change what a run computes, and the
+//! canonical half of a campaign record must be byte-identical across
+//! serial, parallel and latency-injected executions of the same seeded
+//! grid — the in-process mirror of CI's `determinism` job (which shells
+//! the same comparison through `jq`).
+
+use llmsim::LatencyProfile;
+use proptest::prelude::*;
+use stellar::{
+    Campaign, CampaignReport, JsonlEmitter, ObsEvent, ProgressRenderer, RuleMode, RunRecord,
+    Stellar, StellarBuilder, TuningRun,
+};
+use workloads::WorkloadKind;
+
+const GRID: [WorkloadKind; 2] = [WorkloadKind::Ior64K, WorkloadKind::MdWorkbench2K];
+const SCALE: f64 = 0.05;
+const SEEDS: [u64; 2] = [61, 62];
+
+fn engine(latency: Option<LatencyProfile>) -> Stellar {
+    let mut b = StellarBuilder::new().attempt_budget(3);
+    if let Some(p) = latency {
+        b = b.backend_latency(p);
+    }
+    b.build()
+}
+
+fn campaign(e: &Stellar) -> Campaign<'_> {
+    Campaign::new(e)
+        .kinds(&GRID, SCALE)
+        .seeds(SEEDS)
+        .rule_mode(RuleMode::Warm)
+}
+
+/// Run the grid with a recording emitter attached; return the report and
+/// the parsed record.
+fn record_campaign(e: &Stellar, threads: usize, serial: bool) -> (CampaignReport, RunRecord) {
+    let mut emitter = JsonlEmitter::new(Vec::new());
+    let c = campaign(e).threads(threads).observe(Box::new(&mut emitter));
+    let report = if serial { c.run_serial() } else { c.run() };
+    drop(c); // release the emitter borrow held by the observer box
+    let bytes = emitter.into_inner();
+    let record = RunRecord::parse(std::str::from_utf8(&bytes).expect("utf-8")).expect("parses");
+    (report, record)
+}
+
+/// Run one session with a recording emitter; return the run + record.
+fn record_session(e: &Stellar, seed: u64) -> (TuningRun, RunRecord) {
+    let w = WorkloadKind::Ior16M.spec().scaled(0.05);
+    let mut emitter = JsonlEmitter::new(Vec::new());
+    let run = {
+        let mut session = e.session(w.as_ref(), agents::RuleSet::new(), seed);
+        session.observe(Box::new(&mut emitter));
+        session.drain()
+    };
+    let bytes = emitter.into_inner();
+    let record = RunRecord::parse(std::str::from_utf8(&bytes).expect("utf-8")).expect("parses");
+    (run, record)
+}
+
+/// The acceptance criterion: the canonical JSONL of the same seeded grid
+/// is byte-identical whether the campaign runs serially, across worker
+/// threads, or with suspended cells under injected backend latency —
+/// while the full records differ (telemetry is real and run-specific).
+#[test]
+fn canonical_stream_is_identical_across_serial_parallel_latency() {
+    let instant = engine(None);
+    let (_, serial) = record_campaign(&instant, 1, true);
+    let (_, parallel) = record_campaign(&instant, 4, false);
+    let latent_engine = engine(Some(LatencyProfile::fixed(3)));
+    let (_, latent) = record_campaign(&latent_engine, 2, false);
+
+    let canon = serial.canonical_jsonl();
+    assert!(!canon.is_empty());
+    assert_eq!(canon, parallel.canonical_jsonl(), "serial vs parallel");
+    assert_eq!(canon, latent.canonical_jsonl(), "serial vs latency");
+
+    // The sidecar is where the runs differ: the latency record carries
+    // suspension telemetry the instant runs cannot have.
+    assert!(
+        latent
+            .notes()
+            .any(|n| matches!(n, stellar::SchedNote::CellSuspended { .. })),
+        "latency run records suspensions"
+    );
+    assert_ne!(serial.to_jsonl(), latent.to_jsonl(), "full records differ");
+}
+
+/// Attaching observers must never change what a campaign computes: the
+/// report with an emitter + renderer attached is bit-identical to the
+/// observer-free report.
+#[test]
+fn observation_is_inert() {
+    let e = engine(None);
+    let bare = campaign(&e).threads(2).run();
+    let mut emitter = JsonlEmitter::new(std::io::sink());
+    let observed = campaign(&e)
+        .threads(2)
+        .observe(Box::new(&mut emitter))
+        .observe(Box::new(ProgressRenderer::new(std::io::sink(), false)))
+        .run();
+    assert_eq!(bare.cells.len(), observed.cells.len());
+    for (a, b) in bare.cells.iter().zip(&observed.cells) {
+        assert_eq!(a.workload, b.workload);
+        assert_eq!(a.cell_seed, b.cell_seed);
+        assert_eq!(a.run, b.run, "{} @ seed {} diverged", a.workload, a.seed);
+    }
+    assert_eq!(bare.rules, observed.rules);
+}
+
+/// `stellar-replay`'s summary comes from the record alone and reproduces
+/// the live report's table byte for byte.
+#[test]
+fn replay_summary_reproduces_the_live_render() {
+    let e = engine(None);
+    let (report, record) = record_campaign(&e, 2, false);
+    let summary = record.summary();
+    assert!(
+        summary.starts_with(&report.render()),
+        "summary must reproduce render():\n--- render\n{}\n--- summary\n{summary}",
+        report.render()
+    );
+}
+
+/// The canonical session stream carries the whole run: every attempt, the
+/// end reason, and usage deltas that sum back to the run's meters.
+#[test]
+fn session_record_reconstructs_the_run() {
+    let e = engine(None);
+    let (run, record) = record_session(&e, 9);
+    let attempts: Vec<_> = record
+        .events()
+        .filter_map(|ev| match ev {
+            ObsEvent::Attempt { record } => Some(record),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(attempts.len(), run.attempts.len());
+    for (a, b) in attempts.iter().zip(&run.attempts) {
+        assert_eq!(**a, *b);
+    }
+    let transcript: Vec<_> = record
+        .events()
+        .filter_map(|ev| match ev {
+            ObsEvent::Transcript { line } => Some(line.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(transcript, run.transcript);
+    let reason = record
+        .events()
+        .find_map(|ev| match ev {
+            ObsEvent::SessionEnd { reason } => Some(reason.clone()),
+            _ => None,
+        })
+        .expect("record has SessionEnd");
+    assert_eq!(reason, run.end_reason);
+    // Usage deltas sum to the final meters.
+    let (mut calls_t, mut in_t, mut out_t) = (0u64, 0u64, 0u64);
+    for ev in record.events() {
+        if let ObsEvent::Usage { tuning, .. } = ev {
+            calls_t += tuning.calls;
+            in_t += tuning.input_tokens;
+            out_t += tuning.output_tokens;
+        }
+    }
+    assert_eq!(calls_t, run.tuning_usage.calls);
+    assert_eq!(in_t, run.tuning_usage.input_tokens);
+    assert_eq!(out_t, run.tuning_usage.output_tokens);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Lossless serialization: for any seed and latency profile, the
+    /// emitted record parses back to the same typed value, and re-emitting
+    /// the parsed record reproduces the same bytes (`parse ∘ emit` is the
+    /// identity on records).
+    #[test]
+    fn record_roundtrips_bit_exactly(seed in 0u64..1_000, ticks in 0u32..3) {
+        let latency = (ticks > 0).then(|| LatencyProfile::fixed(ticks));
+        let e = engine(latency);
+        let (_, record) = record_session(&e, seed);
+        let jsonl = record.to_jsonl();
+        let reparsed = RunRecord::parse(&jsonl).expect("re-parses");
+        prop_assert_eq!(&reparsed, &record);
+        prop_assert_eq!(reparsed.to_jsonl(), jsonl);
+    }
+
+    /// The session-level determinism contract: the canonical stream of a
+    /// latency-suspended session equals the instant session's, byte for
+    /// byte — waits exist only in the sidecar.
+    #[test]
+    fn session_canonical_stream_is_latency_invariant(seed in 0u64..1_000, ticks in 1u32..4) {
+        let (_, instant) = record_session(&engine(None), seed);
+        let (_, latent) = record_session(&engine(Some(LatencyProfile::fixed(ticks))), seed);
+        prop_assert!(latent.notes().count() > 0, "latency must record waits");
+        prop_assert_eq!(instant.canonical_jsonl(), latent.canonical_jsonl());
+    }
+}
