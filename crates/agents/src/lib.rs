@@ -48,6 +48,7 @@
 //! assert_eq!(hits[0].parameter, "stripe_count");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod analysis;

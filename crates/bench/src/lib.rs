@@ -4,6 +4,8 @@
 //! evaluation (see DESIGN.md §4 for the index) and prints it in a fixed-width
 //! layout suitable for EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 /// Render a row of fixed-width cells.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells

@@ -12,6 +12,9 @@ use std::collections::HashMap;
 pub struct Collector {
     exe: String,
     nprocs: u32,
+    // determinism audit (D002): accumulated by point lookups; `finish`
+    // drains into a Vec and sorts by (module, file, rank) before the
+    // records can reach a log or report
     records: HashMap<(u32, FileId, Module), FileRecord>,
     last_end: f64,
 }

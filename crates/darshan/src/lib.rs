@@ -16,6 +16,8 @@
 //!   with a descriptive string per column (the "separate file describing the
 //!   meaning of each column").
 
+#![forbid(unsafe_code)]
+
 pub mod collector;
 pub mod counters;
 pub mod log;

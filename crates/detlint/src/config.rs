@@ -1,0 +1,231 @@
+//! `detlint.toml`: committed per-rule allowlists.
+//!
+//! The build environment is offline and the workspace vendors no TOML
+//! crate, so this module parses exactly the subset the linter needs:
+//!
+//! ```toml
+//! # comment
+//! [rules.D001]
+//! allow = [
+//!     "bench::bin::perfsuite",  # module-path glob, `*` matches anything
+//! ]
+//! ```
+//!
+//! Sections are `[rules.<RULE-ID>]`; the only recognised key is `allow`,
+//! a (possibly multi-line) array of module-path globs. Unknown sections,
+//! keys, or malformed lines are hard errors — a lint config that is
+//! silently ignored is worse than none.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed allowlist configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Rule id → module-path globs exempt from that rule.
+    pub allow: BTreeMap<String, Vec<String>>,
+}
+
+/// A configuration parse error with its 1-based line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parse the `detlint.toml` subset described in the module docs.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut current: Option<String> = None;
+        let mut lines = src.lines().enumerate().peekable();
+        while let Some((i, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                let rule = section.strip_prefix("rules.").ok_or_else(|| ConfigError {
+                    line: i + 1,
+                    message: format!("unknown section `[{section}]` (expected `[rules.<ID>]`)"),
+                })?;
+                if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+                    return Err(ConfigError {
+                        line: i + 1,
+                        message: format!("bad rule id `{rule}`"),
+                    });
+                }
+                cfg.allow.entry(rule.to_string()).or_default();
+                current = Some(rule.to_string());
+                continue;
+            }
+            let Some(rest) = line.strip_prefix("allow").map(str::trim_start) else {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: format!("unrecognised line `{line}`"),
+                });
+            };
+            let Some(rest) = rest.strip_prefix('=') else {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: "expected `allow = [...]`".into(),
+                });
+            };
+            let Some(rule) = current.clone() else {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: "`allow` outside a `[rules.<ID>]` section".into(),
+                });
+            };
+            // Gather the array source, consuming continuation lines until
+            // the closing bracket.
+            let mut array_src = rest.trim().to_string();
+            let mut last_line = i + 1;
+            while !array_src.contains(']') {
+                match lines.next() {
+                    Some((j, cont)) => {
+                        array_src.push(' ');
+                        array_src.push_str(strip_comment(cont).trim());
+                        last_line = j + 1;
+                    }
+                    None => {
+                        return Err(ConfigError {
+                            line: last_line,
+                            message: "unterminated `allow` array".into(),
+                        });
+                    }
+                }
+            }
+            let entries = parse_string_array(&array_src).map_err(|message| ConfigError {
+                line: last_line,
+                message,
+            })?;
+            cfg.allow.entry(rule).or_default().extend(entries);
+        }
+        Ok(cfg)
+    }
+
+    /// Globs configured for `rule` (empty slice when none).
+    pub fn allows_for(&self, rule: &str) -> &[String] {
+        self.allow.get(rule).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `[ "a", "b", ]` into its string elements.
+fn parse_string_array(src: &str) -> Result<Vec<String>, String> {
+    let src = src.trim();
+    let inner = src
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected `[ ... ]`, got `{src}`"))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        let value = part
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
+        if value.is_empty() {
+            return Err("empty allowlist entry".into());
+        }
+        out.push(value.to_string());
+    }
+    Ok(out)
+}
+
+/// Match a module path against a glob where `*` matches any substring
+/// (including `::`). `stellar::bin::*` matches every stellar binary;
+/// `*::bin::*` matches binaries of every crate.
+pub fn glob_match(glob: &str, path: &str) -> bool {
+    fn rec(g: &[u8], p: &[u8]) -> bool {
+        match g.first() {
+            None => p.is_empty(),
+            Some(b'*') => {
+                let g = &g[1..];
+                (0..=p.len()).any(|k| rec(g, &p[k..]))
+            }
+            Some(&c) => p.first() == Some(&c) && rec(&g[1..], &p[1..]),
+        }
+    }
+    rec(glob.as_bytes(), path.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[rules.D001]
+allow = ["bench::bin::perfsuite"]
+
+[rules.D005]
+allow = [
+    "*::bin::*",   # all CLI binaries
+    "examples::*",
+]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.allows_for("D001"), ["bench::bin::perfsuite"]);
+        assert_eq!(cfg.allows_for("D005"), ["*::bin::*", "examples::*"]);
+        assert!(cfg.allows_for("D002").is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::parse("[other]").is_err());
+        assert!(Config::parse("[rules.D001]\ndeny = []").is_err());
+        assert!(Config::parse("allow = [\"x\"]").is_err());
+        assert!(Config::parse("[rules.D001]\nallow = [\"x\"").is_err());
+        assert!(Config::parse("[rules.D001]\nallow = [x]").is_err());
+    }
+
+    #[test]
+    fn empty_section_is_fine() {
+        let cfg = Config::parse("[rules.D003]\n").unwrap();
+        assert!(cfg.allows_for("D003").is_empty());
+    }
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("*::bin::*", "stellar::bin::stellar_tune"));
+        assert!(glob_match("examples::*", "examples::quickstart"));
+        assert!(glob_match(
+            "stellar::campaign::table",
+            "stellar::campaign::table"
+        ));
+        assert!(!glob_match("stellar::campaign::table", "stellar::campaign"));
+        assert!(!glob_match("*::bin::*", "stellar::campaign"));
+        assert!(glob_match("*", "anything::at::all"));
+    }
+}

@@ -1,0 +1,504 @@
+//! A minimal but correct Rust lexer for lint purposes.
+//!
+//! The linter's rules are textual, so correctness hinges on one thing:
+//! knowing exactly which byte ranges of a source file are *code* and which
+//! are comments, string/char literals or lifetimes. This module produces a
+//! complete, gap-free token partition of the input:
+//!
+//! - line comments (`//`), block comments (`/* ... */`) **including
+//!   nesting** (`/* /* */ */`),
+//! - string literals with escapes (`"a\"b"`), byte strings (`b"..."`),
+//! - raw strings with arbitrary hash fences (`r"..."`, `r##"..."##`,
+//!   `br#"..."#`) — and raw *identifiers* (`r#match`) correctly left as
+//!   code,
+//! - char literals vs lifetimes (`'a'` vs `'a`, `'\u{1F600}'`, `b'x'`,
+//!   `'_`, `'static`),
+//!
+//! plus a [`LineIndex`] converting byte offsets to 1-based line:column
+//! pairs (column counted in characters, as compilers render it).
+//!
+//! The lexer never fails: malformed or truncated input (unterminated
+//! strings/comments) degrades to a token running to end-of-input, which is
+//! the conservative choice for a linter (unterminated literals hide their
+//! contents from rule matching rather than leaking them into code).
+
+/// What a span of source text is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Plain code: everything rules are allowed to match against.
+    Code,
+    /// A `//` comment, up to (not including) the newline.
+    LineComment,
+    /// A `/* ... */` comment, nesting included.
+    BlockComment,
+    /// A `"..."` or `b"..."` string literal, escapes handled.
+    Str,
+    /// A raw string literal `r"..."` / `r#"..."#` / `br#"..."#`.
+    RawStr,
+    /// A character or byte literal (`'a'`, `'\n'`, `b'x'`).
+    Char,
+    /// A lifetime or loop label (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One token: a half-open byte range `start..end` of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Span classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the span.
+    pub start: usize,
+    /// Byte offset one past the last byte of the span.
+    pub end: usize,
+}
+
+/// Tokenize `src` into a gap-free partition of `0..src.len()`.
+///
+/// Adjacent code bytes coalesce into single [`TokenKind::Code`] tokens, so
+/// the output is the minimal alternating sequence of code and non-code
+/// spans. Every boundary falls on a UTF-8 character boundary (delimiters
+/// are all ASCII, and multi-byte characters are always consumed whole).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut code_start = 0usize;
+    let mut i = 0usize;
+
+    // Close the pending code span (if non-empty) before a non-code token.
+    macro_rules! flush_code {
+        ($upto:expr) => {
+            if code_start < $upto {
+                out.push(Token {
+                    kind: TokenKind::Code,
+                    start: code_start,
+                    end: $upto,
+                });
+            }
+        };
+    }
+
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                flush_code!(i);
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::LineComment,
+                    start,
+                    end: i,
+                });
+                code_start = i;
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                flush_code!(i);
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::BlockComment,
+                    start,
+                    end: i,
+                });
+                code_start = i;
+            }
+            b'"' => {
+                flush_code!(i);
+                let start = i;
+                i = scan_string(b, i + 1);
+                out.push(Token {
+                    kind: TokenKind::Str,
+                    start,
+                    end: i,
+                });
+                code_start = i;
+            }
+            b'r' if !ident_before(b, i) => {
+                if let Some((end, _hashes)) = scan_raw_string(b, i + 1) {
+                    flush_code!(i);
+                    out.push(Token {
+                        kind: TokenKind::RawStr,
+                        start: i,
+                        end,
+                    });
+                    i = end;
+                    code_start = i;
+                } else {
+                    i += 1; // raw identifier (`r#match`) or plain ident: code
+                }
+            }
+            b'b' if !ident_before(b, i) && i + 1 < n => match b[i + 1] {
+                b'"' => {
+                    flush_code!(i);
+                    let start = i;
+                    i = scan_string(b, i + 2);
+                    out.push(Token {
+                        kind: TokenKind::Str,
+                        start,
+                        end: i,
+                    });
+                    code_start = i;
+                }
+                b'r' => {
+                    if let Some((end, _)) = scan_raw_string(b, i + 2) {
+                        flush_code!(i);
+                        out.push(Token {
+                            kind: TokenKind::RawStr,
+                            start: i,
+                            end,
+                        });
+                        i = end;
+                        code_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    flush_code!(i);
+                    let start = i;
+                    i = scan_char_body(b, i + 2);
+                    out.push(Token {
+                        kind: TokenKind::Char,
+                        start,
+                        end: i,
+                    });
+                    code_start = i;
+                }
+                _ => i += 1,
+            },
+            b'\'' => {
+                flush_code!(i);
+                let start = i;
+                let (end, kind) = scan_quote(src, b, i);
+                out.push(Token { kind, start, end });
+                i = end;
+                code_start = i;
+            }
+            _ => i += 1,
+        }
+    }
+    flush_code!(n);
+    out
+}
+
+/// Concatenated text of all [`TokenKind::Code`] spans.
+///
+/// Rule patterns must only ever match inside this text. Spans are joined
+/// with a newline so tokens from different lines can never join into a
+/// false pattern match across a comment or literal boundary.
+pub fn code_text(src: &str, tokens: &[Token]) -> String {
+    let mut out = String::with_capacity(src.len());
+    for t in tokens {
+        if t.kind == TokenKind::Code {
+            out.push_str(&src[t.start..t.end]);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// True if the byte before `i` can end an identifier (so `r`/`b` at `i` is
+/// the tail of a longer name like `ptr` or `rgb`, not a literal prefix).
+fn ident_before(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_' || b[i - 1] >= 0x80)
+}
+
+/// Scan a (byte) string body starting just after the opening quote.
+/// Returns the offset one past the closing quote (or EOF if unterminated).
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' if i + 1 < n => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Try to scan a raw string whose hash fence starts at `i` (just after the
+/// `r` / `br` prefix). Returns `(end_offset, hash_count)` on success; `None`
+/// if this is not a raw string (e.g. a raw identifier `r#match`).
+fn scan_raw_string(b: &[u8], mut i: usize) -> Option<(usize, usize)> {
+    let n = b.len();
+    let mut hashes = 0usize;
+    while i < n && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || b[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    while i < n {
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < n && seen < hashes && b[j] == b'#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some((j, hashes));
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Some((n, hashes)) // unterminated: conservative, consume to EOF
+}
+
+/// Scan a char-literal body starting just after the opening quote (and any
+/// `b` prefix). Returns the offset one past the closing quote.
+fn scan_char_body(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' if i + 1 < n => i += 2,
+            b'\'' => return i + 1,
+            b'\n' => return i, // malformed: never swallow past the line
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Disambiguate `'` at offset `i`: char literal or lifetime/label?
+///
+/// - `'\...` is always a char literal (lifetimes cannot start with `\`).
+/// - `'c'` (one character, possibly multi-byte, then `'`) is a char.
+/// - anything else (`'a`, `'static`, `'_`) is a lifetime: consume the
+///   identifier.
+fn scan_quote(src: &str, b: &[u8], i: usize) -> (usize, TokenKind) {
+    let n = b.len();
+    if i + 1 >= n {
+        return (n, TokenKind::Lifetime);
+    }
+    if b[i + 1] == b'\\' {
+        return (scan_char_body(b, i + 1), TokenKind::Char);
+    }
+    // Decode the single character following the quote.
+    let next = src[i + 1..].chars().next();
+    if let Some(c) = next {
+        let after = i + 1 + c.len_utf8();
+        if c != '\'' && after < n && b[after] == b'\'' {
+            return (after + 1, TokenKind::Char);
+        }
+    }
+    // Lifetime or label: consume identifier characters.
+    let mut j = i + 1;
+    while j < n && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    (j.max(i + 1), TokenKind::Lifetime)
+}
+
+/// Byte-offset → 1-based `(line, column)` conversion for one source file.
+///
+/// Columns are counted in *characters* from the start of the line, matching
+/// how rustc renders diagnostics closely enough for editors to jump to.
+#[derive(Debug)]
+pub struct LineIndex {
+    /// Byte offset at which each line starts (line 1 at offset 0).
+    line_starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Build the index for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0usize];
+        for (i, byte) in src.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineIndex { line_starts }
+    }
+
+    /// Convert a byte offset into 1-based `(line, column)`.
+    ///
+    /// Offsets past the end of `src` clamp to the final position. Offsets
+    /// inside a multi-byte character round down to that character's column.
+    pub fn line_col(&self, src: &str, offset: usize) -> (usize, usize) {
+        let offset = offset.min(src.len());
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx,
+            Err(idx) => idx - 1,
+        };
+        let start = self.line_starts[line];
+        let col = src[start..]
+            .char_indices()
+            .take_while(|(i, _)| start + i < offset)
+            .count();
+        (line + 1, col + 1)
+    }
+
+    /// Byte offset at which 1-based `line` starts, if it exists.
+    pub fn line_start(&self, line: usize) -> Option<usize> {
+        self.line_starts.get(line.checked_sub(1)?).copied()
+    }
+
+    /// Number of lines (at least 1, even for empty input).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn partitions_exactly() {
+        let src = "let x = 1; // c\nlet y = \"s\";";
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before token {t:?}");
+            assert!(t.end >= t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        let v = kinds(src);
+        assert_eq!(v[1], (TokenKind::BlockComment, "/* x /* y */ z */"));
+        assert_eq!(v[2], (TokenKind::Code, " b"));
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let src = "let s = \"// not a comment /*\"; x()";
+        let v = kinds(src);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].0, TokenKind::Str);
+        assert!(v[2].1.contains("x()"));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let src = r#"let s = "a\"b"; y"#;
+        let v = kinds(src);
+        assert_eq!(v[1], (TokenKind::Str, r#""a\"b""#));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r###"let s = r##"has "# inside"##; tail"###;
+        let v = kinds(src);
+        assert_eq!(v[1].0, TokenKind::RawStr);
+        assert!(v[2].1.contains("tail"));
+    }
+
+    #[test]
+    fn raw_identifier_is_code() {
+        let src = "let r#match = 1;";
+        let v = kinds(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, TokenKind::Code);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let r = br#\"raw\"#;";
+        let v = kinds(src);
+        let lits: Vec<TokenKind> = v
+            .iter()
+            .map(|(k, _)| *k)
+            .filter(|k| *k != TokenKind::Code)
+            .collect();
+        assert_eq!(
+            lits,
+            vec![TokenKind::Str, TokenKind::Char, TokenKind::RawStr]
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c = 'a'; fn f<'a>(x: &'a str) -> &'static str { loop { break 'static2; } }";
+        let v = kinds(src);
+        let non_code: Vec<(TokenKind, &str)> = v
+            .into_iter()
+            .filter(|(k, _)| *k != TokenKind::Code)
+            .collect();
+        assert_eq!(non_code[0], (TokenKind::Char, "'a'"));
+        assert_eq!(non_code[1], (TokenKind::Lifetime, "'a"));
+        assert_eq!(non_code[2], (TokenKind::Lifetime, "'a"));
+        assert_eq!(non_code[3], (TokenKind::Lifetime, "'static"));
+        assert_eq!(non_code[4], (TokenKind::Lifetime, "'static2"));
+    }
+
+    #[test]
+    fn escaped_and_unicode_chars() {
+        let src = "let a = '\\n'; let b = '\\''; let c = '\\u{1F600}'; let d = 'é';";
+        let v = kinds(src);
+        let chars: Vec<&str> = v
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Char)
+            .map(|(_, s)| *s)
+            .collect();
+        assert_eq!(chars, vec!["'\\n'", "'\\''", "'\\u{1F600}'", "'é'"]);
+    }
+
+    #[test]
+    fn line_comment_stops_at_newline() {
+        let src = "x // hidden Instant::now\ny";
+        let code = code_text(src, &lex(src));
+        assert!(!code.contains("Instant::now"));
+        assert!(code.contains('y'));
+    }
+
+    #[test]
+    fn unterminated_inputs_consume_to_eof() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "'\\", "b\"x"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().unwrap().end, src.len(), "input {src:?}");
+        }
+    }
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncde\nf";
+        let idx = LineIndex::new(src);
+        assert_eq!(idx.line_col(src, 0), (1, 1));
+        assert_eq!(idx.line_col(src, 1), (1, 2));
+        assert_eq!(idx.line_col(src, 3), (2, 1));
+        assert_eq!(idx.line_col(src, 5), (2, 3));
+        assert_eq!(idx.line_col(src, 7), (3, 1));
+        assert_eq!(idx.line_count(), 3);
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        let src = "éé x";
+        let idx = LineIndex::new(src);
+        // 'x' is at byte 5 but character column 4.
+        assert_eq!(idx.line_col(src, 5), (1, 4));
+    }
+}

@@ -1,0 +1,40 @@
+//! `detlint` — the workspace determinism linter.
+//!
+//! The repository's central guarantee is that canonical JSONL run records
+//! and campaign stdout are **byte-identical** across thread counts and
+//! injected backend latency. CI enforces that dynamically by re-running a
+//! seeded campaign three ways; `detlint` enforces it *statically*, by
+//! rejecting the textual sources of nondeterminism at review time:
+//!
+//! | rule | forbids |
+//! |------|---------|
+//! | D001 | wall-clock reads (`Instant::now`, `SystemTime`) outside the timing sidecar |
+//! | D002 | order-sensitive `HashMap`/`HashSet` iteration |
+//! | D003 | RNG sources other than `simcore::chacha` |
+//! | D004 | `available_parallelism` probes outside the documented sched fallback |
+//! | D005 | stdout writes outside the CLI bins and `campaign::table` |
+//!
+//! Violations are waived either by a module-path glob in the committed
+//! `detlint.toml` ([`config`]) or by an inline annotation with a mandatory
+//! reason — `// detlint::allow(D00x): <reason>` — on the offending line or
+//! the line above ([`rules`]). Malformed and unused annotations are
+//! themselves violations, so waivers cannot rot.
+//!
+//! The engine is purely lexical: a minimal but correct Rust lexer
+//! ([`lexer`]) partitions each file into code, comments, and literals, and
+//! rules match only inside code spans. No rustc internals, no new
+//! dependencies, deterministic output.
+//!
+//! Run it with `cargo run -p detlint` from the workspace root; see
+//! `ARCHITECTURE.md` ("Determinism enforcement") for the full contract.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::Config;
+pub use rules::{lint_file, lint_files, Diagnostic, RULES};

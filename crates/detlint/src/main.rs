@@ -1,0 +1,154 @@
+//! CLI entry point: lint the workspace and report violations.
+//!
+//! ```text
+//! detlint [--root DIR] [--config FILE] [--format text|json] [--out FILE] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on violations, 2 on usage/config errors.
+//! Diagnostics print to stdout as `file:line:col [rule] message`; with
+//! `--format json` a machine-readable report is printed instead (or
+//! written to `--out FILE`, keeping the human text on stdout — that is
+//! what CI uploads as an artifact).
+
+#![forbid(unsafe_code)]
+
+use detlint::rules::META_RULE;
+use detlint::{lint_files, walk, Config, Diagnostic, RULES};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The machine-readable report emitted by `--format json` / `--out`.
+#[derive(Serialize)]
+struct Report {
+    version: u32,
+    root: String,
+    violations: Vec<Diagnostic>,
+    count: usize,
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--config" => config_path = args.next().map(PathBuf::from),
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("bad --format {other:?}; use text or json");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => out_path = args.next().map(PathBuf::from),
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{}  {}", r.id, r.title);
+                }
+                println!("{META_RULE}  annotation hygiene (malformed or unused detlint::allow)");
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: detlint [--root DIR] [--config FILE] [--format text|json] \
+                     [--out FILE] [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let config_path = config_path.unwrap_or_else(|| root.join("detlint.toml"));
+    let cfg = match std::fs::read_to_string(&config_path) {
+        Ok(text) => match Config::parse(&text) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Config::default(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match walk::collect_workspace(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("cannot walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let diagnostics = match lint_files(&files, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = Report {
+        version: 1,
+        root: root.display().to_string(),
+        count: diagnostics.len(),
+        violations: diagnostics.clone(),
+    };
+    if let Some(path) = &out_path {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if format_json && out_path.is_none() {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        if diagnostics.is_empty() {
+            eprintln!("detlint: {} files clean", files.len());
+        } else {
+            eprintln!(
+                "detlint: {} violation(s) across {} files",
+                diagnostics.len(),
+                files.len()
+            );
+        }
+    }
+    if diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Default root: walk up from the current directory to the first directory
+/// containing both `Cargo.toml` and `crates/` (the workspace layout), so
+/// the tool works from any member directory.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

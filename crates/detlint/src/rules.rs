@@ -1,0 +1,989 @@
+//! The determinism rule catalogue and the module-path-aware engine.
+//!
+//! Rules are textual: they match patterns inside the *code* spans produced
+//! by [`crate::lexer`] (comments and string/char literals can never match),
+//! resolve each match to a module path (crate path from the file location
+//! plus any inline `mod name { ... }` blocks containing the match), and
+//! then apply three waiver layers in order:
+//!
+//! 1. **Config allowlists** — module-path globs from `detlint.toml`
+//!    ([`crate::config::Config`]), for whole tools whose job is the thing
+//!    the rule forbids (e.g. the perf harness reads wall clocks).
+//! 2. **Inline annotations** — `// detlint::allow(D00x): <reason>` on the
+//!    match line or the line directly above. The reason is mandatory;
+//!    malformed or *unused* annotations are themselves violations
+//!    ([`META_RULE`]), so waivers cannot rot silently.
+//! 3. **Rule-specific evidence** — D002 accepts a visibly sorted site: a
+//!    `.sort*` call in code within the next [`SORT_WINDOW_LINES`] lines
+//!    proves the iteration order is laundered before it can escape.
+//!
+//! Everything here is deterministic: files are linted in sorted order,
+//! per-file state lives in `BTreeMap`/`Vec`, and diagnostics are sorted
+//! before being returned.
+
+use crate::config::{glob_match, Config};
+use crate::lexer::{lex, LineIndex, Token, TokenKind};
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of the meta rule covering annotation hygiene (malformed or
+/// unused `detlint::allow` comments). Not waivable.
+pub const META_RULE: &str = "DLINT";
+
+/// How many lines after a D002 match a `.sort*` call counts as "visibly
+/// sorted before use".
+pub const SORT_WINDOW_LINES: usize = 8;
+
+/// Static description of one rule, for `--list-rules` and docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable identifier (`D001`...).
+    pub id: &'static str,
+    /// One-line summary.
+    pub title: &'static str,
+}
+
+/// The shipped rule catalogue.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        title: "no wall-clock reads (Instant::now / SystemTime) outside the timing sidecar",
+    },
+    RuleInfo {
+        id: "D002",
+        title: "no order-sensitive HashMap/HashSet iteration on canonical paths",
+    },
+    RuleInfo {
+        id: "D003",
+        title: "no RNG source other than simcore::chacha",
+    },
+    RuleInfo {
+        id: "D004",
+        title: "no host-parallelism probes outside the documented sched fallback",
+    },
+    RuleInfo {
+        id: "D005",
+        title: "no stdout writes outside the CLI bins and campaign::table",
+    },
+];
+
+/// True if `id` names a shipped (waivable) rule.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// Workspace-relative path using `/` separators.
+    pub path: String,
+    /// 1-based line of the match.
+    pub line: usize,
+    /// 1-based character column of the match.
+    pub col: usize,
+    /// Rule identifier (`D001`..., or `DLINT` for meta violations).
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// An inline `// detlint::allow(...)` annotation found in a file.
+#[derive(Debug)]
+struct Annotation {
+    /// Rules the annotation waives.
+    rules: Vec<String>,
+    /// 1-based line the comment sits on.
+    line: usize,
+    /// The line the waiver applies to: the annotation's own line (trailing
+    /// comment) plus the next line containing code (so a wrapped reason
+    /// spanning several comment lines still reaches the statement below).
+    target_line: usize,
+    /// Parse problem, if any (missing reason, unknown rule, bad syntax).
+    malformed: Option<String>,
+    /// Set when some match consumed the waiver.
+    used: bool,
+}
+
+/// A candidate rule match before waivers are applied.
+struct Match {
+    rule: &'static str,
+    offset: usize,
+    message: String,
+}
+
+/// Lint one in-memory file. `path` must be workspace-relative with `/`
+/// separators (it determines the module path used by allowlists).
+pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let tokens = lex(src);
+    let index = LineIndex::new(src);
+    let mods = inline_modules(src, &tokens);
+    let base = module_base(path);
+    let mut annotations = collect_annotations(src, &tokens, &index);
+    let mut out = Vec::new();
+
+    let mut matches = Vec::new();
+    scan_simple_patterns(src, &tokens, &mut matches);
+    scan_hash_iteration(src, &tokens, &mut matches);
+
+    for m in matches {
+        let (line, col) = index.line_col(src, m.offset);
+        let module = module_at(&base, &mods, m.offset);
+        // Layer 1: config allowlists.
+        if cfg
+            .allows_for(m.rule)
+            .iter()
+            .any(|g| glob_match(g, &module))
+        {
+            continue;
+        }
+        // Layer 2: inline annotations (same line or the line above).
+        if let Some(a) = annotations.iter_mut().find(|a| {
+            a.malformed.is_none()
+                && (a.line == line || a.target_line == line)
+                && a.rules.iter().any(|r| r == m.rule)
+        }) {
+            a.used = true;
+            continue;
+        }
+        // Layer 3: rule-specific evidence.
+        if m.rule == "D002" && visibly_sorted(src, &tokens, &index, m.offset) {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line,
+            col,
+            rule: m.rule.to_string(),
+            message: m.message,
+        });
+    }
+
+    // Meta rule: malformed and unused annotations are violations too.
+    for a in &annotations {
+        if let Some(why) = &a.malformed {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: a.line,
+                col: 1,
+                rule: META_RULE.to_string(),
+                message: format!("malformed detlint::allow annotation: {why}"),
+            });
+        } else if !a.used {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: a.line,
+                col: 1,
+                rule: META_RULE.to_string(),
+                message: format!(
+                    "unused detlint::allow({}) annotation (nothing on this or the next \
+                     line matches; delete it or move it to the violation)",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.rule.as_str()).cmp(&(b.line, b.col, b.rule.as_str())));
+    out
+}
+
+/// Lint a batch of `(path, contents)` pairs and return all diagnostics,
+/// sorted by path then position. Config rule ids are validated first.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Result<Vec<Diagnostic>, String> {
+    for rule in cfg.allow.keys() {
+        if !known_rule(rule) {
+            return Err(format!("detlint.toml: unknown rule `{rule}` in allowlist"));
+        }
+    }
+    let mut sorted: Vec<&(String, String)> = files.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    for (path, src) in sorted {
+        out.extend(lint_file(path, src, cfg));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Module paths
+// ---------------------------------------------------------------------------
+
+/// Package name of the workspace-root umbrella crate.
+const UMBRELLA: &str = "stellar_repro";
+
+/// Derive the crate-level module path for a workspace-relative file path.
+fn module_base(path: &str) -> String {
+    let norm = |s: &str| s.replace('-', "_");
+    let parts: Vec<&str> = path.split('/').collect();
+    let joined = |crate_name: &str, tail: &[&str]| -> String {
+        let mut segs = vec![norm(crate_name)];
+        for (i, p) in tail.iter().enumerate() {
+            let is_last = i + 1 == tail.len();
+            let p = p.strip_suffix(".rs").unwrap_or(p);
+            if is_last && (p == "mod" || p == "lib") {
+                continue;
+            }
+            segs.push(norm(p));
+        }
+        segs.join("::")
+    };
+    match parts.as_slice() {
+        ["crates", c, "src", "main.rs"] => format!("{}::bin::main", norm(c)),
+        ["crates", c, "src", "bin", rest @ ..] => {
+            format!(
+                "{}::bin::{}",
+                norm(c),
+                joined("", rest).trim_start_matches("::")
+            )
+        }
+        ["crates", c, "src", rest @ ..] => joined(c, rest),
+        ["crates", c, "benches", rest @ ..] => {
+            format!(
+                "{}::benches::{}",
+                norm(c),
+                joined("", rest).trim_start_matches("::")
+            )
+        }
+        ["crates", c, "tests", rest @ ..] => {
+            format!(
+                "{}::tests::{}",
+                norm(c),
+                joined("", rest).trim_start_matches("::")
+            )
+        }
+        ["src", rest @ ..] => joined(UMBRELLA, rest),
+        ["tests", rest @ ..] => joined("tests", rest),
+        ["examples", rest @ ..] => joined("examples", rest),
+        _ => joined("", parts.as_slice())
+            .trim_start_matches("::")
+            .to_string(),
+    }
+}
+
+/// An inline `mod name { ... }` block span.
+struct ModSpan {
+    name: String,
+    start: usize,
+    end: usize,
+}
+
+/// Find inline module blocks by scanning code tokens for `mod <ident> {`
+/// and matching braces (only braces in code count, so string contents
+/// cannot unbalance the scan).
+fn inline_modules(src: &str, tokens: &[Token]) -> Vec<ModSpan> {
+    let mut opens: Vec<(String, usize)> = Vec::new(); // (name, open-brace offset)
+    for t in tokens {
+        if t.kind != TokenKind::Code {
+            continue;
+        }
+        let text = &src[t.start..t.end];
+        let bytes = text.as_bytes();
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find("mod") {
+            let at = from + rel;
+            from = at + 3;
+            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+            let after = at + 3;
+            if !before_ok || after >= bytes.len() || !bytes[after].is_ascii_whitespace() {
+                continue;
+            }
+            // Read the identifier after `mod`.
+            let mut j = after;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            if j == name_start {
+                continue;
+            }
+            let name = text[name_start..j].to_string();
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'{' {
+                opens.push((name, t.start + j));
+            }
+        }
+    }
+
+    // Match each open brace with its close by walking all code braces once.
+    let mut spans = Vec::new();
+    let mut stack: Vec<(usize, Option<usize>)> = Vec::new(); // (offset, opens-index)
+    let mut open_idx = 0usize;
+    for t in tokens {
+        if t.kind != TokenKind::Code {
+            continue;
+        }
+        for (rel, b) in src.as_bytes()[t.start..t.end].iter().enumerate() {
+            let off = t.start + rel;
+            match b {
+                b'{' => {
+                    let tag = if open_idx < opens.len() && opens[open_idx].1 == off {
+                        open_idx += 1;
+                        Some(open_idx - 1)
+                    } else {
+                        None
+                    };
+                    stack.push((off, tag));
+                }
+                b'}' => {
+                    if let Some((start, Some(i))) = stack.pop() {
+                        spans.push(ModSpan {
+                            name: opens[i].0.clone(),
+                            start,
+                            end: off,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unclosed module blocks (truncated input): run to EOF.
+    for (start, tag) in stack {
+        if let Some(i) = tag {
+            spans.push(ModSpan {
+                name: opens[i].0.clone(),
+                start,
+                end: src.len(),
+            });
+        }
+    }
+    spans.sort_by_key(|s| s.start);
+    spans
+}
+
+/// Full module path of a byte offset: file base plus enclosing inline mods.
+fn module_at(base: &str, mods: &[ModSpan], offset: usize) -> String {
+    let mut path = base.to_string();
+    for m in mods {
+        if m.start < offset && offset < m.end {
+            path.push_str("::");
+            path.push_str(&m.name);
+        }
+    }
+    path
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+/// Extract `detlint::allow` annotations from line comments.
+fn collect_annotations(src: &str, tokens: &[Token], index: &LineIndex) -> Vec<Annotation> {
+    // Which 1-based lines contain any non-whitespace code?
+    let mut code_lines = vec![false; index.line_count() + 2];
+    for t in tokens {
+        if t.kind != TokenKind::Code {
+            continue;
+        }
+        let (mut line, _) = index.line_col(src, t.start);
+        for c in src[t.start..t.end].chars() {
+            if c == '\n' {
+                line += 1;
+            } else if !c.is_whitespace() {
+                code_lines[line] = true;
+            }
+        }
+    }
+    let next_code_line = |after: usize| -> usize {
+        (after + 1..code_lines.len())
+            .find(|&l| code_lines[l])
+            .unwrap_or(0)
+    };
+
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let text = src[t.start..t.end].trim_start_matches('/').trim();
+        let Some(rest) = text.strip_prefix("detlint::allow") else {
+            continue;
+        };
+        let (line, _) = index.line_col(src, t.start);
+        let mut ann = Annotation {
+            rules: Vec::new(),
+            line,
+            target_line: next_code_line(line),
+            malformed: None,
+            used: false,
+        };
+        let parsed = (|| -> Result<(Vec<String>, String), String> {
+            let rest = rest.trim_start();
+            let rest = rest
+                .strip_prefix('(')
+                .ok_or("expected `(` after detlint::allow")?;
+            let close = rest.find(')').ok_or("missing `)`")?;
+            let ids: Vec<String> = rest[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if ids.is_empty() {
+                return Err("no rule ids listed".into());
+            }
+            for id in &ids {
+                if !known_rule(id) {
+                    return Err(format!("unknown rule `{id}`"));
+                }
+            }
+            let tail = rest[close + 1..].trim_start();
+            let reason = tail
+                .strip_prefix(':')
+                .ok_or("missing `: <reason>` (the reason is mandatory)")?
+                .trim();
+            if reason.is_empty() {
+                return Err("empty reason (the reason is mandatory)".into());
+            }
+            Ok((ids, reason.to_string()))
+        })();
+        match parsed {
+            Ok((ids, _reason)) => ann.rules = ids,
+            Err(why) => ann.malformed = Some(why),
+        }
+        out.push(ann);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matching
+// ---------------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Is `src[at..at+pat.len()]` a word-bounded occurrence of `pat`?
+fn word_bounded(src: &str, at: usize, pat: &str) -> bool {
+    let b = src.as_bytes();
+    let pre_ok = at == 0 || !pat.as_bytes()[0].is_ascii_alphanumeric() || !is_ident_byte(b[at - 1]);
+    let end = at + pat.len();
+    let last = pat.as_bytes()[pat.len() - 1];
+    let post_ok = end >= b.len() || !last.is_ascii_alphanumeric() || !is_ident_byte(b[end]);
+    pre_ok && post_ok
+}
+
+/// Find all word-bounded occurrences of `pat` inside code tokens.
+fn code_occurrences(src: &str, tokens: &[Token], pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::Code {
+            continue;
+        }
+        let text = &src[t.start..t.end];
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find(pat) {
+            let at = t.start + from + rel;
+            if word_bounded(src, at, pat) {
+                out.push(at);
+            }
+            from += rel + pat.len();
+        }
+    }
+    out
+}
+
+/// Fixed textual patterns: D001, D003, D004, D005.
+fn scan_simple_patterns(src: &str, tokens: &[Token], out: &mut Vec<Match>) {
+    const SIMPLE: &[(&str, &str, &str)] = &[
+        (
+            "D001",
+            "Instant::now",
+            "wall-clock read `Instant::now` outside the timing-sidecar allowlist \
+             (canonical output must not depend on host time)",
+        ),
+        (
+            "D001",
+            "SystemTime",
+            "wall-clock source `SystemTime` outside the timing-sidecar allowlist \
+             (canonical output must not depend on host time)",
+        ),
+        ("D003", "rand::", "RNG source other than simcore::chacha"),
+        (
+            "D003",
+            "thread_rng",
+            "RNG source other than simcore::chacha",
+        ),
+        (
+            "D003",
+            "from_entropy",
+            "entropy-seeded RNG (seeds must come from the run's seed)",
+        ),
+        (
+            "D003",
+            "getrandom",
+            "OS entropy source (seeds must come from the run's seed)",
+        ),
+        (
+            "D003",
+            "OsRng",
+            "OS entropy source (seeds must come from the run's seed)",
+        ),
+        ("D003", "StdRng", "RNG source other than simcore::chacha"),
+        ("D003", "SmallRng", "RNG source other than simcore::chacha"),
+        (
+            "D003",
+            "RandomState",
+            "per-process-randomized hasher (hash order must not reach canonical output)",
+        ),
+        (
+            "D004",
+            "available_parallelism",
+            "host-parallelism probe outside the documented scheduler fallback \
+             (worker counts are observable in sched telemetry)",
+        ),
+        (
+            "D005",
+            "println!",
+            "stdout write outside the CLI bins (campaign stdout is a byte-identical \
+             artifact; telemetry goes to stderr)",
+        ),
+        (
+            "D005",
+            "print!",
+            "stdout write outside the CLI bins (campaign stdout is a byte-identical \
+             artifact; telemetry goes to stderr)",
+        ),
+        (
+            "D005",
+            "io::stdout",
+            "stdout handle outside the CLI bins (campaign stdout is a byte-identical \
+             artifact; telemetry goes to stderr)",
+        ),
+    ];
+    for (rule, pat, msg) in SIMPLE {
+        for at in code_occurrences(src, tokens, pat) {
+            out.push(Match {
+                rule,
+                offset: at,
+                message: (*msg).to_string(),
+            });
+        }
+    }
+}
+
+/// D002: iteration over values declared as `HashMap`/`HashSet`.
+///
+/// Tracking is per-file and name-based: every identifier bound or typed as
+/// a hash collection is collected, then `.iter()` / `.keys()` / `.values()`
+/// / `.drain()` / `.retain()` / `.into_*()` calls on those names — and
+/// direct `for _ in &name` loops — are candidate violations.
+fn scan_hash_iteration(src: &str, tokens: &[Token], out: &mut Vec<Match>) {
+    let names = hash_typed_names(src, tokens);
+    if names.is_empty() {
+        return;
+    }
+    const METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+        ".retain(",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+    ];
+    let b = src.as_bytes();
+    for pat in METHODS {
+        for at in code_occurrences(src, tokens, pat) {
+            if let Some(name) = receiver_name(src, at) {
+                if names.contains(&name) {
+                    let method = pat.trim_start_matches('.').trim_end_matches(['(', ')']);
+                    out.push(Match {
+                        rule: "D002",
+                        offset: at,
+                        message: format!(
+                            "iteration over hash collection `{name}` (`.{method}`) — hash \
+                             order is nondeterministic; sort before use, switch to BTreeMap, \
+                             or annotate why order cannot reach canonical output"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // `for x in &name {` / `for x in name {` direct loops.
+    for name in &names {
+        for at in code_occurrences(src, tokens, name) {
+            let end = at + name.len();
+            // Ahead: whitespace then `{` (a `.method()` chain is covered above).
+            let mut j = end;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != b'{' {
+                continue;
+            }
+            if preceded_by_for_in(src, at) {
+                out.push(Match {
+                    rule: "D002",
+                    offset: at,
+                    message: format!(
+                        "direct `for` iteration over hash collection `{name}` — hash order \
+                         is nondeterministic; sort before use, switch to BTreeMap, or \
+                         annotate why order cannot reach canonical output"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Collect identifiers bound or typed as `HashMap`/`HashSet` in this file.
+fn hash_typed_names(src: &str, tokens: &[Token]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for ty in ["HashMap", "HashSet"] {
+        for at in code_occurrences(src, tokens, ty) {
+            // `name: HashMap<...>` (field or typed binding), possibly via a
+            // qualified path `name: std::collections::HashMap<...>`.
+            if let Some(name) = ascription_name(src, at) {
+                names.insert(name);
+            }
+            // `let [mut] name = HashMap::new()` / `with_capacity(...)`.
+            let after = &src[at + ty.len()..];
+            if after.starts_with("::") {
+                if let Some(name) = assignment_name(src, at) {
+                    names.insert(name);
+                }
+            }
+        }
+    }
+    names
+}
+
+/// For a type occurrence at `at`, walk back over `::`-qualified path
+/// segments to a single `:` and return the identifier before it.
+fn ascription_name(src: &str, at: usize) -> Option<String> {
+    let b = src.as_bytes();
+    let mut i = at;
+    loop {
+        while i > 0 && b[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        if i >= 2 && b[i - 1] == b':' && b[i - 2] == b':' {
+            // Path segment: skip `::` and the segment before it.
+            i -= 2;
+            while i > 0 && b[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            let seg_end = i;
+            while i > 0 && is_ident_byte(b[i - 1]) {
+                i -= 1;
+            }
+            if i == seg_end {
+                return None;
+            }
+            continue;
+        }
+        if i >= 1 && b[i - 1] == b':' {
+            i -= 1;
+            while i > 0 && b[i - 1].is_ascii_whitespace() {
+                i -= 1;
+            }
+            let end = i;
+            while i > 0 && is_ident_byte(b[i - 1]) {
+                i -= 1;
+            }
+            if i == end {
+                return None;
+            }
+            return Some(src[i..end].to_string());
+        }
+        return None;
+    }
+}
+
+/// For `... = HashMap::...` at `at`, return the identifier left of `=`.
+fn assignment_name(src: &str, at: usize) -> Option<String> {
+    let b = src.as_bytes();
+    let mut i = at;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i == 0 || b[i - 1] != b'=' || (i >= 2 && matches!(b[i - 2], b'=' | b'!' | b'<' | b'>')) {
+        return None;
+    }
+    i -= 1;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident_byte(b[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(src[i..end].to_string())
+}
+
+/// Resolve the receiver identifier of a `.method()` match at `at` (which
+/// points at the `.`), skipping whitespace (multi-line chains) and an
+/// optional `self.` prefix.
+///
+/// `other.name.iter()` (a field of some *other* value) resolves to `None`:
+/// tracked names come from this file's own fields and locals, so a
+/// same-named field reached through another struct would be a false
+/// positive (e.g. a `Vec` field shadowing a tracked map's name).
+fn receiver_name(src: &str, at: usize) -> Option<String> {
+    let b = src.as_bytes();
+    let mut i = at;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident_byte(b[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    let name = &src[i..end];
+    if name == "self" {
+        return None; // bare `self.iter()` — not a tracked collection
+    }
+    // Reject `<expr>.name.method()` unless the prefix is exactly `self.`.
+    let mut j = i;
+    while j > 0 && b[j - 1].is_ascii_whitespace() {
+        j -= 1;
+    }
+    if j > 0 && b[j - 1] == b'.' {
+        let prefix = src[..j - 1].trim_end();
+        let is_self = prefix.ends_with("self")
+            && (prefix.len() == 4 || !is_ident_byte(prefix.as_bytes()[prefix.len() - 5]));
+        if !is_self {
+            return None;
+        }
+    }
+    Some(name.to_string())
+}
+
+/// Is the tracked-name occurrence at `at` the sequence `for ... in [&][mut]
+/// [self.] name`? Checks backwards for the `in` keyword.
+fn preceded_by_for_in(src: &str, at: usize) -> bool {
+    let b = src.as_bytes();
+    let mut i = at;
+    // Optional `self.` prefix.
+    if i >= 5 && &src[i - 5..i] == "self." {
+        i -= 5;
+    }
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    // Optional `mut` (as in `in &mut map`).
+    if i >= 3 && &src[i - 3..i] == "mut" && (i == 3 || !is_ident_byte(b[i - 4])) {
+        i -= 3;
+        while i > 0 && b[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+    }
+    // Optional `&`.
+    if i >= 1 && b[i - 1] == b'&' {
+        i -= 1;
+        while i > 0 && b[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+    }
+    i >= 2 && &src[i - 2..i] == "in" && (i == 2 || !is_ident_byte(b[i - 3]))
+}
+
+/// Does a `.sort*` call appear in code within [`SORT_WINDOW_LINES`] lines
+/// after the match at `at`? (The "visibly sorted before use" escape.)
+fn visibly_sorted(src: &str, tokens: &[Token], index: &LineIndex, at: usize) -> bool {
+    let (line, _) = index.line_col(src, at);
+    let end = index
+        .line_start(line + SORT_WINDOW_LINES + 1)
+        .unwrap_or(src.len());
+    for t in tokens {
+        if t.kind != TokenKind::Code || t.end <= at || t.start >= end {
+            continue;
+        }
+        let s = t.start.max(at);
+        let e = t.end.min(end);
+        if src[s..e].contains(".sort") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_file(path, src, &Config::default())
+    }
+
+    #[test]
+    fn module_base_paths() {
+        assert_eq!(module_base("crates/pfs/src/lib.rs"), "pfs");
+        assert_eq!(
+            module_base("crates/pfs/src/model/cache.rs"),
+            "pfs::model::cache"
+        );
+        assert_eq!(module_base("crates/pfs/src/model/mod.rs"), "pfs::model");
+        assert_eq!(
+            module_base("crates/stellar/src/bin/stellar-tune.rs"),
+            "stellar::bin::stellar_tune"
+        );
+        assert_eq!(
+            module_base("crates/detlint/src/main.rs"),
+            "detlint::bin::main"
+        );
+        assert_eq!(
+            module_base("crates/bench/benches/tuning.rs"),
+            "bench::benches::tuning"
+        );
+        assert_eq!(module_base("src/lib.rs"), "stellar_repro");
+        assert_eq!(
+            module_base("tests/integration_obs.rs"),
+            "tests::integration_obs"
+        );
+        assert_eq!(
+            module_base("examples/quickstart.rs"),
+            "examples::quickstart"
+        );
+    }
+
+    #[test]
+    fn inline_module_resolution() {
+        let src = "mod outer { mod inner { fn f() { } } } fn g() { }";
+        let tokens = lex(src);
+        let mods = inline_modules(src, &tokens);
+        assert_eq!(mods.len(), 2);
+        let f_at = src.find("fn f").unwrap();
+        let g_at = src.find("fn g").unwrap();
+        assert_eq!(module_at("c", &mods, f_at), "c::outer::inner");
+        assert_eq!(module_at("c", &mods, g_at), "c");
+    }
+
+    #[test]
+    fn strings_and_comments_never_match() {
+        let src = concat!(
+            "fn f() {\n",
+            "    let _ = \"Instant::now inside a string\";\n",
+            "    // Instant::now inside a comment\n",
+            "    /* println! inside a block comment */\n",
+            "    let _ = r#\"println!(raw)\"#;\n",
+            "}\n",
+        );
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d001_fires_and_eprintln_does_not_trip_d005() {
+        let src = "fn f() { let t = std::time::Instant::now(); eprintln!(\"{t:?}\"); }";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "D001");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn annotation_waives_and_is_used() {
+        let src = "fn f() {\n    // detlint::allow(D001): sidecar timing only\n    let t = std::time::Instant::now();\n    let _ = t;\n}\n";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn annotation_without_reason_is_meta_violation() {
+        let src =
+            "fn f() {\n    // detlint::allow(D001):\n    let t = std::time::Instant::now();\n}\n";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        // The annotation is malformed, so the D001 still fires AND the
+        // annotation is reported.
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|x| x.rule == "D001"));
+        assert!(d.iter().any(|x| x.rule == META_RULE));
+    }
+
+    #[test]
+    fn unused_annotation_is_meta_violation() {
+        let src = "// detlint::allow(D001): stale waiver\nfn f() {}\n";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, META_RULE);
+        assert!(d[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn d002_tracks_fields_and_locals() {
+        let src = "
+use std::collections::HashMap;
+struct S { agg: HashMap<u32, u32> }
+impl S {
+    fn f(&self) {
+        for (k, v) in self.agg.iter() { let _ = (k, v); }
+    }
+}
+fn g() {
+    let mut m = HashMap::new();
+    m.insert(1, 2);
+    for x in &m { let _ = x; }
+}
+";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "D002"));
+        assert!(d[0].message.contains("agg"));
+        assert!(d[1].message.contains('m'));
+    }
+
+    #[test]
+    fn d002_sorted_site_is_waived() {
+        let src = "
+use std::collections::HashMap;
+fn f(m: HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_vec_iteration_is_not_flagged() {
+        let src = "
+use std::collections::HashMap;
+fn f(v: Vec<u32>, m: HashMap<u32, u32>) -> u32 {
+    let _ = m.len();
+    v.iter().sum()
+}
+";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_by_module_glob() {
+        let cfg = Config::parse("[rules.D005]\nallow = [\"*::bin::*\"]\n").unwrap();
+        let src = "fn main() { println!(\"report\"); }";
+        assert!(lint_file("crates/stellar/src/bin/stellar-tune.rs", src, &cfg).is_empty());
+        assert_eq!(lint_file("crates/stellar/src/lib.rs", src, &cfg).len(), 1);
+    }
+
+    #[test]
+    fn lint_files_rejects_unknown_config_rule() {
+        let cfg = Config::parse("[rules.D999]\nallow = [\"x\"]\n").unwrap();
+        assert!(lint_files(&[], &cfg).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace root, skipping `vendor/`
+//! (API-compatible third-party stand-ins — not ours to lint), `target/`,
+//! and VCS/CI metadata directories. Paths are returned workspace-relative
+//! with `/` separators in sorted order, so the linter's output is
+//! deterministic regardless of filesystem enumeration order.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github", "node_modules"];
+
+/// Collect `(relative_path, contents)` for every workspace `.rs` file.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let contents = fs::read_to_string(&path)?;
+            out.push((rel, contents));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_this_workspace_sorted_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_workspace(&root).unwrap();
+        assert!(files.iter().any(|(p, _)| p == "crates/detlint/src/walk.rs"));
+        assert!(files
+            .iter()
+            .any(|(p, _)| p == "crates/simcore/src/chacha.rs"));
+        assert!(!files.iter().any(|(p, _)| p.starts_with("vendor/")));
+        assert!(!files.iter().any(|(p, _)| p.starts_with("target/")));
+        let mut sorted = files.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            files.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+            sorted.iter().map(|(p, _)| p).collect::<Vec<_>>()
+        );
+    }
+}

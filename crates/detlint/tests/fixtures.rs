@@ -1,0 +1,189 @@
+//! Per-rule fixture triples: every rule is exercised with a violating
+//! source (exact diagnostic asserted), an allowlisted variant (waived by a
+//! `detlint.toml` module glob), and an annotated variant (waived by an
+//! inline `detlint::allow` with a reason). This is the proof that each
+//! rule is *live* — a rule that silently stops matching fails here.
+
+use detlint::config::Config;
+use detlint::rules::{lint_file, Diagnostic, META_RULE};
+
+const FIXTURE_PATH: &str = "crates/pfs/src/fixture.rs";
+
+fn empty_cfg() -> Config {
+    Config::parse("").expect("empty config parses")
+}
+
+fn cfg_allowing(rule: &str) -> Config {
+    Config::parse(&format!("[rules.{rule}]\nallow = [\"pfs::fixture\"]\n"))
+        .expect("fixture config parses")
+}
+
+/// Run the triple for one rule: `violating` must produce exactly the
+/// expected diagnostics; the same source must be clean under a module
+/// allowlist; `annotated` (same code plus an inline waiver) must be clean
+/// under the empty config — including no `DLINT` unused-annotation noise.
+fn check_triple(rule: &str, violating: &str, annotated: &str, expect: &[(usize, usize)]) {
+    let got = lint_file(FIXTURE_PATH, violating, &empty_cfg());
+    let positions: Vec<(usize, usize)> = got.iter().map(|d| (d.line, d.col)).collect();
+    assert_eq!(positions, expect, "{rule} violating fixture: {got:?}");
+    for d in &got {
+        assert_eq!(d.rule, rule);
+        assert_eq!(d.path, FIXTURE_PATH);
+    }
+
+    let waived = lint_file(FIXTURE_PATH, violating, &cfg_allowing(rule));
+    assert!(waived.is_empty(), "{rule} allowlisted fixture: {waived:?}");
+
+    let annotated_diags = lint_file(FIXTURE_PATH, annotated, &empty_cfg());
+    assert!(
+        annotated_diags.is_empty(),
+        "{rule} annotated fixture (waiver must bind and count as used): {annotated_diags:?}"
+    );
+}
+
+#[test]
+fn d001_wall_clock() {
+    let violating = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+    let annotated = "fn f() {\n    // detlint::allow(D001): fixture models a timing sidecar\n    let t = std::time::Instant::now();\n}\n";
+    check_triple("D001", violating, annotated, &[(2, 24)]);
+
+    // Exact rendered diagnostic, end to end.
+    let d = &lint_file(FIXTURE_PATH, violating, &empty_cfg())[0];
+    assert_eq!(
+        d.to_string(),
+        "crates/pfs/src/fixture.rs:2:24 [D001] wall-clock read `Instant::now` \
+         outside the timing-sidecar allowlist (canonical output must not depend \
+         on host time)"
+    );
+}
+
+#[test]
+fn d001_system_time() {
+    let violating = "fn f() {\n    let t = std::time::SystemTime::now();\n}\n";
+    let annotated = "fn f() {\n    // detlint::allow(D001): fixture models a timing sidecar\n    let t = std::time::SystemTime::now();\n}\n";
+    check_triple("D001", violating, annotated, &[(2, 24)]);
+}
+
+#[test]
+fn d002_hash_iteration() {
+    let violating = concat!(
+        "use std::collections::HashMap;\n",
+        "fn f(m: HashMap<u32, u32>) -> u32 {\n",
+        "    let mut s = 0;\n",
+        "    for (_, v) in m.iter() {\n",
+        "        s += v;\n",
+        "    }\n",
+        "    s\n",
+        "}\n",
+    );
+    let annotated = concat!(
+        "use std::collections::HashMap;\n",
+        "fn f(m: HashMap<u32, u32>) -> u32 {\n",
+        "    let mut s = 0;\n",
+        "    // detlint::allow(D002): sum is commutative, order cannot leak\n",
+        "    for (_, v) in m.iter() {\n",
+        "        s += v;\n",
+        "    }\n",
+        "    s\n",
+        "}\n",
+    );
+    check_triple("D002", violating, annotated, &[(4, 20)]);
+}
+
+#[test]
+fn d002_visibly_sorted_is_waived() {
+    // The third waiver channel, specific to D002: a sort within the window.
+    let src = concat!(
+        "use std::collections::HashMap;\n",
+        "fn f(m: HashMap<u32, u32>) -> Vec<u32> {\n",
+        "    let mut ks: Vec<u32> = m.keys().copied().collect();\n",
+        "    ks.sort_unstable();\n",
+        "    ks\n",
+        "}\n",
+    );
+    let got = lint_file(FIXTURE_PATH, src, &empty_cfg());
+    assert!(got.is_empty(), "sorted collect must be waived: {got:?}");
+}
+
+#[test]
+fn d003_foreign_rng() {
+    let violating = "fn f() {\n    let s = StdRng::seed_from_u64(7);\n}\n";
+    let annotated = "fn f() {\n    // detlint::allow(D003): fixture exercises the foreign-RNG shim\n    let s = StdRng::seed_from_u64(7);\n}\n";
+    check_triple("D003", violating, annotated, &[(2, 13)]);
+}
+
+#[test]
+fn d004_host_parallelism() {
+    let violating = "fn f() {\n    let n = std::thread::available_parallelism();\n}\n";
+    let annotated = "fn f() {\n    // detlint::allow(D004): fixture models the documented sched fallback\n    let n = std::thread::available_parallelism();\n}\n";
+    check_triple("D004", violating, annotated, &[(2, 26)]);
+}
+
+#[test]
+fn d005_stdout_write() {
+    let violating = "fn f() {\n    println!(\"hi\");\n}\n";
+    let annotated = "fn f() {\n    // detlint::allow(D005): fixture is a table emitter\n    println!(\"hi\");\n}\n";
+    check_triple("D005", violating, annotated, &[(2, 5)]);
+
+    let d = &lint_file(FIXTURE_PATH, violating, &empty_cfg())[0];
+    assert_eq!(
+        d.to_string(),
+        "crates/pfs/src/fixture.rs:2:5 [D005] stdout write outside the CLI bins \
+         (campaign stdout is a byte-identical artifact; telemetry goes to stderr)"
+    );
+}
+
+#[test]
+fn d005_bin_paths_waived_by_committed_config() {
+    // The committed detlint.toml must keep waiving the CLI bins.
+    let toml = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../detlint.toml"))
+        .expect("committed detlint.toml readable");
+    let cfg = Config::parse(&toml).expect("committed detlint.toml parses");
+    let src = "fn main() {\n    println!(\"table\");\n}\n";
+    let got = lint_file("crates/stellar/src/bin/stellar-tune.rs", src, &cfg);
+    assert!(got.is_empty(), "bin stdout must be allowlisted: {got:?}");
+    // ...while the same source in a library module still violates.
+    let lib = lint_file("crates/stellar/src/sched.rs", src, &cfg);
+    assert_eq!(lib.len(), 1);
+    assert_eq!(lib[0].rule, "D005");
+}
+
+#[test]
+fn annotation_without_reason_is_a_meta_violation() {
+    let src = "fn f() {\n    // detlint::allow(D001)\n    let t = std::time::Instant::now();\n}\n";
+    let got = lint_file(FIXTURE_PATH, src, &empty_cfg());
+    let rules: Vec<&str> = got.iter().map(|d| d.rule.as_str()).collect();
+    // The waiver is malformed, so it must NOT suppress the D001 — and it
+    // must itself be reported.
+    assert!(rules.contains(&META_RULE), "missing DLINT: {got:?}");
+    assert!(
+        rules.contains(&"D001"),
+        "malformed waiver must not waive: {got:?}"
+    );
+}
+
+#[test]
+fn unused_annotation_is_a_meta_violation() {
+    let src = "fn f() {\n    // detlint::allow(D001): nothing here needs it\n    let x = 1;\n}\n";
+    let got = lint_file(FIXTURE_PATH, src, &empty_cfg());
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].rule, META_RULE);
+    assert!(got[0].message.contains("unused"));
+}
+
+#[test]
+fn diagnostics_serialize_for_the_json_format() {
+    let violating = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+    let got = lint_file(FIXTURE_PATH, violating, &empty_cfg());
+    let json = serde_json::to_string(&got[0]).expect("diagnostic serializes");
+    for needle in ["\"path\"", "\"line\"", "\"col\"", "\"rule\"", "\"D001\""] {
+        assert!(json.contains(needle), "{needle} missing from {json}");
+    }
+    let _ = Diagnostic {
+        path: String::new(),
+        line: 1,
+        col: 1,
+        rule: "D001".into(),
+        message: String::new(),
+    };
+}

@@ -1,0 +1,108 @@
+//! Property tests for the lint lexer: the linter's soundness rests on the
+//! lexer (a) never panicking, (b) partitioning its input exactly, and
+//! (c) keeping comment/string contents out of the code text rules match.
+
+use detlint::lexer::{code_text, lex, LineIndex, TokenKind};
+use proptest::prelude::*;
+
+/// Rust-ish source soup: heavy on the delimiters the lexer must get right
+/// (quotes, slashes, stars, hashes, backslashes, `r`/`b` prefixes,
+/// newlines), plus identifier characters and a multi-byte char.
+fn soup() -> impl Strategy<Value = String> {
+    // NB: a normal (escaped) string so `\n` is a real newline and `\\` a
+    // real backslash in the character class.
+    "[abrz_0-9\"'/*\\\\#\n ({})!:;.é]{0,120}"
+}
+
+proptest! {
+    /// The lexer never panics and always partitions `0..len` exactly:
+    /// tokens are adjacent, in order, gap-free, and end at EOF.
+    #[test]
+    fn lex_partitions_arbitrary_input(src in soup()) {
+        let tokens = lex(&src);
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap/overlap at {} in {:?}", pos, src);
+            prop_assert!(t.end >= t.start);
+            // Every boundary must be a char boundary (slicing must not panic).
+            prop_assert!(src.is_char_boundary(t.start));
+            prop_assert!(src.is_char_boundary(t.end));
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len());
+        // Code spans are nonempty and alternate with non-code spans is not
+        // required, but no *empty* token may appear.
+        for t in &tokens {
+            prop_assert!(t.end > t.start, "empty token in {:?}", src);
+        }
+    }
+
+    /// A marker planted inside a line comment, block comment, string, or
+    /// raw string never reaches the code text, while the same marker in
+    /// plain code always does.
+    #[test]
+    fn literal_and_comment_contents_are_excluded(prefix in soup(), suffix in soup()) {
+        const MARKER: &str = "Instant::now";
+        // Neutralize accidental marker-forming or context-opening tails:
+        // place each probe on its own line, closing nothing.
+        let cases = [
+            (format!("{prefix}\n// x {MARKER} y\n{suffix}"), false),
+            (format!("{prefix}\n/* x {MARKER} y */\n{suffix}"), false),
+            (format!("{prefix}\n\"x {MARKER} y\"\n{suffix}"), false),
+            (format!("{prefix}\nr##\"x {MARKER} y\"##\n{suffix}"), false),
+        ];
+        for (src, _) in &cases {
+            // The prefix soup may itself open a string/comment that swallows
+            // our probe — detect that by checking the probe line's first
+            // token. If the newline before the probe is inside code, the
+            // probe's container controls visibility.
+            let probe_at = src.find(MARKER).unwrap();
+            let tokens = lex(src);
+            let container = tokens.iter().find(|t| t.start <= probe_at && probe_at < t.end).unwrap();
+            if container.kind != TokenKind::Code {
+                // Marker landed in a non-code token: must be invisible to rules.
+                let code = code_text(src, &tokens);
+                // It may still appear if the *suffix* soup spells it out — it
+                // cannot, since the soup alphabet has no uppercase letters.
+                prop_assert!(!code.contains(MARKER), "leaked from {:?}", src);
+            }
+        }
+        // And in plain code it is always visible.
+        let src = format!("{prefix}\nlet t = {MARKER}();\n");
+        let tokens = lex(&src);
+        let probe_at = src.rfind(MARKER).unwrap();
+        let container = tokens.iter().find(|t| t.start <= probe_at && probe_at < t.end).unwrap();
+        if container.kind == TokenKind::Code {
+            prop_assert!(code_text(&src, &tokens).contains(MARKER));
+        }
+    }
+
+    /// `line_col` round-trips: converting any char-boundary offset to
+    /// (line, col) and recomputing the offset from the line start recovers
+    /// the original offset.
+    #[test]
+    fn line_col_round_trips(src in soup(), frac in 0.0f64..1.0) {
+        let index = LineIndex::new(&src);
+        // Pick a char-boundary offset deterministically from `frac`.
+        let mut offset = (src.len() as f64 * frac) as usize;
+        while offset < src.len() && !src.is_char_boundary(offset) {
+            offset += 1;
+        }
+        let (line, col) = index.line_col(&src, offset);
+        prop_assert!(line >= 1 && col >= 1);
+        let start = index.line_start(line).unwrap();
+        // Walk (col - 1) characters forward from the line start.
+        let recovered = src[start..]
+            .char_indices()
+            .nth(col - 1)
+            .map(|(i, _)| start + i)
+            .unwrap_or(src.len());
+        prop_assert_eq!(recovered, offset.min(src.len()), "src {:?} line {} col {}", src, line, col);
+    }
+
+    /// Lexing is deterministic: two runs produce identical tokens.
+    #[test]
+    fn lex_is_deterministic(src in soup()) {
+        prop_assert_eq!(lex(&src), lex(&src));
+    }
+}

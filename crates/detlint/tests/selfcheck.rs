@@ -1,0 +1,116 @@
+//! Workspace self-check and in-memory mutation canary.
+//!
+//! The self-check pins the repo's own determinism contract: the committed
+//! tree must lint clean under the committed `detlint.toml`. The canary is
+//! the inverse proof — injecting a forbidden construct into a canonical
+//! path MUST produce a violation, so a lexer or rule regression that makes
+//! detlint blind fails the suite instead of passing silently.
+
+use std::path::Path;
+
+use detlint::config::Config;
+use detlint::rules::{lint_file, lint_files};
+use detlint::walk::collect_workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+fn committed_config() -> Config {
+    let toml = std::fs::read_to_string(workspace_root().join("detlint.toml"))
+        .expect("detlint.toml readable");
+    Config::parse(&toml).expect("detlint.toml parses")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    assert!(
+        files.len() > 50,
+        "workspace walk found only {} files — skip list too broad?",
+        files.len()
+    );
+    let diags = lint_files(&files, &committed_config()).expect("config validates");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean; run `cargo run -p detlint` for detail:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Mutation canary: the real `engine.rs` (a canonical-path file) with a
+/// wall-clock read appended must trip D001 at exactly the appended line.
+#[test]
+fn canary_injected_wall_clock_is_caught() {
+    let path = "crates/pfs/src/model/engine.rs";
+    let real = std::fs::read_to_string(workspace_root().join(path)).expect("engine.rs readable");
+    let mutated =
+        format!("{real}\nfn _detlint_canary() {{ let _ = std::time::Instant::now(); }}\n");
+    let canary_line = real.lines().count() + 2;
+
+    // The pristine file is clean...
+    let clean = lint_file(path, &real, &committed_config());
+    assert!(
+        clean.is_empty(),
+        "pristine engine.rs must be clean: {clean:?}"
+    );
+
+    // ...and the mutated one is caught, at the injected line.
+    let diags = lint_file(path, &mutated, &committed_config());
+    assert_eq!(diags.len(), 1, "canary must fire exactly once: {diags:?}");
+    assert_eq!(diags[0].rule, "D001");
+    assert_eq!(diags[0].line, canary_line, "canary fired on the wrong line");
+}
+
+/// The same canary for every other rule, against its own forbidden
+/// construct, so no rule can rot into a no-op.
+#[test]
+fn canary_every_rule_fires_on_a_canonical_path() {
+    let cfg = committed_config();
+    let cases: &[(&str, &str)] = &[
+        ("D001", "fn c1() { let _ = std::time::Instant::now(); }"),
+        (
+            "D002",
+            "use std::collections::HashMap;\nfn c2(m: HashMap<u8, u8>) { for _ in m.iter() {} }",
+        ),
+        ("D003", "fn c3() { let _ = thread_rng(); }"),
+        (
+            "D004",
+            "fn c4() { let _ = std::thread::available_parallelism(); }",
+        ),
+        ("D005", "fn c5() { println!(\"x\"); }"),
+    ];
+    for (rule, src) in cases {
+        let diags = lint_file("crates/pfs/src/model/engine.rs", src, &cfg);
+        assert!(
+            diags.iter().any(|d| d.rule == *rule),
+            "{rule} canary did not fire: {diags:?}"
+        );
+    }
+}
+
+/// The allowlist layers must not be wider than intended: the committed
+/// config waives D001 only for the perfsuite bench bin, not for canonical
+/// crates.
+#[test]
+fn committed_allowlists_are_narrow() {
+    let cfg = committed_config();
+    let src = "fn main() { let _ = std::time::Instant::now(); }";
+    let waived = lint_file("crates/bench/src/bin/perfsuite.rs", src, &cfg);
+    assert!(waived.is_empty(), "perfsuite is allowlisted: {waived:?}");
+    for path in [
+        "crates/simcore/src/engine.rs",
+        "crates/stellar/src/sched.rs",
+        "crates/agents/src/tuning.rs",
+    ] {
+        let diags = lint_file(path, src, &cfg);
+        assert!(
+            diags.iter().any(|d| d.rule == "D001"),
+            "{path} must not be waived: {diags:?}"
+        );
+    }
+}

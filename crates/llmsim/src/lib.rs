@@ -27,6 +27,7 @@
 //! Real providers can be substituted by implementing [`backend::LlmBackend`]
 //! (blocking) or [`nonblocking::NonBlockingBackend`] (submit/poll).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod backend;

@@ -21,6 +21,9 @@ pub const CACHE_BLOCK_TOKENS: u64 = 128;
 /// chain of leading blocks that has been seen before.
 #[derive(Debug, Default, Clone)]
 pub struct PrefixCache {
+    // determinism audit (D002): membership tests and inserts only — the
+    // cached-token count depends on which hashes are present, never on
+    // the set's internal order
     seen: HashSet<u64>,
 }
 

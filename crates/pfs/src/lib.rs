@@ -24,6 +24,8 @@
 //! [`result::RunResult`] (wall time + utilisations) and a Darshan-compatible
 //! trace via the [`trace::TraceSink`] hook.
 
+#![forbid(unsafe_code)]
+
 pub mod ops;
 pub mod params;
 pub mod stripe;

@@ -93,6 +93,8 @@ impl PageCache {
     /// are cleaned lazily during eviction.
     pub fn invalidate_file(&mut self, file: FileId) {
         let before = self.entries.len();
+        // detlint::allow(D002): removal by key predicate — the surviving set
+        // is independent of visitation order and no order escapes here
         self.entries.retain(|(f, _), _| *f != file);
         let removed = before - self.entries.len();
         self.used_bytes = self.used_bytes.saturating_sub(removed as u64 * CHUNK_BYTES);
@@ -125,9 +127,13 @@ impl PageCache {
                     // Clock exhausted (everything invalidated): resync.
                     self.used_bytes = self.entries.len() as u64 * CHUNK_BYTES;
                     if self.clock.is_empty() && !self.entries.is_empty() {
-                        for key in self.entries.keys() {
-                            self.clock.push_back(*key);
-                        }
+                        // Rebuild the clock in sorted chunk order: hash order
+                        // here would make future eviction — and therefore
+                        // hit/miss patterns and simulated timings — depend on
+                        // the process's hash seed.
+                        let mut keys: Vec<(FileId, u64)> = self.entries.keys().copied().collect();
+                        keys.sort_unstable();
+                        self.clock.extend(keys);
                     }
                     if self.entries.is_empty() {
                         break;

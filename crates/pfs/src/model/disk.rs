@@ -19,6 +19,8 @@ pub struct DiskCalendar {
     server: FifoServer,
     profile: DiskProfile,
     // (file, object index) -> next expected object offset for sequential I/O
+    // determinism audit (D002): point lookups/inserts/removes only — never
+    // iterated, so hash order cannot reach the simulation
     streams: HashMap<(FileId, u32), u64>,
     seq_ops: u64,
     rand_ops: u64,

@@ -80,6 +80,10 @@ pub struct Engine<'s> {
     mdcs: Vec<MdcState>,    // per client
     caches: Vec<PageCache>, // per client
 
+    // determinism audit (D002): every map below is accessed by point
+    // lookups keyed from deterministic op streams; the only iterations are
+    // `agg` flushes (keys collected and sorted before RPC issue — hash
+    // order is laundered) and the annotated max-reduction over `files`.
     agg: HashMap<(u32, FileId, u32), DirtyRanges>, // (client, file, obj_index)
     ra: HashMap<(u32, FileId), RaState>,
     ra_ready: HashMap<(u32, FileId, u64), SimTime>, // chunk -> ready time
@@ -1096,6 +1100,8 @@ impl<'s> Engine<'s> {
         // Drain all outstanding writeback so the run accounts for data
         // actually reaching stable storage (IOR-style close semantics).
         let mut drain = finish;
+        // detlint::allow(D002): max-reduction over values — commutative and
+        // associative, so visitation order cannot reach the result
         for f in self.files.values() {
             drain = drain.max(f.last_wb_end);
         }

@@ -227,6 +227,8 @@ pub struct DirState {
 /// per-object extent locks that keeps cross-client write conflicts visible).
 #[derive(Debug, Default)]
 pub struct LockTable {
+    // determinism audit (D002): point lookups per lock region, visited in
+    // ascending region order by `acquire` — never iterated as a map
     holders: HashMap<u64, u32>,
     conflicts: u64,
 }

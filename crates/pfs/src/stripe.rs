@@ -128,6 +128,8 @@ impl Layout {
 /// `Arc`ed so callers can hold one across `&mut self` engine calls.
 #[derive(Debug, Default)]
 pub struct PlacementCache {
+    // determinism audit (D002): memo table hit by point lookups only; a
+    // hit returns the same Arc'd table a miss would compute
     tables: HashMap<(u32, u32), Arc<[u32]>>,
     ost_count: u32,
 }

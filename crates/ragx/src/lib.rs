@@ -19,6 +19,8 @@
 //! * [`truth`] — scoring of recalled facts against registry ground truth
 //!   (the Fig. 2 experiment).
 
+#![forbid(unsafe_code)]
+
 pub mod chunk;
 pub mod embed;
 pub mod extract;

@@ -22,6 +22,7 @@
 //! **given the same seed and the same inputs, a simulation is bit-for-bit
 //! reproducible** on every platform.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod chacha;

@@ -63,6 +63,7 @@
 //! assert!(run.best_speedup >= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod baselines;

@@ -175,8 +175,8 @@ mod tests {
     fn rank_regions_disjoint_per_level_file() {
         let w = AmrexIo::standard();
         let streams = w.generate(&topo(), 1);
-        use std::collections::HashMap;
-        let mut extents: HashMap<u32, Vec<(u64, u64)>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut extents: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
         for s in &streams {
             for op in &s.ops {
                 if let IoOp::Write { file, offset, len } = op {

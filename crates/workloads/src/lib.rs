@@ -26,6 +26,7 @@
 //! from its parameters — the campaign scheduler's a-priori estimate of how
 //! much simulation work a cell costs (see `stellar::sched`).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod amrex;

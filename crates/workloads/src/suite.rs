@@ -227,6 +227,8 @@ mod proptests {
             // created/opened earlier in program order OR that another rank
             // creates (shared files are opened, not created, by followers).
             for s in &streams {
+                // determinism audit (D002): membership checks only, never
+                // iterated — prop-assertion order follows the op stream
                 let mut opened = std::collections::HashSet::new();
                 for op in &s.ops {
                     match op {

@@ -4,6 +4,8 @@
 //! directories; it re-exports the member crates so examples can write
 //! `use stellar_repro::stellar::...`.
 
+#![forbid(unsafe_code)]
+
 pub use agents;
 pub use darshan;
 pub use llmsim;
