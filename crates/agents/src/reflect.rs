@@ -15,11 +15,17 @@ use pfs::params::{TuningConfig, TUNABLE_NAMES};
 
 /// Generate rules from a completed run. Returns an empty vector when the
 /// run found no improvement worth learning from.
+///
+/// `extra_tags` are appended to the report-derived context — the session
+/// layer passes the scenario tags ([`ContextTag::is_scenario`]) of the run
+/// (degraded topology, noisy neighbor), so rules learned under faults or
+/// contention carry their regime in the context and shard separately.
 pub fn reflect(
     backend: &mut dyn LlmBackend,
     report: &IoReport,
     history: &[Attempt],
     baseline_wall: f64,
+    extra_tags: &[ContextTag],
 ) -> Vec<Rule> {
     let Some(best) = history
         .iter()
@@ -37,7 +43,12 @@ pub fn reflect(
         return Vec::new();
     }
     let default = TuningConfig::lustre_default();
-    let tags = ContextTag::tags_for(report);
+    let mut tags = ContextTag::tags_for(report);
+    for t in extra_tags {
+        if !tags.contains(t) {
+            tags.push(*t);
+        }
+    }
     let mut rules = Vec::new();
     for name in TUNABLE_NAMES {
         let best_v = best.config.get(name).expect("known");
@@ -139,7 +150,7 @@ mod tests {
     #[test]
     fn rules_generated_for_changed_params_only() {
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
-        let rules = reflect(&mut b, &seq_report(), &improved_history(), 37.0);
+        let rules = reflect(&mut b, &seq_report(), &improved_history(), 37.0, &[]);
         let params: Vec<&str> = rules.iter().map(|r| r.parameter.as_str()).collect();
         assert!(params.contains(&"stripe_count"));
         assert!(params.contains(&"stripe_size"));
@@ -150,7 +161,7 @@ mod tests {
     #[test]
     fn stripe_rules_are_generalized() {
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
-        let rules = reflect(&mut b, &seq_report(), &improved_history(), 37.0);
+        let rules = reflect(&mut b, &seq_report(), &improved_history(), 37.0, &[]);
         let sc = rules
             .iter()
             .find(|r| r.parameter == "stripe_count")
@@ -169,21 +180,44 @@ mod tests {
             config: TuningConfig::lustre_default(),
             wall_secs: 37.0,
         }];
-        let rules = reflect(&mut b, &seq_report(), &history, 37.0);
+        let rules = reflect(&mut b, &seq_report(), &history, 37.0, &[]);
         assert!(rules.is_empty());
     }
 
     #[test]
     fn empty_history_no_rules() {
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
-        assert!(reflect(&mut b, &seq_report(), &[], 10.0).is_empty());
+        assert!(reflect(&mut b, &seq_report(), &[], 10.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn scenario_tags_land_in_rule_contexts() {
+        let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
+        let rules = reflect(
+            &mut b,
+            &seq_report(),
+            &improved_history(),
+            37.0,
+            &[ContextTag::DegradedTopology],
+        );
+        assert!(!rules.is_empty());
+        for r in &rules {
+            assert!(
+                r.tags().contains(&ContextTag::DegradedTopology),
+                "scenario tag missing from {:?}",
+                r.tuning_context
+            );
+        }
+        // And the resulting rules no longer match a pristine probe.
+        let pristine = ContextTag::tags_for(&seq_report());
+        assert!(rules.iter().all(|r| r.match_score(&pristine) == 0.0));
     }
 
     #[test]
     fn reflection_charges_tokens() {
         use llmsim::LlmBackend as _;
         let mut b = SimLlm::new(ModelProfile::claude_37_sonnet(), 1);
-        reflect(&mut b, &seq_report(), &improved_history(), 37.0);
+        reflect(&mut b, &seq_report(), &improved_history(), 37.0, &[]);
         assert_eq!(b.usage().calls, 1);
     }
 }

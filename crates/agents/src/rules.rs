@@ -34,6 +34,11 @@ pub enum ContextTag {
     SequentialReads,
     /// Medium-size object appends / bursty dumps.
     BurstyObjectDumps,
+    /// Cluster running with faulted, degraded, or recovering OSTs
+    /// (scenario tag — see [`ContextTag::is_scenario`]).
+    DegradedTopology,
+    /// Co-scheduled jobs contending for the same servers (scenario tag).
+    NoisyNeighbor,
 }
 
 impl ContextTag {
@@ -49,11 +54,14 @@ impl ContextTag {
             ContextTag::MixedPhases => "multiple phases with distinct I/O patterns",
             ContextTag::SequentialReads => "a substantial sequential read phase",
             ContextTag::BurstyObjectDumps => "bursty medium-size object dumps",
+            ContextTag::DegradedTopology => "a degraded cluster with faulted or recovering OSTs",
+            ContextTag::NoisyNeighbor => "noisy-neighbor contention from co-scheduled jobs",
         }
     }
 
-    /// All tags (for parsing).
-    pub fn all() -> [ContextTag; 9] {
+    /// All tags (for parsing). Scenario tags come last so the bitmask
+    /// positions of the original workload-shape tags never move.
+    pub fn all() -> [ContextTag; 11] {
         [
             ContextTag::LargeSequentialWrites,
             ContextTag::RandomSmallWrites,
@@ -64,7 +72,41 @@ impl ContextTag {
             ContextTag::MixedPhases,
             ContextTag::SequentialReads,
             ContextTag::BurstyObjectDumps,
+            ContextTag::DegradedTopology,
+            ContextTag::NoisyNeighbor,
         ]
+    }
+
+    /// Whether this tag describes the *scenario* a rule was learned under
+    /// (faults, contention) rather than the workload's own I/O shape.
+    ///
+    /// Scenario tags gate matching exactly: a rule matches a probe only if
+    /// the two agree on every scenario tag. Advice learned on a degraded or
+    /// contended cluster must not leak into pristine sessions, and vice
+    /// versa — the two regimes shard and federate separately.
+    pub fn is_scenario(self) -> bool {
+        matches!(
+            self,
+            ContextTag::DegradedTopology | ContextTag::NoisyNeighbor
+        )
+    }
+
+    /// Bitmask over all scenario tags.
+    pub fn scenario_mask() -> u16 {
+        Self::all()
+            .into_iter()
+            .filter(|t| t.is_scenario())
+            .fold(0, |m, t| m | t.bit())
+    }
+
+    /// Short machine-readable label for scenario tags (used in the obs
+    /// canonical schema); `None` for workload-shape tags.
+    pub fn scenario_label(self) -> Option<&'static str> {
+        match self {
+            ContextTag::DegradedTopology => Some("degraded-topology"),
+            ContextTag::NoisyNeighbor => Some("noisy-neighbor"),
+            _ => None,
+        }
     }
 
     /// This tag's bit in a context-tag mask (bit positions follow
@@ -242,9 +284,18 @@ impl Rule {
 
     /// Context-match score against a workload's tags: |intersection| /
     /// |rule tags|.
+    ///
+    /// Scenario tags ([`ContextTag::is_scenario`]) gate the score: if the
+    /// rule and the probe disagree on *any* scenario tag — either side has
+    /// one the other lacks — the score is 0.0 regardless of shape overlap.
     pub fn match_score(&self, workload_tags: &[ContextTag]) -> f64 {
         let mine = self.tags();
         if mine.is_empty() {
+            return 0.0;
+        }
+        let disagree = (ContextTag::mask_of(&mine) ^ ContextTag::mask_of(workload_tags))
+            & ContextTag::scenario_mask();
+        if disagree != 0 {
             return 0.0;
         }
         let hit = mine.iter().filter(|t| workload_tags.contains(t)).count();
@@ -410,6 +461,67 @@ mod tests {
         assert_eq!(r.match_score(&seq_tags()), 1.0);
         assert_eq!(r.match_score(&[ContextTag::LargeSequentialWrites]), 0.5);
         assert_eq!(r.match_score(&md_tags()), 0.0);
+    }
+
+    #[test]
+    fn scenario_tags_gate_matching_exactly() {
+        // A rule learned under faults must not match a pristine probe...
+        let faulted = Rule::new(
+            "stripe_count",
+            Guidance::SetToAllOsts,
+            &[
+                ContextTag::LargeSequentialWrites,
+                ContextTag::SharedFile,
+                ContextTag::DegradedTopology,
+            ],
+        );
+        assert_eq!(faulted.match_score(&seq_tags()), 0.0);
+        // ...and a pristine rule must not match a faulted probe.
+        let pristine = Rule::new("stripe_count", Guidance::SetToAllOsts, &seq_tags());
+        let mut faulted_probe = seq_tags();
+        faulted_probe.push(ContextTag::DegradedTopology);
+        assert_eq!(pristine.match_score(&faulted_probe), 0.0);
+        // Agreeing scenario subsets score normally.
+        assert_eq!(faulted.match_score(&faulted_probe), 1.0);
+        assert_eq!(pristine.match_score(&seq_tags()), 1.0);
+        // Distinct scenarios never cross-match either.
+        let mut noisy_probe = seq_tags();
+        noisy_probe.push(ContextTag::NoisyNeighbor);
+        assert_eq!(faulted.match_score(&noisy_probe), 0.0);
+    }
+
+    #[test]
+    fn scenario_helpers_classify_tags() {
+        assert!(ContextTag::DegradedTopology.is_scenario());
+        assert!(ContextTag::NoisyNeighbor.is_scenario());
+        assert!(!ContextTag::SharedFile.is_scenario());
+        assert_eq!(
+            ContextTag::scenario_mask(),
+            ContextTag::DegradedTopology.bit() | ContextTag::NoisyNeighbor.bit()
+        );
+        assert_eq!(
+            ContextTag::DegradedTopology.scenario_label(),
+            Some("degraded-topology")
+        );
+        assert_eq!(
+            ContextTag::NoisyNeighbor.scenario_label(),
+            Some("noisy-neighbor")
+        );
+        assert_eq!(ContextTag::SharedFile.scenario_label(), None);
+    }
+
+    #[test]
+    fn scenario_phrases_are_not_substrings_of_each_other() {
+        // tags() parses by substring containment; no phrase may contain
+        // another or parsing would invent tags.
+        let all = ContextTag::all();
+        for a in all {
+            for b in all {
+                if a != b {
+                    assert!(!a.phrase().contains(b.phrase()), "{:?} contains {:?}", a, b);
+                }
+            }
+        }
     }
 
     #[test]
@@ -587,6 +699,23 @@ mod proptests {
             let r = Rule::new("x", g, &tags);
             let s = r.match_score(&probe);
             prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        /// Scenario disagreement always zeroes the score; agreement leaves
+        /// the score identical to the pure shape-overlap score.
+        #[test]
+        fn scenario_gating_is_exact(g in arb_guidance(), tags in arb_tags(), probe in arb_tags()) {
+            let r = Rule::new("x", g, &tags);
+            let s = r.match_score(&probe);
+            let scen = ContextTag::scenario_mask();
+            let disagree =
+                (ContextTag::mask_of(&tags) ^ ContextTag::mask_of(&probe)) & scen != 0;
+            if disagree {
+                prop_assert_eq!(s, 0.0);
+            } else {
+                let hit = tags.iter().filter(|t| probe.contains(t)).count();
+                prop_assert_eq!(s, hit as f64 / tags.len() as f64);
+            }
         }
     }
 }

@@ -102,10 +102,16 @@ impl ShardSignature {
     /// The context-match score every rule in this shard has against a
     /// workload tag mask: |intersection| / |shard tags|. Identical to
     /// [`Rule::match_score`] because a shard's rules all carry exactly
-    /// this signature's tag set.
+    /// this signature's tag set — including the scenario gate: shards
+    /// whose scenario tags ([`ContextTag::is_scenario`]) disagree with
+    /// the probe's score 0.0 outright, so fault- or contention-learned
+    /// shards never leak into pristine matching (and vice versa).
     pub fn score_against(self, workload_mask: u16) -> f64 {
         let mine = self.tag_mask.count_ones();
         if mine == 0 {
+            return 0.0;
+        }
+        if (self.tag_mask ^ workload_mask) & ContextTag::scenario_mask() != 0 {
             return 0.0;
         }
         f64::from((self.tag_mask & workload_mask).count_ones()) / f64::from(mine)
@@ -758,6 +764,31 @@ mod tests {
         assert_eq!(store.to_rule_set(), flat);
         let snap: RuleSnapshot = (&flat).into();
         assert_eq!(snap.to_rule_set(), flat);
+    }
+
+    #[test]
+    fn scenario_shards_never_cross_match() {
+        // Same shape tags, learned under three regimes: pristine, faulted,
+        // contended. Each probe must see only its own regime's rules.
+        let mut store = ShardedRuleStore::new();
+        let mut faulted_tags = seq_tags();
+        faulted_tags.push(ContextTag::DegradedTopology);
+        let mut noisy_tags = seq_tags();
+        noisy_tags.push(ContextTag::NoisyNeighbor);
+        store.merge(vec![
+            Rule::new("pristine_param", Guidance::SetToAllOsts, &seq_tags()),
+            Rule::new("faulted_param", Guidance::SetToOne, &faulted_tags),
+            Rule::new("noisy_param", Guidance::SetTo(4), &noisy_tags),
+        ]);
+        assert_eq!(store.shard_count(), 3, "one shard per scenario regime");
+
+        let names = |hits: Vec<&Rule>| hits.iter().map(|r| r.parameter.clone()).collect::<Vec<_>>();
+        assert_eq!(names(store.matching(&seq_tags())), vec!["pristine_param"]);
+        assert_eq!(names(store.matching(&faulted_tags)), vec!["faulted_param"]);
+        assert_eq!(names(store.matching(&noisy_tags)), vec!["noisy_param"]);
+        // Snapshots see the same gating.
+        let snap = store.snapshot();
+        assert_eq!(names(snap.matching(&faulted_tags)), vec!["faulted_param"]);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod ops;
 pub mod params;
 pub mod stripe;
@@ -35,6 +36,7 @@ pub mod trace;
 pub mod model;
 pub mod result;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use model::PfsSimulator;
 pub use ops::{DirId, FileId, IoOp, Module, RankStream};
 pub use params::{ParamRegistry, TuningConfig};

@@ -6,6 +6,7 @@
 //! NICs, OST disks, the MDS pool, OSC/MDC windows, extent locks — see
 //! arrivals in global time order. Barriers park ranks until all arrive.
 
+use crate::faults::FaultPlan;
 use crate::model::cache::{chunks_covering, PageCache, CHUNK_BYTES};
 use crate::model::disk::DiskCalendar;
 use crate::model::state::{
@@ -69,6 +70,7 @@ pub struct Engine<'s> {
     topo: ClusterSpec,
     cfg: TuningConfig,
     run_noise: f64,
+    faults: Option<FaultPlan>,
     rng: SimRng,
 
     client_nics: Vec<BandwidthChannel>,
@@ -111,6 +113,19 @@ impl<'s> Engine<'s> {
         seed: u64,
         sink: &'s mut dyn TraceSink,
     ) -> Self {
+        Self::with_faults(topo, cfg, seed, sink, None)
+    }
+
+    /// Like [`Engine::new`], but with an optional [`FaultPlan`] whose
+    /// degradation factors multiply OST disk service times in simulated
+    /// (event-queue) time. `None` is a pristine cluster.
+    pub fn with_faults(
+        topo: &ClusterSpec,
+        cfg: &TuningConfig,
+        seed: u64,
+        sink: &'s mut dyn TraceSink,
+        faults: Option<&FaultPlan>,
+    ) -> Self {
         let mut rng = SimRng::new(seed);
         let run_noise = rng.lognormal_factor(topo.run_noise_sigma);
         let nic_overhead = Duration::from_micros(20);
@@ -145,6 +160,7 @@ impl<'s> Engine<'s> {
             topo: topo.clone(),
             cfg: cfg.clone(),
             run_noise,
+            faults: faults.filter(|p| !p.is_empty()).cloned(),
             rng,
             client_nics,
             oss_nics,
@@ -172,6 +188,16 @@ impl<'s> Engine<'s> {
 
     fn osc_index(&self, client: u32, ost: u32) -> usize {
         (client * self.topo.ost_count() + ost) as usize
+    }
+
+    /// Service-time multiplier of `ost` at simulated instant `at` under the
+    /// run's fault plan (1.0 when pristine). Piecewise-constant in event-queue
+    /// time, so the factor is a pure function of the deterministic schedule.
+    fn fault_factor(&self, ost: u32, at: SimTime) -> f64 {
+        match &self.faults {
+            Some(plan) => plan.factor(ost, at),
+            None => 1.0,
+        }
     }
 
     fn half_rtt(&self) -> Duration {
@@ -247,7 +273,7 @@ impl<'s> Engine<'s> {
         let g_cnic = self.client_nics[client as usize].schedule(t0, bytes);
         let oss = self.topo.oss_of_ost(ost) as usize;
         let g_onic = self.oss_nics[oss].schedule(g_cnic.end, bytes);
-        let noise = self.run_noise;
+        let noise = self.run_noise * self.fault_factor(ost, g_onic.end);
         let g_disk = if is_write {
             self.disks[ost as usize].transfer(
                 g_onic.end,
@@ -779,7 +805,7 @@ impl<'s> Engine<'s> {
             self.mds_background(now, 2.0);
             for obj in 0..layout.stripe_count {
                 let ost = layout.ost_of(obj, self.topo.ost_count());
-                let noise = self.run_noise;
+                let noise = self.run_noise * self.fault_factor(ost, now);
                 let _ = self.disks[ost as usize].small_op(now, noise);
             }
             let residual_us = 2.0 * (self.topo.mds_getattr_us + self.topo.rpc_rtt_us) / depth + 6.0;
@@ -797,7 +823,7 @@ impl<'s> Engine<'s> {
         let mut end = mds_done;
         for obj in 0..layout.stripe_count {
             let ost = layout.ost_of(obj, self.topo.ost_count());
-            let noise = self.run_noise;
+            let noise = self.run_noise * self.fault_factor(ost, glimpse_arrival);
             let g = self.disks[ost as usize].small_op(glimpse_arrival, noise);
             end = end.max(g.end + half + half);
         }
@@ -959,7 +985,7 @@ impl<'s> Engine<'s> {
                 // Object destroys proceed asynchronously on each OST.
                 for obj in 0..layout.stripe_count {
                     let ost = layout.ost_of(obj, self.topo.ost_count());
-                    let noise = self.run_noise;
+                    let noise = self.run_noise * self.fault_factor(ost, end);
                     let _ = self.disks[ost as usize].small_op(end, noise);
                     self.disks[ost as usize].forget(file, obj);
                 }

@@ -5,6 +5,7 @@ pub mod disk;
 pub mod engine;
 pub mod state;
 
+use crate::faults::FaultPlan;
 use crate::ops::RankStream;
 use crate::params::TuningConfig;
 use crate::result::RunResult;
@@ -63,7 +64,23 @@ impl PfsSimulator {
         seed: u64,
         sink: &mut dyn TraceSink,
     ) -> RunResult {
-        let engine = Engine::new(&self.topo, cfg, seed, sink);
+        self.run_traced_faulted(streams, cfg, seed, None, sink)
+    }
+
+    /// Like [`PfsSimulator::run_traced`], but executes under an optional
+    /// [`FaultPlan`]: OST service times are scaled by the plan's
+    /// piecewise-constant degradation factors, evaluated in simulated time.
+    /// Faults change wall times only — the trace's record sequence and shape
+    /// stay identical to a pristine run of the same streams.
+    pub fn run_traced_faulted(
+        &self,
+        streams: Vec<RankStream>,
+        cfg: &TuningConfig,
+        seed: u64,
+        faults: Option<&FaultPlan>,
+        sink: &mut dyn TraceSink,
+    ) -> RunResult {
+        let engine = Engine::with_faults(&self.topo, cfg, seed, sink, faults);
         let (wall, diag) = engine.run(streams);
         RunResult::from_parts(wall.as_secs_f64(), &diag)
     }
@@ -338,6 +355,106 @@ mod tests {
             .records
             .iter()
             .any(|r| matches!(r.class, crate::trace::OpClass::Write)));
+    }
+
+    #[test]
+    fn faults_slow_runs_without_changing_trace_shape() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        use crate::trace::VecSink;
+        let sim = PfsSimulator::new(topo());
+        let cfg = TuningConfig::lustre_default();
+        let mk = || vec![write_stream(0, 0, 16, 4 << 20)];
+        let plan = FaultPlan::new(
+            (0..topo().ost_count())
+                .map(|ost| FaultEvent {
+                    at_nanos: 0,
+                    ost,
+                    kind: FaultKind::Degrade { factor: 8.0 },
+                })
+                .collect(),
+        );
+
+        let mut pristine_sink = VecSink::default();
+        let pristine = sim.run_traced(mk(), &cfg, 23, &mut pristine_sink);
+        let mut faulted_sink = VecSink::default();
+        let faulted = sim.run_traced_faulted(mk(), &cfg, 23, Some(&plan), &mut faulted_sink);
+
+        assert!(
+            faulted.wall_secs > pristine.wall_secs,
+            "faulted {} !> pristine {}",
+            faulted.wall_secs,
+            pristine.wall_secs
+        );
+        // Same op sequence, same classes and byte counts — only times move.
+        assert_eq!(pristine_sink.records.len(), faulted_sink.records.len());
+        for (p, f) in pristine_sink.records.iter().zip(&faulted_sink.records) {
+            assert_eq!(p.rank, f.rank);
+            assert_eq!(p.class, f.class);
+            assert_eq!(p.bytes, f.bytes);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::faults::FaultPlan;
+        let sim = PfsSimulator::new(topo());
+        let cfg = TuningConfig::lustre_default();
+        let mk = || {
+            vec![
+                write_stream(0, 0, 8, 1 << 20),
+                write_stream(1, 1, 8, 1 << 20),
+            ]
+        };
+        let plan = FaultPlan::seeded(topo().ost_count(), 99);
+        let mut sink_a = crate::trace::NullSink;
+        let a = sim.run_traced_faulted(mk(), &cfg, 31, Some(&plan), &mut sink_a);
+        let mut sink_b = crate::trace::NullSink;
+        let b = sim.run_traced_faulted(mk(), &cfg, 31, Some(&plan), &mut sink_b);
+        assert_eq!(a.wall_secs.to_bits(), b.wall_secs.to_bits());
+        // Empty plan is bit-identical to the pristine path.
+        let empty = FaultPlan::default();
+        let c = sim.run_traced_faulted(mk(), &cfg, 31, Some(&empty), &mut crate::trace::NullSink);
+        let d = sim.run(mk(), &cfg, 31);
+        assert_eq!(c.wall_secs.to_bits(), d.wall_secs.to_bits());
+    }
+
+    #[test]
+    fn recovery_lands_between_pristine_and_degraded() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        let sim = PfsSimulator::new(topo());
+        let cfg = TuningConfig::lustre_default();
+        let mk = || vec![write_stream(0, 0, 32, 4 << 20)];
+        let pristine = sim.run(mk(), &cfg, 41).wall_secs;
+        let degrade_all = |kind_at: &[(u64, FaultKind)]| {
+            FaultPlan::new(
+                (0..topo().ost_count())
+                    .flat_map(|ost| {
+                        kind_at.iter().map(move |&(at_nanos, kind)| FaultEvent {
+                            at_nanos,
+                            ost,
+                            kind,
+                        })
+                    })
+                    .collect(),
+            )
+        };
+        let forever = degrade_all(&[(0, FaultKind::Degrade { factor: 16.0 })]);
+        let degraded = sim
+            .run_traced_faulted(mk(), &cfg, 41, Some(&forever), &mut crate::trace::NullSink)
+            .wall_secs;
+        // Recover at half the pristine wall: the tail runs at full speed.
+        let mid = (pristine * 0.5 * 1e9) as u64;
+        let healing = degrade_all(&[
+            (0, FaultKind::Degrade { factor: 16.0 }),
+            (mid, FaultKind::Recover),
+        ]);
+        let recovered = sim
+            .run_traced_faulted(mk(), &cfg, 41, Some(&healing), &mut crate::trace::NullSink)
+            .wall_secs;
+        assert!(
+            pristine < recovered && recovered < degraded,
+            "expected pristine {pristine} < recovered {recovered} < degraded {degraded}"
+        );
     }
 
     #[test]

@@ -47,8 +47,19 @@ fn main() {
 /// of watching `tune --stream` / `campaign --progress` live.
 fn render_event(e: &ObsEvent) -> String {
     match e {
-        ObsEvent::SessionStart { workload, run_seed } => {
-            format!("session: {workload} (run seed {run_seed})")
+        ObsEvent::SessionStart {
+            workload,
+            run_seed,
+            scenario,
+        } => {
+            if scenario.is_empty() {
+                format!("session: {workload} (run seed {run_seed})")
+            } else {
+                format!(
+                    "session: {workload} (run seed {run_seed}; scenario: {})",
+                    scenario.join(", ")
+                )
+            }
         }
         ObsEvent::InitialRun { wall_secs } => format!("initial run: {wall_secs:.3}s"),
         ObsEvent::AnalysisReport { report } => format!(
@@ -74,11 +85,16 @@ fn render_event(e: &ObsEvent) -> String {
             workloads,
             seeds,
             mode,
+            faults,
         } => format!(
-            "campaign: [{}] x {} seed(s), {} rules",
+            "campaign: [{}] x {} seed(s), {} rules{}",
             workloads.join(", "),
             seeds.len(),
-            mode
+            mode,
+            match faults {
+                Some(label) => format!(", faults: {label}"),
+                None => String::new(),
+            }
         ),
         ObsEvent::RoundStart { seed } => format!("round: seed {seed}"),
         ObsEvent::CellFinished {

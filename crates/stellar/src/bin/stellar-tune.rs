@@ -21,10 +21,15 @@
 //!   --backend-latency <t|a..b>   simulated provider latency in poll ticks
 //!                      (fixed or inclusive range); sessions suspend
 //!                      instead of blocking — results are unchanged
+//!   --faults <seed>    run under a seeded OST fault plan (degradation,
+//!                      dropout, recovery scheduled in simulated time);
+//!                      learned rules shard under "degraded-topology"
 //!   --no-analysis / --no-descriptions / --no-rules   ablation switches
 //!
 //! campaign options (plus --scale/--rules/--save-rules/--attempts/--model/
-//!                   --backend-latency/--emit):
+//!                   --backend-latency/--faults/--emit); a grid cell label
+//!                   may be a composite `A+B`, which co-schedules the named
+//!                   workloads over shared OSTs (noisy-neighbor contention):
 //!   --seeds <a,b,c>    grid seeds (default 42)
 //!   --warm             accumulate rules across seed rounds
 //!   --serial           disable parallel cell execution
@@ -137,6 +142,18 @@ fn engine_from_flags(args: &[String]) -> Result<Stellar, i32> {
             Some(profile) => builder = builder.backend_latency(profile),
             None => {
                 eprintln!("bad --backend-latency `{spec}`; use ticks (`3`) or a range (`1..4`)");
+                return Err(2);
+            }
+        }
+    }
+    if let Some(spec) = flag_value(args, "--faults") {
+        match spec.parse::<u64>() {
+            Ok(fault_seed) => {
+                let topo = stellar::default_topology();
+                builder = builder.faults(pfs::FaultPlan::seeded(topo.ost_count(), fault_seed));
+            }
+            Err(_) => {
+                eprintln!("bad --faults `{spec}`; use an integer fault-plan seed");
                 return Err(2);
             }
         }
@@ -302,24 +319,51 @@ fn cmd_tune(args: &[String]) -> i32 {
     save_code
 }
 
+/// Parse one campaign cell label at `scale`: a single suite workload, or
+/// a `A+B` composite that co-schedules the named workloads as contending
+/// jobs over shared OSTs ([`workloads::Contention`]).
+fn parse_cell(label: &str, scale: f64) -> Result<Box<dyn workloads::Workload>, i32> {
+    if label.contains('+') {
+        let mut jobs = Vec::new();
+        for part in label.split('+') {
+            match WorkloadKind::from_label(part) {
+                Some(k) => jobs.push(k.spec_at(scale)),
+                None => {
+                    eprintln!(
+                        "unknown workload `{part}` in composite `{label}`; \
+                         try `stellar-tune workloads`"
+                    );
+                    return Err(2);
+                }
+            }
+        }
+        Ok(Box::new(workloads::Contention::new(jobs)))
+    } else {
+        match WorkloadKind::from_label(label) {
+            Some(k) => Ok(k.spec_at(scale)),
+            None => {
+                eprintln!("unknown workload `{label}`; try `stellar-tune workloads`");
+                Err(2)
+            }
+        }
+    }
+}
+
 fn cmd_campaign(args: &[String]) -> i32 {
     let Some(list) = args.first() else {
         eprintln!("missing workload list; try `stellar-tune campaign IOR_16M,MACSio_16M`");
         return 2;
     };
-    let mut kinds = Vec::new();
-    for label in list.split(',') {
-        match WorkloadKind::from_label(label) {
-            Some(k) => kinds.push(k),
-            None => {
-                eprintln!("unknown workload `{label}`; try `stellar-tune workloads`");
-                return 2;
-            }
-        }
-    }
     let scale: f64 = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
+    let mut cells = Vec::new();
+    for label in list.split(',') {
+        match parse_cell(label, scale) {
+            Ok(w) => cells.push(w),
+            Err(c) => return c,
+        }
+    }
     let mut seeds: Vec<u64> = Vec::new();
     match flag_value(args, "--seeds") {
         Some(list) => {
@@ -353,8 +397,11 @@ fn cmd_campaign(args: &[String]) -> i32 {
         Err(c) => return c,
     };
 
-    let mut campaign = Campaign::new(&engine)
-        .kinds(&kinds, scale)
+    let mut campaign = Campaign::new(&engine);
+    for w in cells {
+        campaign = campaign.workload(w);
+    }
+    campaign = campaign
         .seeds(seeds)
         .starting_rules(rules)
         .rule_mode(if has_flag(args, "--warm") {

@@ -117,6 +117,15 @@ impl StellarBuilder {
         self
     }
 
+    /// Execute every simulated run under `plan`: OST service times scale by
+    /// the plan's event-scheduled degradation factors (simulated time, never
+    /// wall-clock). Sessions tag learned rules "degraded-topology" so fault
+    /// knowledge shards separately. Empty plans are treated as pristine.
+    pub fn faults(mut self, plan: pfs::FaultPlan) -> Self {
+        self.options.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
     /// Build the engine: construct the simulator and run the offline RAG
     /// extraction phase.
     pub fn build(self) -> Stellar {
@@ -157,6 +166,19 @@ mod tests {
         assert!(!o.tuning.use_descriptions);
         assert!(!o.tuning.use_rules);
         assert!(matches!(o.seed_policy, SeedPolicy::Fixed));
+    }
+
+    #[test]
+    fn faults_land_in_options() {
+        let topo = default_topology();
+        let plan = pfs::FaultPlan::seeded(topo.ost_count(), 7);
+        let engine = StellarBuilder::new().faults(plan.clone()).build();
+        assert_eq!(engine.options().faults.as_ref(), Some(&plan));
+        // Empty plans normalize to pristine.
+        let engine = StellarBuilder::new()
+            .faults(pfs::FaultPlan::default())
+            .build();
+        assert!(engine.options().faults.is_none());
     }
 
     #[test]

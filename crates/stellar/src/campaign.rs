@@ -117,6 +117,12 @@ pub struct CampaignGrid {
     /// Ordering policy the rounds will plan with. Telemetry, like
     /// `workers`.
     pub schedule: Schedule,
+    /// Label of the engine's [`pfs::FaultPlan`], when the campaign runs
+    /// under one (`None` on a pristine cluster). Unlike `workers` and
+    /// `schedule` this is *canonical*: faults change simulated results,
+    /// so records of faulted and pristine campaigns must not compare
+    /// equal.
+    pub faults: Option<String>,
 }
 
 /// Streaming receiver for campaign progress, the grid-level sibling of
@@ -732,6 +738,7 @@ impl<'e> Campaign<'e> {
             mode: self.mode,
             workers,
             schedule: sched_stats.schedule,
+            faults: self.engine.options().faults.as_ref().map(|p| p.label()),
         };
         self.notify(|o| o.on_campaign_start(&grid));
         let mut cells = Vec::with_capacity(self.workloads.len() * self.seeds.len());
@@ -781,7 +788,7 @@ impl<'e> Campaign<'e> {
                 order,
                 cell_secs,
                 makespan_secs,
-                utilization: busy / (workers as f64 * makespan_secs).max(f64::MIN_POSITIVE),
+                utilization: sched::round_utilization(busy, workers, makespan_secs),
                 max_in_flight,
             });
             // Merge learnings in grid order — deterministic regardless of
@@ -935,6 +942,46 @@ mod tests {
         assert_eq!(s.workers, 1);
         assert_eq!(s.rounds[0].order, vec![0]);
         assert!(s.mean_utilization() > 0.9, "serial rounds have no idle");
+    }
+
+    /// A faulted engine stamps its plan label on the canonical grid, and
+    /// composite (contention) workloads run as ordinary cells.
+    #[test]
+    fn faulted_composite_grid_carries_scenario_metadata() {
+        use std::sync::{Arc, Mutex as StdMutex};
+        struct Grab(Arc<StdMutex<Option<CampaignGrid>>>);
+        impl CampaignObserver for Grab {
+            fn on_campaign_start(&mut self, grid: &CampaignGrid) {
+                *self.0.lock().unwrap() = Some(grid.clone());
+            }
+        }
+        let topo = crate::engine::default_topology();
+        let plan = pfs::FaultPlan::seeded(topo.ost_count(), 7);
+        let e = StellarBuilder::new().faults(plan.clone()).build();
+        let composite = workloads::Contention::new(vec![
+            WorkloadKind::Ior64K.spec_at(0.05),
+            WorkloadKind::MdWorkbench2K.spec_at(0.05),
+        ]);
+        let grabbed = Arc::new(StdMutex::new(None));
+        let report = Campaign::new(&e)
+            .workload(Box::new(composite))
+            .seeds([1])
+            .observe(Box::new(Grab(grabbed.clone())))
+            .run_serial();
+        assert_eq!(report.cells.len(), 1);
+        let grid = grabbed.lock().unwrap().clone().expect("grid announced");
+        assert_eq!(grid.faults, Some(plan.label()));
+        assert!(grid.workloads[0].contains('+'), "{:?}", grid.workloads);
+        // Pristine campaigns announce no fault label.
+        let pristine = engine();
+        let grabbed2 = Arc::new(StdMutex::new(None));
+        let _ = Campaign::new(&pristine)
+            .kinds(&[WorkloadKind::Ior64K], 0.05)
+            .seeds([1])
+            .observe(Box::new(Grab(grabbed2.clone())))
+            .run_serial();
+        let grid2 = grabbed2.lock().unwrap().clone().expect("grid announced");
+        assert_eq!(grid2.faults, None);
     }
 
     /// Order overrides steer `run()` only: serial rounds execute — and

@@ -59,6 +59,12 @@ pub struct StellarOptions {
     /// either way — latency changes *when* work happens, never what it
     /// computes.
     pub backend_latency: Option<llmsim::LatencyProfile>,
+    /// When set, every simulated run executes under this [`pfs::FaultPlan`]:
+    /// OST service times scale by the plan's piecewise-constant degradation
+    /// factors, evaluated in simulated (event-queue) time. Sessions tag
+    /// their rule contexts "degraded-topology" so knowledge learned here
+    /// shards separately from pristine runs. `None` is a pristine cluster.
+    pub faults: Option<pfs::FaultPlan>,
 }
 
 impl Default for StellarOptions {
@@ -69,6 +75,7 @@ impl Default for StellarOptions {
             tuning: TuningOptions::default(),
             seed_policy: SeedPolicy::default(),
             backend_latency: None,
+            faults: None,
         }
     }
 }
@@ -191,7 +198,13 @@ impl Stellar {
         let streams = workload.generate(self.sim.topology(), seed);
         let nprocs = self.sim.topology().total_ranks();
         let mut collector = Collector::new(workload.name(), nprocs);
-        let result = self.sim.run_traced(streams, cfg, seed, &mut collector);
+        let result = self.sim.run_traced_faulted(
+            streams,
+            cfg,
+            seed,
+            self.options.faults.as_ref(),
+            &mut collector,
+        );
         let log = collector.finish();
         let (header, tables) = to_tables(&log);
         (result.wall_secs, header, tables)

@@ -59,7 +59,12 @@ use std::time::Instant;
 
 /// Version stamped on every emitted [`RecordLine`] (see the module docs
 /// for the bump policy).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: [`ObsEvent::SessionStart`] gained `scenario` (the run regime's
+/// scenario labels) and [`ObsEvent::CampaignStart`] gained `faults` (the
+/// engine's fault-plan label) — both canonical, since faulted and
+/// pristine runs must not record identically.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A canonical (deterministic) run-record event.
 ///
@@ -77,6 +82,11 @@ pub enum ObsEvent {
         workload: String,
         /// The session's fully derived run seed.
         run_seed: u64,
+        /// Scenario labels of the run regime (`"degraded-topology"`,
+        /// `"noisy-neighbor"`), empty for a pristine single-job run.
+        /// Canonical: rules learned under a scenario shard separately,
+        /// so the record must say which regime produced it.
+        scenario: Vec<String>,
     },
     /// The initial default-configuration execution.
     InitialRun {
@@ -128,6 +138,9 @@ pub enum ObsEvent {
         seeds: Vec<u64>,
         /// Rule-sharing mode label (`cold` / `warm`).
         mode: String,
+        /// Label of the engine's fault plan, `None` on a pristine
+        /// cluster. Canonical — faults change simulated results.
+        faults: Option<String>,
     },
     /// A seed round is about to execute.
     RoundStart {
@@ -459,8 +472,19 @@ impl RunRecord {
         let mut out = String::new();
         for e in self.events() {
             match e {
-                ObsEvent::SessionStart { workload, run_seed } => {
-                    out.push_str(&format!("workload: {workload} (run seed {run_seed})\n"));
+                ObsEvent::SessionStart {
+                    workload,
+                    run_seed,
+                    scenario,
+                } => {
+                    if scenario.is_empty() {
+                        out.push_str(&format!("workload: {workload} (run seed {run_seed})\n"));
+                    } else {
+                        out.push_str(&format!(
+                            "workload: {workload} (run seed {run_seed}; scenario: {})\n",
+                            scenario.join(", ")
+                        ));
+                    }
                 }
                 ObsEvent::InitialRun { wall_secs } => {
                     out.push_str(&format!("default: {wall_secs:.3}s\n"));
@@ -622,13 +646,14 @@ impl<W: Write> JsonlEmitter<W> {
 }
 
 impl<W: Write> RunObserver for JsonlEmitter<W> {
-    fn on_session_start(&mut self, workload: &str, run_seed: u64) {
+    fn on_session_start(&mut self, workload: &str, run_seed: u64, scenario: &[&'static str]) {
         // Fresh per-session usage baselines: deltas are per session.
         self.prev_tuning = UsageMeter::default();
         self.prev_analysis = UsageMeter::default();
         self.event(ObsEvent::SessionStart {
             workload: workload.to_string(),
             run_seed,
+            scenario: scenario.iter().map(|s| s.to_string()).collect(),
         });
     }
 
@@ -678,8 +703,8 @@ impl<W: Write> RunObserver for JsonlEmitter<W> {
 }
 
 impl<W: Write> RunObserver for &mut JsonlEmitter<W> {
-    fn on_session_start(&mut self, workload: &str, run_seed: u64) {
-        (**self).on_session_start(workload, run_seed);
+    fn on_session_start(&mut self, workload: &str, run_seed: u64, scenario: &[&'static str]) {
+        (**self).on_session_start(workload, run_seed, scenario);
     }
     fn on_event(&mut self, event: &SessionEvent) {
         (**self).on_event(event);
@@ -704,6 +729,7 @@ impl<W: Write + Send> CampaignObserver for JsonlEmitter<W> {
             workloads: grid.workloads.clone(),
             seeds: grid.seeds.clone(),
             mode: grid.mode.label().to_string(),
+            faults: grid.faults.clone(),
         });
     }
 
@@ -1039,6 +1065,7 @@ mod tests {
                     e: Some(ObsEvent::SessionStart {
                         workload: "IOR_16M".into(),
                         run_seed: 7,
+                        scenario: vec![],
                     }),
                     t: Some(Sidecar {
                         host_secs: 0.25,
@@ -1080,7 +1107,7 @@ mod tests {
         assert!(!canon.contains("host_secs"), "{canon}");
         assert!(!canon.contains("Waiting"), "{canon}");
         assert!(
-            canon.starts_with("{\"v\":1,\"e\":{\"SessionStart\""),
+            canon.starts_with("{\"v\":2,\"e\":{\"SessionStart\""),
             "{canon}"
         );
         assert!((rec.host_secs() - 1.0).abs() < 1e-12);
@@ -1093,23 +1120,26 @@ mod tests {
         rec.lines[1].v = SCHEMA_VERSION + 1;
         let err = RunRecord::parse(&rec.to_jsonl()).expect_err("must reject");
         assert!(err.contains("line 2"), "{err}");
-        assert!(err.contains("schema v2"), "{err}");
+        assert!(err.contains("schema v3"), "{err}");
         // Malformed JSON reports its line too.
-        let err = RunRecord::parse("{\"v\":1,\"e\":null,\"t\":null}\nnot json\n")
+        let err = RunRecord::parse("{\"v\":2,\"e\":null,\"t\":null}\nnot json\n")
             .expect_err("must reject");
         assert!(err.starts_with("line 2"), "{err}");
         // A future-version line with an event variant this reader does
         // not know must still report the version, not a parse error —
         // the version probe runs before full deserialization.
-        let err = RunRecord::parse("{\"v\":2,\"e\":{\"FromTheFuture\":{}},\"t\":null}\n")
+        let err = RunRecord::parse("{\"v\":3,\"e\":{\"FromTheFuture\":{}},\"t\":null}\n")
             .expect_err("must reject");
-        assert!(err.contains("record is schema v2"), "{err}");
+        assert!(err.contains("record is schema v3"), "{err}");
+        // A v1 record (pre-scenario schema) is likewise foreign now.
+        let err = RunRecord::parse("{\"v\":1,\"e\":null,\"t\":null}\n").expect_err("must reject");
+        assert!(err.contains("record is schema v1"), "{err}");
     }
 
     #[test]
     fn emitter_writes_one_json_object_per_line() {
         let mut em = JsonlEmitter::new(Vec::new());
-        em.on_session_start("IOR_16M", 7);
+        em.on_session_start("IOR_16M", 7, &[]);
         em.on_transcript("hello");
         // Three polls of the same in-flight call = ONE suspension note.
         em.on_waiting(dummy_handle());
@@ -1130,6 +1160,32 @@ mod tests {
             "{summary}"
         );
         assert!(summary.contains("1 suspension(s)"), "{summary}");
+    }
+
+    #[test]
+    fn session_start_records_scenario_labels() {
+        let mut em = JsonlEmitter::new(Vec::new());
+        em.on_session_start(
+            "IOR_64K+MDWorkbench_2K",
+            7,
+            &["degraded-topology", "noisy-neighbor"],
+        );
+        let bytes = em.into_inner();
+        let rec = RunRecord::parse(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let Some(ObsEvent::SessionStart { scenario, .. }) = rec.events().next() else {
+            panic!("expected SessionStart first");
+        };
+        assert_eq!(scenario.len(), 2);
+        let canon = rec.canonical_jsonl();
+        assert!(
+            canon.contains("\"scenario\":[\"degraded-topology\",\"noisy-neighbor\"]"),
+            "{canon}"
+        );
+        let summary = rec.summary();
+        assert!(
+            summary.contains("scenario: degraded-topology, noisy-neighbor"),
+            "{summary}"
+        );
     }
 
     #[test]
@@ -1162,6 +1218,7 @@ mod tests {
             mode: crate::RuleMode::Warm,
             workers: 2,
             schedule: Schedule::Lpt,
+            faults: None,
         });
         pr.on_round_start(1);
         pr.on_cell_claimed(0, 1, 0, "IOR_16M");

@@ -213,6 +213,21 @@ pub fn permutation_from_seed(n: usize, seed: u64) -> Vec<usize> {
     order
 }
 
+/// Worker busy fraction for one round: `busy / (workers × makespan)`.
+///
+/// Guards the degenerate single-cell round whose measured makespan is
+/// below the host clock's granularity: dividing by a zero (or epsilon)
+/// makespan used to report an infinite utilization, which then turned the
+/// makespan-weighted campaign mean into `inf × 0 = NaN`. A round that
+/// took no measurable time reports 0 — it contributes nothing to the
+/// weighted mean either way.
+pub fn round_utilization(busy_secs: f64, workers: usize, makespan_secs: f64) -> f64 {
+    if makespan_secs <= 0.0 || workers == 0 {
+        return 0.0;
+    }
+    busy_secs / (workers as f64 * makespan_secs)
+}
+
 /// Scheduling telemetry for one executed round.
 #[derive(Debug, Clone)]
 pub struct RoundSched {
@@ -467,6 +482,40 @@ mod tests {
         };
         assert_eq!(empty.mean_utilization(), 0.0);
         assert_eq!(empty.max_in_flight(), 0);
+    }
+
+    /// Regression: a single-cell round finishing under the host clock's
+    /// granularity used to divide busy time by a zero makespan, reporting
+    /// `inf` utilization — and the makespan-weighted campaign mean then
+    /// evaluated `inf × 0 = NaN`, poisoning every later percentile and
+    /// the rendered summary. Zero-duration rounds now report 0.
+    #[test]
+    fn zero_makespan_rounds_report_zero_utilization() {
+        assert_eq!(round_utilization(0.0, 2, 0.0), 0.0);
+        assert_eq!(round_utilization(1.0e-9, 4, 0.0), 0.0);
+        assert_eq!(round_utilization(3.0, 0, 1.0), 0.0);
+        assert!((round_utilization(4.0, 2, 3.0) - 2.0 / 3.0).abs() < 1e-12);
+        // A zero-makespan tail round mixed into real rounds must leave
+        // the weighted campaign mean finite and unchanged.
+        let round = |makespan_secs: f64, busy: f64, workers: usize| RoundSched {
+            seed: 9,
+            order: vec![0],
+            cell_secs: vec![busy],
+            makespan_secs,
+            utilization: round_utilization(busy, workers, makespan_secs),
+            max_in_flight: 0,
+        };
+        let stats = SchedStats {
+            schedule: Schedule::Adaptive,
+            threads_requested: 1,
+            workers: 1,
+            parallelism_fallback: false,
+            rounds: vec![round(10.0, 8.0, 1), round(0.0, 1.0e-9, 1)],
+        };
+        let mean = stats.mean_utilization();
+        assert!(mean.is_finite(), "mean must not be NaN/inf: {mean}");
+        assert!((mean - 0.8).abs() < 1e-12, "got {mean}");
+        assert!(stats.render().contains("utilization 80%"));
     }
 
     /// Regression: the campaign mean used to average per-round

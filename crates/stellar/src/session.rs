@@ -90,11 +90,13 @@ pub enum SessionEvent {
 /// All methods have no-op defaults; implement the ones you need.
 pub trait RunObserver {
     /// Called once, before the first step does any work, with the
-    /// session's workload label and fully derived run seed — the metadata
-    /// a run record needs to be replayable on its own (see
+    /// session's workload label, fully derived run seed, and the scenario
+    /// labels of the run regime (`"degraded-topology"`, `"noisy-neighbor"`;
+    /// empty for a pristine single-job run) — the metadata a run record
+    /// needs to be replayable on its own (see
     /// [`crate::obs::ObsEvent::SessionStart`]).
-    fn on_session_start(&mut self, workload: &str, run_seed: u64) {
-        let _ = (workload, run_seed);
+    fn on_session_start(&mut self, workload: &str, run_seed: u64, scenario: &[&'static str]) {
+        let _ = (workload, run_seed, scenario);
     }
 
     /// Called once per [`TuningSession::step`] with the produced event.
@@ -313,8 +315,9 @@ impl<'a> TuningSession<'a> {
         // (`Phase::Start` holds exactly until `step_start` runs below).
         if matches!(self.phase, Phase::Start) && !self.observers.is_empty() {
             let name = self.workload.name();
+            let scenario = self.scenario_labels();
             for obs in &mut self.observers {
-                obs.on_session_start(&name, self.run_seed);
+                obs.on_session_start(&name, self.run_seed, &scenario);
             }
         }
         if let Some(call) = self.poll_gate() {
@@ -397,13 +400,43 @@ impl<'a> TuningSession<'a> {
         SessionEvent::InitialRun { wall_secs: wall }
     }
 
+    /// The scenario tags of this session's run regime: degraded topology
+    /// when the engine carries a fault plan, noisy neighbor when the
+    /// workload is a contention composite. Appended to rule-matching
+    /// probes and to reflected rule contexts, so knowledge learned under
+    /// one regime never crosses into another (scenario tags gate matching
+    /// exactly — see [`ContextTag::is_scenario`]).
+    fn scenario_tags(&self) -> Vec<ContextTag> {
+        let mut tags = Vec::new();
+        if self.engine.options().faults.is_some() {
+            tags.push(ContextTag::DegradedTopology);
+        }
+        if self.workload.contended() {
+            tags.push(ContextTag::NoisyNeighbor);
+        }
+        tags
+    }
+
+    /// Canonical-schema labels of the scenario tags (stable strings).
+    fn scenario_labels(&self) -> Vec<&'static str> {
+        self.scenario_tags()
+            .into_iter()
+            .filter_map(ContextTag::scenario_label)
+            .collect()
+    }
+
     fn build_agent(&mut self) {
         let matched: Vec<agents::Rule> = if self.engine.options().tuning.use_rules {
-            let tags = self
+            let mut tags = self
                 .report
                 .as_ref()
                 .map(ContextTag::tags_for)
                 .unwrap_or_default();
+            for t in self.scenario_tags() {
+                if !tags.contains(&t) {
+                    tags.push(t);
+                }
+            }
             self.rules.matching(&tags).into_iter().cloned().collect()
         } else {
             Vec::new()
@@ -501,10 +534,15 @@ impl<'a> TuningSession<'a> {
         let transcript = agent.transcript().to_vec();
         let history = agent.history().to_vec();
         drop(agent);
+        let scenario = self.scenario_tags();
         let new_rules = match &self.report {
-            Some(r) => {
-                agents::reflect::reflect(&mut self.tuning_backend, r, &history, self.default_wall)
-            }
+            Some(r) => agents::reflect::reflect(
+                &mut self.tuning_backend,
+                r,
+                &history,
+                self.default_wall,
+                &scenario,
+            ),
             None => Vec::new(),
         };
 

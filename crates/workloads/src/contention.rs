@@ -1,0 +1,350 @@
+//! Noisy-neighbor contention: a composite [`Workload`] that interleaves two
+//! or more jobs' operation streams over the same cluster.
+//!
+//! The engine's event queue already interleaves *ranks* in global time
+//! order; [`Contention`] lets it interleave *jobs* the same way. Each
+//! component job generates its streams from a seed derived by job index, its
+//! file and directory namespaces are shifted into disjoint ranges, and each
+//! rank's merged stream concatenates the jobs' barrier-delimited phases so
+//! all ranks keep a uniform barrier count (the engine's invariant). The
+//! merged streams therefore contain exactly the union of the component jobs'
+//! operations — which makes the composite [`CostHint`] closed-form: it is
+//! the sum of the component hints, and stays as exact as they are.
+
+use crate::{CostHint, Workload};
+use pfs::ops::{DirId, FileId, IoOp, Module, RankStream};
+use pfs::topology::ClusterSpec;
+use simcore::rng::combine;
+
+/// Namespace stride between component jobs: job `j`'s file and directory ids
+/// are shifted by `j * JOB_ID_STRIDE`, far above any id a suite generator
+/// produces on its own.
+pub const JOB_ID_STRIDE: u32 = 1 << 20;
+
+/// Two or more workloads co-scheduled on one cluster, contending for the
+/// same OSTs, NICs, and MDS.
+pub struct Contention {
+    jobs: Vec<Box<dyn Workload>>,
+}
+
+impl Contention {
+    /// Compose `jobs` into one contended workload.
+    ///
+    /// # Panics
+    /// If fewer than two jobs are given — one job alone is not contention.
+    pub fn new(jobs: Vec<Box<dyn Workload>>) -> Self {
+        assert!(jobs.len() >= 2, "Contention needs at least two jobs");
+        Contention { jobs }
+    }
+
+    /// The component jobs.
+    pub fn jobs(&self) -> &[Box<dyn Workload>] {
+        &self.jobs
+    }
+}
+
+/// Shift every file/dir id in `op` by `base` (namespace isolation per job).
+fn remap(op: IoOp, base: u32) -> IoOp {
+    let f = |FileId(id): FileId| FileId(id + base);
+    let d = |DirId(id): DirId| DirId(id + base);
+    match op {
+        IoOp::Mkdir { dir } => IoOp::Mkdir { dir: d(dir) },
+        IoOp::Create { file, dir } => IoOp::Create {
+            file: f(file),
+            dir: d(dir),
+        },
+        IoOp::Open { file } => IoOp::Open { file: f(file) },
+        IoOp::Close { file } => IoOp::Close { file: f(file) },
+        IoOp::Write { file, offset, len } => IoOp::Write {
+            file: f(file),
+            offset,
+            len,
+        },
+        IoOp::Read { file, offset, len } => IoOp::Read {
+            file: f(file),
+            offset,
+            len,
+        },
+        IoOp::Stat { file } => IoOp::Stat { file: f(file) },
+        IoOp::Unlink { file } => IoOp::Unlink { file: f(file) },
+        IoOp::Fsync { file } => IoOp::Fsync { file: f(file) },
+        IoOp::Readdir { dir } => IoOp::Readdir { dir: d(dir) },
+        IoOp::Barrier | IoOp::Compute { .. } => op,
+    }
+}
+
+/// Split a stream's ops into barrier-delimited phases (barriers removed).
+fn phases(ops: &[IoOp]) -> Vec<Vec<IoOp>> {
+    let mut out = vec![Vec::new()];
+    for op in ops {
+        if matches!(op, IoOp::Barrier) {
+            out.push(Vec::new());
+        } else {
+            out.last_mut().expect("phases always non-empty").push(*op);
+        }
+    }
+    out
+}
+
+impl Workload for Contention {
+    fn name(&self) -> String {
+        self.jobs
+            .iter()
+            .map(|j| j.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    fn generate(&self, topo: &ClusterSpec, seed: u64) -> Vec<RankStream> {
+        // Each job gets its own derived seed and namespace base.
+        let per_job: Vec<Vec<RankStream>> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| job.generate(topo, combine(seed, j as u64 + 1)))
+            .collect();
+        let rank_count = per_job.iter().map(Vec::len).max().unwrap_or(0);
+        // Phase count is uniform per job (the engine asserts per-job barrier
+        // uniformity); the composite pads shorter jobs with empty phases so
+        // every merged rank sees the same barrier count.
+        let phase_count = per_job
+            .iter()
+            .filter_map(|streams| streams.first().map(|s| s.barrier_count() + 1))
+            .max()
+            .unwrap_or(1);
+
+        (0..rank_count)
+            .map(|r| {
+                let module = per_job
+                    .iter()
+                    .find_map(|streams| streams.get(r).map(|s| s.module))
+                    .unwrap_or(Module::Posix);
+                let rank = per_job
+                    .iter()
+                    .find_map(|streams| streams.get(r).map(|s| s.rank))
+                    .unwrap_or(r as u32);
+                let job_phases: Vec<Vec<Vec<IoOp>>> = per_job
+                    .iter()
+                    .map(|streams| {
+                        streams
+                            .get(r)
+                            .map(|s| phases(&s.ops))
+                            .unwrap_or_else(|| vec![Vec::new()])
+                    })
+                    .collect();
+                let mut merged = RankStream::new(rank, module);
+                for p in 0..phase_count {
+                    if p > 0 {
+                        merged.push(IoOp::Barrier);
+                    }
+                    for (j, ph) in job_phases.iter().enumerate() {
+                        let base = j as u32 * JOB_ID_STRIDE;
+                        if let Some(seg) = ph.get(p) {
+                            for op in seg {
+                                merged.push(remap(*op, base));
+                            }
+                        }
+                    }
+                }
+                merged
+            })
+            .collect()
+    }
+
+    fn scaled(&self, factor: f64) -> Box<dyn Workload> {
+        Box::new(Contention {
+            jobs: self.jobs.iter().map(|j| j.scaled(factor)).collect(),
+        })
+    }
+
+    fn describe(&self) -> String {
+        let parts = self
+            .jobs
+            .iter()
+            .map(|j| j.name())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{} co-scheduled jobs ({parts}) contending for the same OSTs, \
+             NICs, and MDS; streams interleaved phase-by-phase over disjoint \
+             file namespaces",
+            self.jobs.len()
+        )
+    }
+
+    fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
+        // Closed-form: the merged streams are exactly the union of the
+        // component ops (remap preserves kinds and lengths, barriers don't
+        // count), so the composite hint is the component sum.
+        let mut total = CostHint::default();
+        for job in &self.jobs {
+            let h = job.cost_hint(topo);
+            total.data_ops += h.data_ops;
+            total.meta_ops += h.meta_ops;
+            total.bytes += h.bytes;
+        }
+        total
+    }
+
+    fn contended(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::WorkloadKind;
+
+    fn two_job() -> Contention {
+        Contention::new(vec![
+            WorkloadKind::Ior64K.spec_at(0.05),
+            WorkloadKind::MdWorkbench2K.spec_at(0.05),
+        ])
+    }
+
+    #[test]
+    fn name_joins_components() {
+        assert_eq!(two_job().name(), "IOR_64K+MDWorkbench_2K");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two jobs")]
+    fn rejects_single_job() {
+        let _ = Contention::new(vec![WorkloadKind::Ior64K.spec_at(0.05)]);
+    }
+
+    #[test]
+    fn merged_streams_have_uniform_barriers() {
+        let topo = ClusterSpec::tiny();
+        let streams = two_job().generate(&topo, 7);
+        assert_eq!(streams.len(), topo.total_ranks() as usize);
+        let counts: Vec<usize> = streams.iter().map(RankStream::barrier_count).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "barrier counts differ: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn merged_streams_are_the_union_of_component_ops() {
+        let topo = ClusterSpec::tiny();
+        let c = two_job();
+        let merged = c.generate(&topo, 7);
+        let mut expect_data_ops = 0u64;
+        let mut expect_bytes = 0u64;
+        for (j, job) in c.jobs().iter().enumerate() {
+            for s in job.generate(&topo, combine(7, j as u64 + 1)) {
+                for op in &s.ops {
+                    if matches!(op, IoOp::Write { .. } | IoOp::Read { .. }) {
+                        expect_data_ops += 1;
+                        expect_bytes += op.bytes();
+                    }
+                }
+            }
+        }
+        let got = CostHint::from_streams(&merged);
+        assert_eq!(got.data_ops, expect_data_ops);
+        assert_eq!(got.bytes, expect_bytes);
+    }
+
+    #[test]
+    fn namespaces_are_disjoint_across_jobs() {
+        let topo = ClusterSpec::tiny();
+        let c = two_job();
+        let merged = c.generate(&topo, 3);
+        let mut job0 = std::collections::BTreeSet::new();
+        let mut job1 = std::collections::BTreeSet::new();
+        for s in &merged {
+            for op in &s.ops {
+                let file = match op {
+                    IoOp::Create { file, .. }
+                    | IoOp::Open { file }
+                    | IoOp::Close { file }
+                    | IoOp::Write { file, .. }
+                    | IoOp::Read { file, .. }
+                    | IoOp::Stat { file }
+                    | IoOp::Unlink { file }
+                    | IoOp::Fsync { file } => Some(file.0),
+                    _ => None,
+                };
+                if let Some(id) = file {
+                    if id < JOB_ID_STRIDE {
+                        job0.insert(id);
+                    } else {
+                        job1.insert(id);
+                    }
+                }
+            }
+        }
+        assert!(!job0.is_empty() && !job1.is_empty());
+        assert!(job1.iter().all(|id| *id >= JOB_ID_STRIDE));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let topo = ClusterSpec::tiny();
+        let c = two_job();
+        let a = c.generate(&topo, 11);
+        let b = c.generate(&topo, 11);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        let c2 = c.generate(&topo, 12);
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c2).unwrap()
+        );
+    }
+
+    #[test]
+    fn cost_hint_is_component_sum() {
+        let topo = ClusterSpec::tiny();
+        let c = two_job();
+        let sum = c.jobs().iter().fold(CostHint::default(), |acc, j| {
+            let h = j.cost_hint(&topo);
+            CostHint {
+                data_ops: acc.data_ops + h.data_ops,
+                meta_ops: acc.meta_ops + h.meta_ops,
+                bytes: acc.bytes + h.bytes,
+            }
+        });
+        assert_eq!(c.cost_hint(&topo), sum);
+    }
+
+    #[test]
+    fn cost_hint_tracks_generated_streams() {
+        // Same exactness contract as the suite workloads: op counts exact,
+        // bytes within 5% of ground truth from an actual generation.
+        let topo = ClusterSpec::tiny();
+        let c = two_job();
+        let hint = c.cost_hint(&topo);
+        let truth = CostHint::from_streams(&c.generate(&topo, 1));
+        assert_eq!(hint.data_ops, truth.data_ops, "data ops");
+        assert_eq!(hint.meta_ops, truth.meta_ops, "meta ops");
+        let err = (hint.bytes as f64 - truth.bytes as f64).abs() / truth.bytes as f64;
+        assert!(
+            err < 0.05,
+            "bytes err {err} (hint {hint:?} truth {truth:?})"
+        );
+    }
+
+    #[test]
+    fn contended_marker_is_set() {
+        assert!(two_job().contended());
+        assert!(!WorkloadKind::Ior64K.spec().contended());
+    }
+
+    #[test]
+    fn scaled_scales_components() {
+        let topo = ClusterSpec::tiny();
+        let big = two_job();
+        let small = big.scaled(0.5);
+        assert!(small.contended());
+        assert_eq!(small.name(), big.name());
+        let hb = big.cost_hint(&topo);
+        let hs = small.cost_hint(&topo);
+        assert!(hs.bytes < hb.bytes, "{} !< {}", hs.bytes, hb.bytes);
+    }
+}

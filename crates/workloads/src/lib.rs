@@ -30,12 +30,14 @@
 #![deny(missing_docs)]
 
 pub mod amrex;
+pub mod contention;
 pub mod io500;
 pub mod ior;
 pub mod macsio;
 pub mod mdworkbench;
 pub mod suite;
 
+pub use contention::Contention;
 pub use suite::{WorkloadKind, BENCHMARKS, REAL_APPS};
 
 use pfs::ops::RankStream;
@@ -120,6 +122,13 @@ pub trait Workload: Send + Sync {
     /// override it with closed-form parameter math.
     fn cost_hint(&self, topo: &ClusterSpec) -> CostHint {
         CostHint::from_streams(&self.generate(topo, 0))
+    }
+
+    /// Whether this workload models noisy-neighbor contention (two or more
+    /// co-scheduled jobs sharing the cluster). Scenario-tagging in the agent
+    /// layer keys off this marker; plain workloads report `false`.
+    fn contended(&self) -> bool {
+        false
     }
 }
 
