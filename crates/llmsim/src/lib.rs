@@ -23,6 +23,10 @@
 //!   [`nonblocking::SyncAdapter`] blanket adapter over any sync backend,
 //!   and [`nonblocking::SimLatency`], deterministic seeded latency for
 //!   exercising suspension and call overlap in tests and benches.
+//! * [`failures`] — the failure domain of the same seam:
+//!   [`failures::SimFailures`] turns a seeded, submission-indexed fraction
+//!   of calls into [`nonblocking::CallStatus::Failed`] outcomes so retry
+//!   and isolation machinery can be exercised reproducibly.
 //!
 //! Real providers can be substituted by implementing [`backend::LlmBackend`]
 //! (blocking) or [`nonblocking::NonBlockingBackend`] (submit/poll).
@@ -32,15 +36,17 @@
 
 pub mod backend;
 pub mod facts;
+pub mod failures;
 pub mod nonblocking;
 pub mod profiles;
 pub mod tokens;
 
 pub use backend::{LlmBackend, SimLlm};
 pub use facts::{FactQuality, ParamFact};
+pub use failures::{FailureInjection, FailureProfile, SimFailures};
 pub use nonblocking::{
-    CallHandle, CallStatus, LatencyProfile, LlmCall, LlmReply, NonBlockingBackend, SimLatency,
-    SyncAdapter,
+    CallError, CallHandle, CallStatus, LatencyProfile, LlmCall, LlmReply, NonBlockingBackend,
+    SimLatency, SyncAdapter,
 };
 pub use profiles::ModelProfile;
 pub use tokens::{estimate_tokens, PrefixCache, UsageMeter};

@@ -19,13 +19,17 @@
 //!   (measured in poll ticks, not wall time) around any inner
 //!   non-blocking backend, so tests and benches can exercise suspension
 //!   and call overlap without timers or nondeterminism.
+//! * [`crate::SimFailures`] — the failure-domain sibling: seeded
+//!   per-submission error injection ([`CallStatus::Failed`] carrying a
+//!   [`CallError`]) with the same determinism contract.
 //!
 //! ## The contract with callers
 //!
 //! A handle is live from `submit` until the `poll` that returns `Ready`
-//! (which consumes it) or until [`cancel`]. Polling a consumed, cancelled
-//! or foreign handle panics — sessions hold exactly one in-flight call at
-//! a time, so a stale handle is a caller bug, not a recoverable state.
+//! or `Failed` (either consumes it) or until [`cancel`]. Polling a
+//! consumed, cancelled or foreign handle panics — sessions hold exactly
+//! one in-flight call at a time, so a stale handle is a caller bug, not a
+//! recoverable state.
 //!
 //! Latency is counted in *ticks*: each `poll` of a pending call burns one
 //! tick. A driver that keeps polling therefore always makes progress, and
@@ -40,15 +44,17 @@
 
 use crate::backend::LlmBackend;
 use crate::facts::ParamFact;
+use serde::{Deserialize, Serialize};
 use simcore::rng::combine;
 use simcore::SimRng;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Opaque identifier of one in-flight backend call.
 ///
 /// Handles are only meaningful to the backend that issued them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct CallHandle(u64);
+pub struct CallHandle(pub(crate) u64);
 
 impl CallHandle {
     /// The raw id, for logs and telemetry.
@@ -117,6 +123,53 @@ pub enum LlmReply {
     Done,
 }
 
+/// Why a backend call concluded without a reply.
+///
+/// The split mirrors real provider error taxonomies: [`Transient`] covers
+/// conditions a resubmission can clear (rate limiting, gateway timeouts,
+/// load shedding), [`Fatal`] covers calls that can never succeed as issued
+/// (malformed requests, revoked credentials). Retry layers key off
+/// [`CallError::is_transient`]; everything else is presentation.
+///
+/// [`Transient`]: CallError::Transient
+/// [`Fatal`]: CallError::Fatal
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CallError {
+    /// A provider-side hiccup a retry can clear.
+    Transient {
+        /// Short provider-style reason label (e.g. `"rate-limited"`).
+        reason: String,
+    },
+    /// The call can never succeed as issued; retrying is pointless.
+    Fatal {
+        /// Short provider-style reason label (e.g. `"invalid-request"`).
+        reason: String,
+    },
+}
+
+impl CallError {
+    /// Whether a resubmission could clear this error.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CallError::Transient { .. })
+    }
+
+    /// The provider-style reason label.
+    pub fn reason(&self) -> &str {
+        match self {
+            CallError::Transient { reason } | CallError::Fatal { reason } => reason,
+        }
+    }
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Transient { reason } => write!(f, "transient: {reason}"),
+            CallError::Fatal { reason } => write!(f, "fatal: {reason}"),
+        }
+    }
+}
+
 /// Outcome of polling an in-flight call.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CallStatus {
@@ -124,6 +177,9 @@ pub enum CallStatus {
     Ready(LlmReply),
     /// Still in flight — suspend and poll again later.
     Pending,
+    /// The call concluded with an error; the handle is consumed. Retry
+    /// decisions belong to the caller (see [`CallError::is_transient`]).
+    Failed(CallError),
 }
 
 /// A backend that accepts calls without blocking on their completion.
@@ -411,9 +467,11 @@ impl<B: NonBlockingBackend> NonBlockingBackend for SimLatency<B> {
         let inner_handle = *inner_handle;
         match self.inner.poll(inner_handle) {
             CallStatus::Pending => CallStatus::Pending,
-            ready => {
+            // Ready and Failed both consume the handle; either passes
+            // through once the tick budget is spent.
+            done => {
                 self.pending.remove(&handle.0);
-                ready
+                done
             }
         }
     }

@@ -80,22 +80,38 @@ fn render_event(e: &ObsEvent) -> String {
             "usage: +{} tuning call(s) (+{} in / +{} out), +{} analysis call(s)",
             tuning.calls, tuning.input_tokens, tuning.output_tokens, analysis.calls
         ),
+        ObsEvent::Retry {
+            context,
+            attempt,
+            error,
+        } => format!("  retry {attempt} at {context}: {error}"),
         ObsEvent::SessionEnd { reason } => format!("session ended: {reason}"),
+        ObsEvent::SessionFailed { error } => format!("session failed: {error}"),
         ObsEvent::CampaignStart {
             workloads,
             seeds,
             mode,
             faults,
-        } => format!(
-            "campaign: [{}] x {} seed(s), {} rules{}",
-            workloads.join(", "),
-            seeds.len(),
-            mode,
-            match faults {
-                Some(label) => format!(", faults: {label}"),
-                None => String::new(),
+            injection,
+            retry,
+        } => {
+            let mut line = format!(
+                "campaign: [{}] x {} seed(s), {} rules",
+                workloads.join(", "),
+                seeds.len(),
+                mode,
+            );
+            if let Some(label) = faults {
+                line.push_str(&format!(", faults: {label}"));
             }
-        ),
+            if let Some(label) = injection {
+                line.push_str(&format!(", failures: {label}"));
+            }
+            if let Some(label) = retry {
+                line.push_str(&format!(", retry: {label}"));
+            }
+            line
+        }
         ObsEvent::RoundStart { seed } => format!("round: seed {seed}"),
         ObsEvent::CellFinished {
             workload,
@@ -108,6 +124,12 @@ fn render_event(e: &ObsEvent) -> String {
             run.attempts.len(),
             run.end_reason
         ),
+        ObsEvent::CellFailed {
+            workload,
+            seed,
+            failure,
+            ..
+        } => format!("cell: {workload} @ seed {seed} -> failed ({failure})"),
         ObsEvent::RuleMerge {
             workload,
             added,
@@ -119,9 +141,15 @@ fn render_event(e: &ObsEvent) -> String {
             mean_best_speedup,
             rules,
             shards,
+            failed,
         } => format!(
-            "campaign ended: {cells} cell(s), {evaluations} evaluation(s), \
-             mean x{mean_best_speedup:.2}, {rules} rule(s) in {shards} shard(s)"
+            "campaign ended: {cells} cell(s){}, {evaluations} evaluation(s), \
+             mean x{mean_best_speedup:.2}, {rules} rule(s) in {shards} shard(s)",
+            if *failed > 0 {
+                format!(" ({failed} failed)")
+            } else {
+                String::new()
+            }
         ),
     }
 }

@@ -24,10 +24,17 @@
 //!   --faults <seed>    run under a seeded OST fault plan (degradation,
 //!                      dropout, recovery scheduled in simulated time);
 //!                      learned rules shard under "degraded-topology"
+//!   --inject-failures <seed>   fail a seeded fraction of backend calls
+//!                      (transient + fatal); transients retry under the
+//!                      engine's retry policy, fatal errors end the
+//!                      session with a structured failure
+//!   --retry <n>        total submissions allowed per backend call under
+//!                      --inject-failures (default 3)
 //!   --no-analysis / --no-descriptions / --no-rules   ablation switches
 //!
 //! campaign options (plus --scale/--rules/--save-rules/--attempts/--model/
-//!                   --backend-latency/--faults/--emit); a grid cell label
+//!                   --backend-latency/--faults/--inject-failures/--retry/
+//!                   --emit); a grid cell label
 //!                   may be a composite `A+B`, which co-schedules the named
 //!                   workloads over shared OSTs (noisy-neighbor contention):
 //!   --seeds <a,b,c>    grid seeds (default 42)
@@ -37,6 +44,10 @@
 //!   --schedule <s>     cell order: fifo | lpt | adaptive (default adaptive)
 //!   --progress         draw a live per-worker status board on stderr
 //!   --rule-shards      print the final sharded rule store's census
+//!   --resume <record.jsonl>   replay the completed rounds of a partial
+//!                      run record (same grid and flags) and execute only
+//!                      the remainder; the final report is bit-identical
+//!                      to an uninterrupted run
 //! ```
 
 use agents::RuleSet;
@@ -72,6 +83,19 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Strictly parse a numeric `--flag <value>`: an absent flag yields
+/// `default`, but a present-and-malformed value is a usage error (friendly
+/// message, exit 2) — never a silent fall-back to the default.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, i32> {
+    match flag_value(args, name) {
+        Some(v) => v.parse().map_err(|_| {
+            eprintln!("bad {name} `{v}`; expected a number");
+            2
+        }),
+        None => Ok(default),
+    }
 }
 
 fn parse_workload(args: &[String]) -> Result<WorkloadKind, i32> {
@@ -123,8 +147,14 @@ fn engine_from_flags(args: &[String]) -> Result<Stellar, i32> {
         .use_analysis(!has_flag(args, "--no-analysis"))
         .use_descriptions(!has_flag(args, "--no-descriptions"))
         .use_rules(!has_flag(args, "--no-rules"));
-    if let Some(n) = flag_value(args, "--attempts").and_then(|v| v.parse().ok()) {
-        builder = builder.attempt_budget(n);
+    if let Some(v) = flag_value(args, "--attempts") {
+        match v.parse() {
+            Ok(n) => builder = builder.attempt_budget(n),
+            Err(_) => {
+                eprintln!("bad --attempts `{v}`; expected a number");
+                return Err(2);
+            }
+        }
     }
     if let Some(model) = flag_value(args, "--model") {
         builder = builder.tuning_model(match model.as_str() {
@@ -154,6 +184,29 @@ fn engine_from_flags(args: &[String]) -> Result<Stellar, i32> {
             }
             Err(_) => {
                 eprintln!("bad --faults `{spec}`; use an integer fault-plan seed");
+                return Err(2);
+            }
+        }
+    }
+    if let Some(spec) = flag_value(args, "--inject-failures") {
+        match spec.parse::<u64>() {
+            Ok(seed) => builder = builder.failures(llmsim::FailureInjection::standard(seed)),
+            Err(_) => {
+                eprintln!("bad --inject-failures `{spec}`; use an integer injection seed");
+                return Err(2);
+            }
+        }
+    }
+    if let Some(spec) = flag_value(args, "--retry") {
+        match spec.parse::<u32>() {
+            Ok(n) if n >= 1 => {
+                builder = builder.retry_policy(stellar::RetryPolicy {
+                    max_attempts: n,
+                    ..Default::default()
+                });
+            }
+            _ => {
+                eprintln!("bad --retry `{spec}`; use a positive total attempt count");
                 return Err(2);
             }
         }
@@ -253,12 +306,14 @@ fn cmd_tune(args: &[String]) -> i32 {
         Ok(k) => k,
         Err(c) => return c,
     };
-    let scale: f64 = flag_value(args, "--scale")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    let seed: u64 = flag_value(args, "--seed")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(42);
+    let scale: f64 = match parse_flag(args, "--scale", 1.0) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
+    let seed: u64 = match parse_flag(args, "--seed", 42) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let engine = match engine_from_flags(args) {
         Ok(e) => e,
         Err(c) => return c,
@@ -283,7 +338,22 @@ fn cmd_tune(args: &[String]) -> i32 {
         // record the rule merge and flush.
         session.observe(Box::new(em));
     }
-    let run = session.drain();
+    let run = match session.drain_outcome() {
+        stellar::SessionOutcome::Finished(run) => run,
+        stellar::SessionOutcome::Failed(error) => {
+            // The failure is structured, never a panic: report it, then
+            // still settle the run record so the failure is durable.
+            eprintln!("tuning run failed: {error}");
+            if let Some(em) = emitter.as_mut() {
+                if let Err(e) = em.finish() {
+                    eprintln!("cannot flush run record: {e}");
+                } else {
+                    eprintln!("run record: {} line(s) emitted", em.lines());
+                }
+            }
+            return 1;
+        }
+    };
     rules.merge(run.new_rules.clone());
 
     println!("workload: {} (scale {scale})", run.workload);
@@ -354,24 +424,29 @@ fn cmd_campaign(args: &[String]) -> i32 {
         eprintln!("missing workload list; try `stellar-tune campaign IOR_16M,MACSio_16M`");
         return 2;
     };
-    let scale: f64 = flag_value(args, "--scale")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
+    let scale: f64 = match parse_flag(args, "--scale", 1.0) {
+        Ok(v) => v,
+        Err(c) => return c,
+    };
     let mut cells = Vec::new();
-    for label in list.split(',') {
+    for label in list.split(',').map(str::trim).filter(|l| !l.is_empty()) {
         match parse_cell(label, scale) {
             Ok(w) => cells.push(w),
             Err(c) => return c,
         }
     }
+    if cells.is_empty() {
+        eprintln!("empty workload list; try `stellar-tune campaign IOR_16M,MACSio_16M`");
+        return 2;
+    }
     let mut seeds: Vec<u64> = Vec::new();
     match flag_value(args, "--seeds") {
         Some(list) => {
-            for v in list.split(',') {
-                match v.trim().parse() {
+            for v in list.split(',').map(str::trim).filter(|v| !v.is_empty()) {
+                match v.parse() {
                     Ok(seed) => seeds.push(seed),
                     Err(_) => {
-                        eprintln!("bad seed `{}` in --seeds", v.trim());
+                        eprintln!("bad seed `{v}` in --seeds");
                         return 2;
                     }
                 }
@@ -409,14 +484,36 @@ fn cmd_campaign(args: &[String]) -> i32 {
         } else {
             RuleMode::Cold
         });
-    if let Some(n) = flag_value(args, "--threads").and_then(|v| v.parse().ok()) {
-        campaign = campaign.threads(n);
+    if let Some(v) = flag_value(args, "--threads") {
+        match v.parse() {
+            Ok(n) => campaign = campaign.threads(n),
+            Err(_) => {
+                eprintln!("bad --threads `{v}`; expected a number");
+                return 2;
+            }
+        }
     }
     if let Some(name) = flag_value(args, "--schedule") {
         match Schedule::parse(&name) {
             Some(s) => campaign = campaign.schedule(s),
             None => {
                 eprintln!("unknown schedule `{name}`; use fifo, lpt or adaptive");
+                return 2;
+            }
+        }
+    }
+    if let Some(path) = flag_value(args, "--resume") {
+        let record = match stellar::RunRecord::load_partial(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bad run record {path}: {e}");
+                return 2;
+            }
+        };
+        match campaign.resume_from(&record) {
+            Ok(c) => campaign = c,
+            Err(e) => {
+                eprintln!("cannot resume from {path}: {e}");
                 return 2;
             }
         }

@@ -126,6 +126,27 @@ impl StellarBuilder {
         self
     }
 
+    /// Inject deterministic seeded backend failures: a
+    /// [`llmsim::SimFailures`] layer turns the injection's fraction of
+    /// calls into [`llmsim::CallStatus::Failed`] outcomes, drawn per
+    /// submission index so the schedule is reproducible and
+    /// latency-invariant. Sessions retry transients under the engine's
+    /// [`crate::RetryPolicy`] and end in [`crate::SessionEvent::Failed`]
+    /// when the budget is spent. Off by default (perfect backend).
+    pub fn failures(mut self, injection: llmsim::FailureInjection) -> Self {
+        self.options.failures = Some(injection);
+        self
+    }
+
+    /// How sessions respond to failed backend calls (attempt budget,
+    /// poll-tick backoff, optional pending-poll timeout). Defaults to
+    /// [`crate::RetryPolicy::default`]; only consulted when latency
+    /// and/or failures are injected.
+    pub fn retry_policy(mut self, policy: crate::RetryPolicy) -> Self {
+        self.options.retry = policy;
+        self
+    }
+
     /// Build the engine: construct the simulator and run the offline RAG
     /// extraction phase.
     pub fn build(self) -> Stellar {
@@ -179,6 +200,26 @@ mod tests {
             .faults(pfs::FaultPlan::default())
             .build();
         assert!(engine.options().faults.is_none());
+    }
+
+    #[test]
+    fn failure_knobs_land_in_options() {
+        let injection = llmsim::FailureInjection::standard(9);
+        let policy = crate::RetryPolicy {
+            max_attempts: 5,
+            backoff_ticks: 2,
+            pending_timeout: Some(64),
+        };
+        let engine = StellarBuilder::new()
+            .failures(injection)
+            .retry_policy(policy)
+            .build();
+        assert_eq!(engine.options().failures, Some(injection));
+        assert_eq!(engine.options().retry, policy);
+        // Defaults: perfect backend, standard retry policy.
+        let engine = StellarBuilder::new().build();
+        assert!(engine.options().failures.is_none());
+        assert_eq!(engine.options().retry, crate::RetryPolicy::default());
     }
 
     #[test]

@@ -54,11 +54,33 @@
 //! bit-identical to the blocking path, property-tested in
 //! `tests/integration_nonblocking.rs`.
 //!
+//! ## Failure domains
+//!
+//! Every cell is its own failure domain. A session that ends with a
+//! structured [`SessionError`] (injected backend failures past the retry
+//! budget — see [`crate::RetryPolicy`]) or *panics* mid-step is published
+//! as [`CellOutcome::Failed`]; sibling cells keep running, the failed
+//! cell's rules never merge, and the report accounts for it separately
+//! ([`CampaignReport::failed_cells`]). Failure verdicts are drawn per
+//! submission index ([`llmsim::SimFailures`]), so serial, parallel and
+//! latency-injected runs of a failure-injected grid still produce
+//! byte-identical canonical streams (`tests/integration_failures.rs`).
+//!
+//! ## Crash-consistent resume
+//!
+//! An interrupted campaign leaves a partial run record behind. Configure
+//! an identical campaign and call [`Campaign::resume_from`] with the
+//! parsed record: every *complete* round is replayed from the recorded
+//! cells (re-notified and re-merged in grid order, never re-executed) and
+//! only the remainder runs live. Because recorded runs round-trip
+//! exactly, the resumed record and report are bit-identical to an
+//! uninterrupted run's.
+//!
 //! ## Observation
 //!
 //! [`Campaign::observe`] attaches [`CampaignObserver`]s: canonical
-//! lifecycle callbacks (campaign/round start, cells finished in grid
-//! order, rule merges, campaign end) fire deterministically on the
+//! lifecycle callbacks (campaign/round start, cells finished or failed in
+//! grid order, rule merges, campaign end) fire deterministically on the
 //! coordinating thread, while telemetry callbacks (claims, suspensions,
 //! publishes, planned orders, round stats) stream live from the worker
 //! loop. [`crate::obs`] builds the JSONL run record and the live
@@ -67,9 +89,13 @@
 
 use crate::engine::{Stellar, TuningRun};
 use crate::sched::{self, CostModel, RoundSched, SchedStats, Schedule};
+use crate::session::{SessionError, SessionOutcome};
 use agents::{RuleSet, RuleSnapshot, ShardedRuleStore};
 use llmsim::{CallHandle, UsageMeter};
+use serde::{Deserialize, Serialize};
 use simcore::rng::{combine, stable_hash};
+use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -123,6 +149,14 @@ pub struct CampaignGrid {
     /// so records of faulted and pristine campaigns must not compare
     /// equal.
     pub faults: Option<String>,
+    /// Label of the engine's [`llmsim::FailureInjection`], when backend
+    /// failures are injected (`None` on a perfect backend). Canonical,
+    /// like `faults`: injection changes which cells fail.
+    pub injection: Option<String>,
+    /// Label of the engine's [`crate::RetryPolicy`], present exactly when
+    /// `injection` is. Canonical: the retry budget decides which injected
+    /// failure schedules a session survives.
+    pub retry: Option<String>,
 }
 
 /// Streaming receiver for campaign progress, the grid-level sibling of
@@ -136,6 +170,7 @@ pub struct CampaignGrid {
 /// * **canonical** — [`on_campaign_start`](CampaignObserver::on_campaign_start),
 ///   [`on_round_start`](CampaignObserver::on_round_start),
 ///   [`on_cell_finished`](CampaignObserver::on_cell_finished),
+///   [`on_cell_failed`](CampaignObserver::on_cell_failed),
 ///   [`on_rules_merged`](CampaignObserver::on_rules_merged) and
 ///   [`on_campaign_end`](CampaignObserver::on_campaign_end) fire on the
 ///   coordinating thread in a deterministic order (cells in grid order at
@@ -187,8 +222,19 @@ pub trait CampaignObserver: Send {
     }
 
     /// Canonical: one finished cell, delivered in grid order after the
-    /// round's barrier (not in completion order).
+    /// round's barrier (not in completion order). Only fires for cells
+    /// whose outcome is [`CellOutcome::Finished`]; failed cells go to
+    /// [`on_cell_failed`](CampaignObserver::on_cell_failed) instead.
     fn on_cell_finished(&mut self, cell: &CampaignCell) {
+        let _ = cell;
+    }
+
+    /// Canonical: one *failed* cell (structured session error or caught
+    /// panic), delivered in grid order after the round's barrier exactly
+    /// like [`on_cell_finished`](CampaignObserver::on_cell_finished).
+    /// Failed cells merge no rules, so no
+    /// [`on_rules_merged`](CampaignObserver::on_rules_merged) follows.
+    fn on_cell_failed(&mut self, cell: &CampaignCell) {
         let _ = cell;
     }
 
@@ -210,7 +256,40 @@ pub trait CampaignObserver: Send {
     }
 }
 
-/// One completed grid cell.
+/// Why a campaign cell produced no run. Structured and serializable: it
+/// feeds the canonical stream ([`crate::obs::ObsEvent::CellFailed`]) and
+/// the report's failed-cell accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellFailure {
+    /// The cell's session ended with a structured error (fatal backend
+    /// call or exhausted retry budget).
+    Session(SessionError),
+    /// The cell's session panicked while stepping; the payload message.
+    /// The panic was caught at the cell boundary — sibling cells and the
+    /// campaign itself keep running.
+    Panic(String),
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Session(error) => write!(f, "{error}"),
+            CellFailure::Panic(message) => write!(f, "panic: {message}"),
+        }
+    }
+}
+
+/// How a grid cell concluded: the finished run, or the failure that
+/// isolated it.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell's session drained to a finished run.
+    Finished(TuningRun),
+    /// The cell failed; siblings were unaffected.
+    Failed(CellFailure),
+}
+
+/// One executed grid cell.
 #[derive(Debug, Clone)]
 pub struct CampaignCell {
     /// Workload label.
@@ -219,8 +298,43 @@ pub struct CampaignCell {
     pub seed: u64,
     /// The derived per-cell seed actually passed to the session.
     pub cell_seed: u64,
-    /// The finished tuning run.
-    pub run: TuningRun,
+    /// How the cell concluded.
+    pub outcome: CellOutcome,
+}
+
+impl CampaignCell {
+    /// The finished run, `None` when the cell failed.
+    pub fn run(&self) -> Option<&TuningRun> {
+        match &self.outcome {
+            CellOutcome::Finished(run) => Some(run),
+            CellOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Whether the cell failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.outcome, CellOutcome::Failed(_))
+    }
+
+    /// The failure that isolated the cell, `None` when it finished.
+    pub fn failure(&self) -> Option<&CellFailure> {
+        match &self.outcome {
+            CellOutcome::Failed(failure) => Some(failure),
+            CellOutcome::Finished(_) => None,
+        }
+    }
+}
+
+/// Turn a caught panic payload into the deterministic message most
+/// panics carry (`panic!("...")` payloads are `&str` or `String`).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Aggregated campaign outcome.
@@ -243,31 +357,38 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Mean best speedup across cells.
+    /// The finished runs, in grid order (failed cells skipped).
+    fn finished_runs(&self) -> impl Iterator<Item = &TuningRun> {
+        self.cells.iter().filter_map(CampaignCell::run)
+    }
+
+    /// Mean best speedup across *finished* cells (0.0 when none finished).
     pub fn mean_best_speedup(&self) -> f64 {
-        if self.cells.is_empty() {
+        let finished = self.finished_runs().count();
+        if finished == 0 {
             return 0.0;
         }
-        self.cells.iter().map(|c| c.run.best_speedup).sum::<f64>() / self.cells.len() as f64
+        self.finished_runs().map(|r| r.best_speedup).sum::<f64>() / finished as f64
     }
 
-    /// Total configuration attempts consumed.
+    /// Total configuration attempts consumed by finished cells.
     pub fn total_attempts(&self) -> usize {
-        self.cells.iter().map(|c| c.run.attempts.len()).sum()
+        self.finished_runs().map(|r| r.attempts.len()).sum()
     }
 
-    /// Total application executions (initial runs + attempts).
+    /// Total application executions (initial runs + attempts) of finished
+    /// cells.
     pub fn total_evaluations(&self) -> usize {
-        self.cells.len() + self.total_attempts()
+        self.finished_runs().count() + self.total_attempts()
     }
 
-    /// Summed token usage across cells: `(tuning, analysis)`.
+    /// Summed token usage across finished cells: `(tuning, analysis)`.
     pub fn total_usage(&self) -> (UsageMeter, UsageMeter) {
         let mut tuning = UsageMeter::default();
         let mut analysis = UsageMeter::default();
-        for c in &self.cells {
-            merge_usage(&mut tuning, &c.run.tuning_usage);
-            merge_usage(&mut analysis, &c.run.analysis_usage);
+        for r in self.finished_runs() {
+            merge_usage(&mut tuning, &r.tuning_usage);
+            merge_usage(&mut analysis, &r.analysis_usage);
         }
         (tuning, analysis)
     }
@@ -280,14 +401,17 @@ impl CampaignReport {
             .collect()
     }
 
-    /// The best-performing cell, if any.
+    /// The best-performing finished cell, if any.
     pub fn best_cell(&self) -> Option<&CampaignCell> {
-        self.cells.iter().max_by(|a, b| {
-            a.run
-                .best_speedup
-                .partial_cmp(&b.run.best_speedup)
-                .expect("finite")
+        self.cells.iter().filter(|c| !c.is_failed()).max_by(|a, b| {
+            let (a, b) = (a.run().expect("finished"), b.run().expect("finished"));
+            a.best_speedup.partial_cmp(&b.best_speedup).expect("finite")
         })
+    }
+
+    /// The failed cells, in grid order (empty on a clean campaign).
+    pub fn failed_cells(&self) -> Vec<&CampaignCell> {
+        self.cells.iter().filter(|c| c.is_failed()).collect()
     }
 
     /// Fixed-width text summary (one row per cell).
@@ -295,13 +419,16 @@ impl CampaignReport {
         let mut out = String::new();
         out.push_str(&table::header());
         for c in &self.cells {
-            out.push_str(&table::row(
-                &c.workload,
-                c.seed,
-                c.run.attempts.len(),
-                c.run.best_wall,
-                c.run.best_speedup,
-            ));
+            match &c.outcome {
+                CellOutcome::Finished(run) => out.push_str(&table::row(
+                    &c.workload,
+                    c.seed,
+                    run.attempts.len(),
+                    run.best_wall,
+                    run.best_speedup,
+                )),
+                CellOutcome::Failed(_) => out.push_str(&table::failed_row(&c.workload, c.seed)),
+            }
         }
         out.push_str(&table::trailer(
             self.mean_best_speedup(),
@@ -309,6 +436,7 @@ impl CampaignReport {
             self.total_evaluations(),
             self.rules.len(),
             self.rule_store.shard_count(),
+            self.failed_cells().len(),
         ));
         // `sched_stats` is deliberately absent here: render() output is
         // bit-identical across reruns (a repo-wide invariant) while the
@@ -343,17 +471,35 @@ pub(crate) mod table {
         format!("{workload:<18} {seed:>10} {attempts:>8} {best_wall:>8.3}s {best_speedup:>8.2}x\n")
     }
 
-    /// The aggregate trailer line.
+    /// One failed-cell row: same column widths as [`row`], with the
+    /// result columns blanked (`row` renders best as `{:>8.3}s` and
+    /// speedup as `{:>8.2}x`, both 9 wide with their unit suffix).
+    pub(crate) fn failed_row(workload: &str, seed: u64) -> String {
+        format!(
+            "{workload:<18} {seed:>10} {:>8} {:>9} {:>9}\n",
+            "-", "failed", "-"
+        )
+    }
+
+    /// The aggregate trailer line. The failed-cell suffix appears only
+    /// when cells failed, so clean campaigns render byte-identically to
+    /// the pre-failure-domain format.
     pub(crate) fn trailer(
         mean_best_speedup: f64,
         cells: usize,
         evaluations: usize,
         rules: usize,
         shards: usize,
+        failed: usize,
     ) -> String {
-        format!(
-            "mean speedup x{mean_best_speedup:.2} over {cells} cells ({evaluations} evaluations); {rules} rules accumulated in {shards} shards\n"
-        )
+        let mut line = format!(
+            "mean speedup x{mean_best_speedup:.2} over {cells} cells ({evaluations} evaluations); {rules} rules accumulated in {shards} shards"
+        );
+        if failed > 0 {
+            line.push_str(&format!("; {failed} cell(s) failed"));
+        }
+        line.push('\n');
+        line
     }
 }
 
@@ -375,6 +521,10 @@ pub struct Campaign<'e> {
     parallelism_fallback: bool,
     schedule: Schedule,
     order_override: Option<Vec<usize>>,
+    /// Complete rounds reconstructed from a partial run record by
+    /// [`Campaign::resume_from`]: replayed (re-notified, re-merged)
+    /// instead of executed. Empty for fresh campaigns.
+    replay: Vec<Vec<CampaignCell>>,
     // Behind a Mutex because telemetry callbacks fire from worker threads
     // while `run(&self)` only holds a shared borrow; the lock also keeps
     // multi-observer delivery atomic per event.
@@ -402,6 +552,7 @@ impl<'e> Campaign<'e> {
             parallelism_fallback: detected.is_err(),
             schedule: Schedule::default(),
             order_override: None,
+            replay: Vec::new(),
             observers: Mutex::new(Vec::new()),
         }
     }
@@ -528,13 +679,31 @@ impl<'e> Campaign<'e> {
         )
     }
 
+    /// Execute one cell inside its failure domain: the session is stepped
+    /// to its end behind `catch_unwind`, so a structured failure *and* an
+    /// outright panic both become a [`CellOutcome::Failed`] instead of
+    /// tearing down the campaign.
     fn run_cell(&self, seed: u64, workload_idx: usize, rules: &RuleSnapshot) -> CampaignCell {
-        let run = self.open_session(seed, workload_idx, rules).drain();
+        let session = self.open_session(seed, workload_idx, rules);
+        // AssertUnwindSafe: on panic the session (and any in-flight call
+        // it holds) is discarded wholesale, so no broken invariant can be
+        // observed afterwards.
+        let outcome = match std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let mut session = session;
+            while !session.is_ended() {
+                session.step();
+            }
+            session.into_outcome()
+        })) {
+            Ok(SessionOutcome::Finished(run)) => CellOutcome::Finished(run),
+            Ok(SessionOutcome::Failed(error)) => CellOutcome::Failed(CellFailure::Session(error)),
+            Err(payload) => CellOutcome::Failed(CellFailure::Panic(panic_message(payload))),
+        };
         CampaignCell {
             workload: self.workloads[workload_idx].name(),
             seed,
             cell_seed: self.cell_seed(seed, workload_idx),
-            run,
+            outcome,
         }
     }
 
@@ -619,8 +788,35 @@ impl<'e> Campaign<'e> {
                             // detlint::allow(D001): per-cell active stepping time feeds the
                             // adaptive cost model and the strippable sched sidecar only
                             let t0 = Instant::now();
-                            let event = open[idx].session.step();
+                            // The cell's failure domain: a panicking step
+                            // fails *this* cell (the broken session is
+                            // discarded) while siblings and other workers
+                            // keep running.
+                            let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                open[idx].session.step()
+                            }));
                             open[idx].busy_secs += t0.elapsed().as_secs_f64();
+                            let event = match step {
+                                Ok(event) => event,
+                                Err(payload) => {
+                                    let done = open.swap_remove(idx);
+                                    let i = done.grid_idx;
+                                    let cell = CampaignCell {
+                                        workload: self.workloads[i].name(),
+                                        seed,
+                                        cell_seed: self.cell_seed(seed, i),
+                                        outcome: CellOutcome::Failed(CellFailure::Panic(
+                                            panic_message(payload),
+                                        )),
+                                    };
+                                    let set = slots[i].set((cell, done.busy_secs));
+                                    assert!(set.is_ok(), "cell {i} executed twice");
+                                    self.notify(|o| {
+                                        o.on_cell_published(worker, seed, i, done.busy_secs)
+                                    });
+                                    continue; // swap_remove put a new cell at idx
+                                }
+                            };
                             let was_waiting = open[idx].waiting;
                             open[idx].waiting =
                                 matches!(event, crate::session::SessionEvent::Waiting { .. });
@@ -640,11 +836,17 @@ impl<'e> Campaign<'e> {
                             if open[idx].session.is_ended() {
                                 let done = open.swap_remove(idx);
                                 let i = done.grid_idx;
+                                let outcome = match done.session.into_outcome() {
+                                    SessionOutcome::Finished(run) => CellOutcome::Finished(run),
+                                    SessionOutcome::Failed(error) => {
+                                        CellOutcome::Failed(CellFailure::Session(error))
+                                    }
+                                };
                                 let cell = CampaignCell {
                                     workload: self.workloads[i].name(),
                                     seed,
                                     cell_seed: self.cell_seed(seed, i),
-                                    run: done.session.into_run(),
+                                    outcome,
                                 };
                                 let set = slots[i].set((cell, done.busy_secs));
                                 assert!(set.is_ok(), "cell {i} executed twice");
@@ -732,6 +934,10 @@ impl<'e> Campaign<'e> {
                 self.workloads.len()
             );
         }
+        let injection = self.engine.options().failures.map(|f| f.label());
+        let retry = injection
+            .is_some()
+            .then(|| self.engine.options().retry.label());
         let grid = CampaignGrid {
             workloads: self.workloads.iter().map(|w| w.name()).collect(),
             seeds: self.seeds.clone(),
@@ -739,10 +945,45 @@ impl<'e> Campaign<'e> {
             workers,
             schedule: sched_stats.schedule,
             faults: self.engine.options().faults.as_ref().map(|p| p.label()),
+            injection,
+            retry,
         };
         self.notify(|o| o.on_campaign_start(&grid));
         let mut cells = Vec::with_capacity(self.workloads.len() * self.seeds.len());
-        for &seed in &self.seeds {
+        for (round_idx, &seed) in self.seeds.iter().enumerate() {
+            // Crash-consistent resume: rounds reconstructed from a
+            // partial record replay — same canonical notifications, same
+            // grid-order merges, no execution. Telemetry (which measures
+            // execution) records a zeroed round, and the cost model is
+            // not fed: replayed cells cost nothing here.
+            if let Some(replayed) = self.replay.get(round_idx) {
+                self.notify(|o| o.on_round_start(seed));
+                for cell in replayed {
+                    match &cell.outcome {
+                        CellOutcome::Finished(run) => {
+                            self.notify(|o| o.on_cell_finished(cell));
+                            store.merge(run.new_rules.clone());
+                            self.notify(|o| {
+                                o.on_rules_merged(&cell.workload, run.new_rules.len(), store.len())
+                            });
+                        }
+                        CellOutcome::Failed(_) => self.notify(|o| o.on_cell_failed(cell)),
+                    }
+                }
+                sched_stats.rounds.push(RoundSched {
+                    seed,
+                    order: (0..self.workloads.len()).collect(),
+                    cell_secs: vec![0.0; self.workloads.len()],
+                    makespan_secs: 0.0,
+                    utilization: 0.0,
+                    max_in_flight: 0,
+                });
+                self.notify(|o| {
+                    o.on_round_finished(sched_stats.rounds.last().expect("round just pushed"))
+                });
+                cells.extend(replayed.iter().cloned());
+                continue;
+            }
             // O(1) either way: snapshots share shards, they don't clone
             // rules — warm rounds no longer pay for the set they've grown.
             let snapshot = match self.mode {
@@ -778,8 +1019,12 @@ impl<'e> Campaign<'e> {
             let makespan_secs = round_start.elapsed().as_secs_f64();
             let cell_secs: Vec<f64> = round.iter().map(|(_, s)| *s).collect();
             if let Some(m) = model.as_mut() {
+                // Failed cells measure time-to-failure, not workload
+                // cost — don't let them skew the adaptive model.
                 for (i, &secs) in cell_secs.iter().enumerate() {
-                    m.observe(i, secs);
+                    if !round[i].0.is_failed() {
+                        m.observe(i, secs);
+                    }
                 }
             }
             let busy: f64 = cell_secs.iter().sum();
@@ -796,13 +1041,20 @@ impl<'e> Campaign<'e> {
             // land in are copied; outstanding snapshots are untouched.
             // Canonical observer events follow the same grid order, so an
             // attached emitter's semantic stream is reproducible no matter
-            // which worker finished which cell first.
+            // which worker finished which cell first. Failed cells merge
+            // nothing — a partial session must not leak half-learned
+            // rules into its siblings' snapshots.
             for (cell, _) in &round {
-                self.notify(|o| o.on_cell_finished(cell));
-                store.merge(cell.run.new_rules.clone());
-                self.notify(|o| {
-                    o.on_rules_merged(&cell.workload, cell.run.new_rules.len(), store.len())
-                });
+                match &cell.outcome {
+                    CellOutcome::Finished(run) => {
+                        self.notify(|o| o.on_cell_finished(cell));
+                        store.merge(run.new_rules.clone());
+                        self.notify(|o| {
+                            o.on_rules_merged(&cell.workload, run.new_rules.len(), store.len())
+                        });
+                    }
+                    CellOutcome::Failed(_) => self.notify(|o| o.on_cell_failed(cell)),
+                }
             }
             self.notify(|o| {
                 o.on_round_finished(sched_stats.rounds.last().expect("round just pushed"))
@@ -827,6 +1079,202 @@ impl<'e> Campaign<'e> {
     /// Run the grid serially (same result as [`Campaign::run`]).
     pub fn run_serial(&self) -> CampaignReport {
         self.execute(false)
+    }
+
+    /// Resume an interrupted campaign from its partial run record
+    /// (crash-consistent: see the module docs).
+    ///
+    /// The campaign must be configured identically to the one that wrote
+    /// the record — same workloads, seeds, rule mode, engine fault /
+    /// failure-injection / retry configuration — which is validated
+    /// against the record's `CampaignStart` event and every replayed
+    /// cell's derived seed. Every *complete* round in the record (all
+    /// cells present, every finished cell's rule merge recorded) is
+    /// replayed instead of executed by the next [`Campaign::run`] /
+    /// [`Campaign::run_serial`]; an incomplete trailing round — the one a
+    /// crash tore — is discarded and recomputed live. The resulting
+    /// report and re-emitted record are bit-identical to an
+    /// uninterrupted run's.
+    ///
+    /// Use [`crate::obs::RunRecord::load_partial`] to parse a record
+    /// whose final line was torn by the crash.
+    pub fn resume_from(mut self, record: &crate::obs::RunRecord) -> Result<Self, String> {
+        use crate::obs::ObsEvent;
+        if self.workloads.is_empty() || self.seeds.is_empty() {
+            return Err("campaign grid is empty: add workloads and seeds".to_string());
+        }
+        let names: Vec<String> = self.workloads.iter().map(|w| w.name()).collect();
+        let options = self.engine.options();
+        let mut events = record.events();
+        let Some(ObsEvent::CampaignStart {
+            workloads,
+            seeds,
+            mode,
+            faults,
+            injection,
+            retry,
+        }) = events.next()
+        else {
+            return Err("record does not begin with a CampaignStart event".to_string());
+        };
+        if *workloads != names {
+            return Err(format!(
+                "record workloads {workloads:?} do not match configured grid {names:?}"
+            ));
+        }
+        if *seeds != self.seeds {
+            return Err(format!(
+                "record seeds {seeds:?} do not match configured seeds {:?}",
+                self.seeds
+            ));
+        }
+        if mode != self.mode.label() {
+            return Err(format!(
+                "record rule mode {mode:?} does not match configured {:?}",
+                self.mode.label()
+            ));
+        }
+        let engine_faults = options.faults.as_ref().map(|p| p.label());
+        if *faults != engine_faults {
+            return Err(format!(
+                "record fault plan {faults:?} does not match engine {engine_faults:?}"
+            ));
+        }
+        let engine_injection = options.failures.map(|f| f.label());
+        let engine_retry = engine_injection.is_some().then(|| options.retry.label());
+        if *injection != engine_injection {
+            return Err(format!(
+                "record failure injection {injection:?} does not match engine {engine_injection:?}"
+            ));
+        }
+        if *retry != engine_retry {
+            return Err(format!(
+                "record retry policy {retry:?} does not match engine {engine_retry:?}"
+            ));
+        }
+        let n = names.len();
+        // A round is complete when all its cells were recorded *and*
+        // every finished cell's rule merge made it to the record — the
+        // merge is the last canonical effect a cell has, so a round with
+        // all merges present replays to the exact post-round store state.
+        let is_complete = |cells: &[CampaignCell], merges: usize| {
+            cells.len() == n && merges == cells.iter().filter(|c| !c.is_failed()).count()
+        };
+        let mut rounds: Vec<Vec<CampaignCell>> = Vec::new();
+        let mut pending: Option<(u64, Vec<CampaignCell>, usize)> = None;
+        for event in events {
+            match event {
+                ObsEvent::RoundStart { seed } => {
+                    if let Some((prev_seed, cells, merges)) = pending.take() {
+                        if !is_complete(&cells, merges) {
+                            return Err(format!(
+                                "round seed {prev_seed} is incomplete but a later round follows"
+                            ));
+                        }
+                        rounds.push(cells);
+                    }
+                    let expected = self.seeds.get(rounds.len()).copied();
+                    if expected != Some(*seed) {
+                        return Err(format!(
+                            "round {} opened with seed {seed}, expected {expected:?}",
+                            rounds.len()
+                        ));
+                    }
+                    pending = Some((*seed, Vec::new(), 0));
+                }
+                ObsEvent::CellFinished {
+                    workload,
+                    seed,
+                    cell_seed,
+                    run,
+                } => {
+                    self.push_replay_cell(
+                        &mut pending,
+                        &names,
+                        workload,
+                        *seed,
+                        *cell_seed,
+                        CellOutcome::Finished(run.clone()),
+                    )?;
+                }
+                ObsEvent::CellFailed {
+                    workload,
+                    seed,
+                    cell_seed,
+                    failure,
+                } => {
+                    self.push_replay_cell(
+                        &mut pending,
+                        &names,
+                        workload,
+                        *seed,
+                        *cell_seed,
+                        CellOutcome::Failed(failure.clone()),
+                    )?;
+                }
+                ObsEvent::RuleMerge { .. } => {
+                    if let Some((_, _, merges)) = pending.as_mut() {
+                        *merges += 1;
+                    }
+                }
+                // A CampaignEnd means the record is complete; resuming
+                // replays everything and executes nothing, which is
+                // harmless. Session-level events never appear in
+                // campaign records.
+                _ => {}
+            }
+        }
+        if let Some((_, cells, merges)) = pending.take() {
+            if is_complete(&cells, merges) {
+                rounds.push(cells);
+            }
+            // else: the torn trailing round — recomputed live.
+        }
+        self.replay = rounds;
+        Ok(self)
+    }
+
+    /// Validate and append one replayed cell to the pending round.
+    #[allow(clippy::too_many_arguments)]
+    fn push_replay_cell(
+        &self,
+        pending: &mut Option<(u64, Vec<CampaignCell>, usize)>,
+        names: &[String],
+        workload: &str,
+        seed: u64,
+        cell_seed: u64,
+        outcome: CellOutcome,
+    ) -> Result<(), String> {
+        let Some((round_seed, cells, _)) = pending.as_mut() else {
+            return Err(format!(
+                "cell event for {workload} appears before any RoundStart"
+            ));
+        };
+        if seed != *round_seed {
+            return Err(format!(
+                "cell {workload} carries seed {seed}, round is {round_seed}"
+            ));
+        }
+        let idx = cells.len();
+        if names.get(idx).map(String::as_str) != Some(workload) {
+            return Err(format!(
+                "cell {idx} of round seed {seed} is {workload}, expected {:?}",
+                names.get(idx)
+            ));
+        }
+        let expected_seed = self.cell_seed(seed, idx);
+        if cell_seed != expected_seed {
+            return Err(format!(
+                "cell {workload} (seed {seed}) recorded cell seed {cell_seed}, derived {expected_seed}"
+            ));
+        }
+        cells.push(CampaignCell {
+            workload: workload.to_string(),
+            seed,
+            cell_seed,
+            outcome,
+        });
+        Ok(())
     }
 }
 
@@ -868,8 +1316,8 @@ mod tests {
         // first attempt must already be primed (rule-primed first guesses
         // are the Fig. 6 mechanism).
         assert!(!base.rules.is_empty(), "warm campaign accumulates rules");
-        let round2 = &base.cells[1];
-        let first = round2.run.attempts.first().expect("round 2 tuned");
+        let round2 = base.cells[1].run().expect("round 2 finished");
+        let first = round2.attempts.first().expect("round 2 tuned");
         assert!(
             first.speedup > 2.0,
             "rule-primed first attempt, got x{:.2}",
@@ -982,6 +1430,69 @@ mod tests {
             .run_serial();
         let grid2 = grabbed2.lock().unwrap().clone().expect("grid announced");
         assert_eq!(grid2.faults, None);
+    }
+
+    /// With every backend call failing fatally, every cell fails — but
+    /// the campaign still completes, accounts for the failures, and the
+    /// zero-finished report guards hold.
+    #[test]
+    fn failed_cells_are_accounted_not_fatal() {
+        let e = StellarBuilder::new()
+            .failures(llmsim::FailureInjection {
+                seed: 1,
+                profile: llmsim::FailureProfile {
+                    transient_rate: 0.0,
+                    fatal_rate: 1.0,
+                },
+            })
+            .build();
+        let report = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M, WorkloadKind::MdWorkbench8K], 0.08)
+            .seeds([1])
+            .run_serial();
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.failed_cells().len(), 2);
+        assert!(report.best_cell().is_none());
+        assert_eq!(report.mean_best_speedup(), 0.0);
+        assert_eq!(report.total_evaluations(), 0);
+        assert!(report.rules.is_empty(), "failed cells merge no rules");
+        for cell in &report.cells {
+            assert!(matches!(
+                cell.failure(),
+                Some(CellFailure::Session(SessionError::FatalCall { .. }))
+            ));
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("failed"), "{rendered}");
+        assert!(rendered.contains("; 2 cell(s) failed"), "{rendered}");
+    }
+
+    /// Resume validation: a record from a different grid is rejected with
+    /// a structured error, not replayed into a wrong report.
+    #[test]
+    fn resume_rejects_mismatched_records() {
+        let e = engine();
+        let text = format!(
+            "{{\"v\":{},\"e\":{{\"CampaignStart\":{{\"workloads\":[\"OTHER\"],\"seeds\":[1],\"mode\":\"cold\",\"faults\":null,\"injection\":null,\"retry\":null}}}},\"t\":null}}\n",
+            crate::obs::SCHEMA_VERSION
+        );
+        let record = crate::obs::RunRecord::parse(&text).expect("well-formed line");
+        let err = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M], 0.08)
+            .seeds([1])
+            .resume_from(&record)
+            .err()
+            .expect("grid mismatch must be rejected");
+        assert!(err.contains("workloads"), "{err}");
+        // A record that is not a campaign record at all.
+        let empty = crate::obs::RunRecord::default();
+        let err = Campaign::new(&e)
+            .kinds(&[WorkloadKind::Ior16M], 0.08)
+            .seeds([1])
+            .resume_from(&empty)
+            .err()
+            .expect("no CampaignStart");
+        assert!(err.contains("CampaignStart"), "{err}");
     }
 
     /// Order overrides steer `run()` only: serial rounds execute — and

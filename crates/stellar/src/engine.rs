@@ -65,6 +65,17 @@ pub struct StellarOptions {
     /// their rule contexts "degraded-topology" so knowledge learned here
     /// shards separately from pristine runs. `None` is a pristine cluster.
     pub faults: Option<pfs::FaultPlan>,
+    /// When set, agent turns can fail: a seeded
+    /// [`llmsim::SimFailures`] injector turns a deterministic fraction of
+    /// backend calls into [`llmsim::CallStatus::Failed`] outcomes
+    /// (per-session streams derive from this injection's seed × the run
+    /// seed). Sessions retry transients under [`StellarOptions::retry`]
+    /// and end in [`crate::SessionEvent::Failed`] when the budget is
+    /// spent. `None` (the default) is a perfect backend.
+    pub failures: Option<llmsim::FailureInjection>,
+    /// How sessions respond to failed backend calls. Only consulted when
+    /// a transport gate exists (latency and/or failures injected).
+    pub retry: crate::session::RetryPolicy,
 }
 
 impl Default for StellarOptions {
@@ -76,6 +87,8 @@ impl Default for StellarOptions {
             seed_policy: SeedPolicy::default(),
             backend_latency: None,
             faults: None,
+            failures: None,
+            retry: crate::session::RetryPolicy::default(),
         }
     }
 }

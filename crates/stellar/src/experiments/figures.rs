@@ -183,8 +183,8 @@ pub fn fig7(scale: f64, benchmark_rules: &RuleSet) -> Vec<IterSeries> {
         .zip(cold.cells.iter().zip(&warm.cells))
         .map(|(&kind, (c, w))| IterSeries {
             workload: kind.label().to_string(),
-            without_rules: series_of(&c.run),
-            with_rules: series_of(&w.run),
+            without_rules: series_of(c.run().expect("fig7 runs a perfect backend")),
+            with_rules: series_of(w.run().expect("fig7 runs a perfect backend")),
         })
         .collect()
 }

@@ -16,13 +16,21 @@
 //!   aborted mid-run, and under injected backend latency
 //!   (`StellarBuilder::backend_latency`) they *suspend* on in-flight
 //!   provider calls ([`SessionEvent::Waiting`]) instead of blocking.
+//!   Injected backend *failures* (`StellarBuilder::failures`) are retried
+//!   under a deterministic [`RetryPolicy`]; a fatal error or an exhausted
+//!   budget ends the session with a structured [`SessionError`]
+//!   ([`SessionEvent::Failed`]), never a panic.
 //!   [`Stellar::tune`] remains as a thin wrapper draining
 //!   a session to completion. Between runs the simulator state is rebuilt
 //!   from scratch (the paper's delete/clear/remount hygiene).
 //! * **Campaign** — [`Campaign`] runs workload × seed grids with shared
 //!   rule-set accumulation (warm/cold modes) and deterministic parallel
 //!   execution, aggregating into a [`CampaignReport`] — the substrate for
-//!   the Fig. 6/7 sweeps and multi-workload serving.
+//!   the Fig. 6/7 sweeps and multi-workload serving. Cells are failure
+//!   domains: a failed or panicking cell publishes
+//!   [`CellOutcome::Failed`] while its siblings keep running, and an
+//!   interrupted campaign can be resumed crash-consistently from its
+//!   partial run record ([`Campaign::resume_from`]).
 //!
 //! Accumulated rules live in a sharded, copy-on-write
 //! [`agents::ShardedRuleStore`]; sessions and campaign rounds read O(1)
@@ -78,9 +86,12 @@ pub mod session;
 
 pub use builder::StellarBuilder;
 pub use campaign::{
-    Campaign, CampaignCell, CampaignGrid, CampaignObserver, CampaignReport, RuleMode,
+    Campaign, CampaignCell, CampaignGrid, CampaignObserver, CampaignReport, CellFailure,
+    CellOutcome, RuleMode,
 };
 pub use engine::{default_topology, AttemptRecord, SeedPolicy, Stellar, StellarOptions, TuningRun};
 pub use obs::{JsonlEmitter, ObsEvent, ProgressRenderer, RecordLine, RunRecord, SchedNote};
 pub use sched::{CostModel, SchedStats, Schedule};
-pub use session::{RunObserver, SessionEvent, TuningSession};
+pub use session::{
+    RetryPolicy, RunObserver, SessionError, SessionEvent, SessionOutcome, TuningSession,
+};

@@ -45,12 +45,12 @@
 //! parse error. Parsers accept exactly their own version: a replay tool
 //! from the future must say "record is v1, I speak v2", never guess.
 
-use crate::campaign::{CampaignCell, CampaignGrid, CampaignObserver, CampaignReport};
+use crate::campaign::{CampaignCell, CampaignGrid, CampaignObserver, CampaignReport, CellFailure};
 use crate::engine::{AttemptRecord, TuningRun};
 use crate::sched::{RoundSched, Schedule};
-use crate::session::{RunObserver, SessionEvent};
+use crate::session::{RunObserver, SessionError, SessionEvent};
 use agents::{AnalysisQuestion, Answer, IoReport};
-use llmsim::{CallHandle, UsageMeter};
+use llmsim::{CallError, CallHandle, UsageMeter};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{BufWriter, IsTerminal, Write};
@@ -64,7 +64,17 @@ use std::time::Instant;
 /// scenario labels) and [`ObsEvent::CampaignStart`] gained `faults` (the
 /// engine's fault-plan label) — both canonical, since faulted and
 /// pristine runs must not record identically.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the failure domain. New canonical variants [`ObsEvent::Retry`]
+/// (a transient backend failure consumed a retry attempt),
+/// [`ObsEvent::SessionFailed`] (a session ended with a structured
+/// [`SessionError`]) and [`ObsEvent::CellFailed`] (a campaign cell was
+/// isolated); [`ObsEvent::CampaignStart`] gained `injection` and `retry`
+/// (the failure-injection and retry-policy labels — canonical, because
+/// injection changes which cells fail) and [`ObsEvent::CampaignEnd`]
+/// gained `failed`. Externally tagged enums make new variants a parse
+/// error for old readers, hence the bump.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// A canonical (deterministic) run-record event.
 ///
@@ -123,10 +133,28 @@ pub enum ObsEvent {
         /// Analysis Agent usage delta.
         analysis: UsageMeter,
     },
+    /// A transient backend failure consumed a retry attempt and the call
+    /// was resubmitted. **Canonical**: failure verdicts are drawn per
+    /// submission index, so the retry sequence is latency- and
+    /// execution-shape-invariant (see [`RunObserver::on_retry`]).
+    Retry {
+        /// Turn label of the retried logical call.
+        context: String,
+        /// 1-based submission number of the resubmission.
+        attempt: u32,
+        /// What the previous submission failed with.
+        error: CallError,
+    },
     /// The session concluded.
     SessionEnd {
         /// End-Tuning justification (or abort reason).
         reason: String,
+    },
+    /// The session ended with a structured failure instead of a run —
+    /// terminal, in place of [`ObsEvent::SessionEnd`].
+    SessionFailed {
+        /// What ended the session.
+        error: SessionError,
     },
     /// A campaign grid is about to execute. Deliberately excludes worker
     /// count and schedule policy — execution details are sidecar-only, so
@@ -141,6 +169,12 @@ pub enum ObsEvent {
         /// Label of the engine's fault plan, `None` on a pristine
         /// cluster. Canonical — faults change simulated results.
         faults: Option<String>,
+        /// Label of the engine's failure injection, `None` on a perfect
+        /// backend. Canonical — injection changes which cells fail.
+        injection: Option<String>,
+        /// Label of the engine's retry policy, present exactly when
+        /// `injection` is. Canonical — the budget decides survival.
+        retry: Option<String>,
     },
     /// A seed round is about to execute.
     RoundStart {
@@ -158,6 +192,18 @@ pub enum ObsEvent {
         /// The complete tuning run, transcript and usage included.
         run: TuningRun,
     },
+    /// One *failed* campaign cell, in grid order at the round barrier —
+    /// the isolated sibling of [`ObsEvent::CellFinished`].
+    CellFailed {
+        /// Workload label.
+        workload: String,
+        /// Grid seed.
+        seed: u64,
+        /// Derived per-cell seed.
+        cell_seed: u64,
+        /// What isolated the cell.
+        failure: CellFailure,
+    },
     /// One cell's learned rules merged into the campaign store.
     RuleMerge {
         /// Workload whose rules merged.
@@ -169,16 +215,19 @@ pub enum ObsEvent {
     },
     /// The campaign's aggregate outcome.
     CampaignEnd {
-        /// Cells executed.
+        /// Cells executed (finished and failed).
         cells: usize,
-        /// Application executions (initial runs + attempts).
+        /// Application executions (initial runs + attempts) of finished
+        /// cells.
         evaluations: usize,
-        /// Mean best speedup across cells.
+        /// Mean best speedup across finished cells.
         mean_best_speedup: f64,
         /// Final rule count.
         rules: usize,
         /// Final shard count.
         shards: usize,
+        /// Cells that failed (0 on a clean campaign).
+        failed: usize,
     },
 }
 
@@ -338,6 +387,45 @@ impl RunRecord {
         Self::parse(&text)
     }
 
+    /// Parse a *partial* record — one whose writer was interrupted
+    /// mid-line. Exactly like [`RunRecord::parse`], except a malformed
+    /// **final** line (the torn write) is dropped instead of failing the
+    /// parse. Corruption anywhere else is still an error: only the tail
+    /// of an append-only file can be crash-torn. This is the entry point
+    /// [`crate::Campaign::resume_from`] expects.
+    pub fn parse_partial(text: &str) -> Result<RunRecord, String> {
+        match Self::parse(text) {
+            Ok(record) => Ok(record),
+            Err(err) => {
+                let last_line = text
+                    .lines()
+                    .enumerate()
+                    .filter(|(_, raw)| !raw.trim().is_empty())
+                    .map(|(i, _)| i + 1)
+                    .last();
+                let torn_tail = last_line.is_some_and(|n| err.starts_with(&format!("line {n}:")));
+                if !torn_tail {
+                    return Err(err);
+                }
+                let keep: String = text
+                    .lines()
+                    .take(last_line.expect("checked above") - 1)
+                    .flat_map(|l| [l, "\n"])
+                    .collect();
+                Self::parse(&keep)
+            }
+        }
+    }
+
+    /// Read and partially parse a record file (see
+    /// [`RunRecord::parse_partial`]).
+    pub fn load_partial(path: impl AsRef<Path>) -> Result<RunRecord, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse_partial(&text)
+    }
+
     /// Re-emit the record as JSONL, byte-identical to what the emitter
     /// wrote (the round-trip property test pins `parse ∘ to_jsonl` as the
     /// identity).
@@ -396,10 +484,14 @@ impl RunRecord {
     /// derived from the sidecar follows either way.
     pub fn summary(&self) -> String {
         let mut out = String::new();
-        if self
-            .events()
-            .any(|e| matches!(e, ObsEvent::CellFinished { .. }))
-        {
+        if self.events().any(|e| {
+            matches!(
+                e,
+                ObsEvent::CellFinished { .. }
+                    | ObsEvent::CellFailed { .. }
+                    | ObsEvent::CampaignStart { .. }
+            )
+        }) {
             out.push_str(&self.campaign_table());
         } else {
             out.push_str(&self.session_summary());
@@ -431,20 +523,25 @@ impl RunRecord {
         let mut out = String::new();
         out.push_str(&crate::campaign::table::header());
         for e in self.events() {
-            if let ObsEvent::CellFinished {
-                workload,
-                seed,
-                run,
-                ..
-            } = e
-            {
-                out.push_str(&crate::campaign::table::row(
+            match e {
+                ObsEvent::CellFinished {
                     workload,
-                    *seed,
-                    run.attempts.len(),
-                    run.best_wall,
-                    run.best_speedup,
-                ));
+                    seed,
+                    run,
+                    ..
+                } => {
+                    out.push_str(&crate::campaign::table::row(
+                        workload,
+                        *seed,
+                        run.attempts.len(),
+                        run.best_wall,
+                        run.best_speedup,
+                    ));
+                }
+                ObsEvent::CellFailed { workload, seed, .. } => {
+                    out.push_str(&crate::campaign::table::failed_row(workload, *seed));
+                }
+                _ => {}
             }
         }
         if let Some(ObsEvent::CampaignEnd {
@@ -453,6 +550,7 @@ impl RunRecord {
             mean_best_speedup,
             rules,
             shards,
+            failed,
         }) = self
             .events()
             .find(|e| matches!(e, ObsEvent::CampaignEnd { .. }))
@@ -463,6 +561,7 @@ impl RunRecord {
                 *evaluations,
                 *rules,
                 *shards,
+                *failed,
             ));
         }
         out
@@ -494,6 +593,16 @@ impl RunRecord {
                         "  attempt {}: {:.3}s (x{:.2})\n",
                         record.iteration, record.wall_secs, record.speedup
                     ));
+                }
+                ObsEvent::Retry {
+                    context,
+                    attempt,
+                    error,
+                } => {
+                    out.push_str(&format!("  retry {attempt} at {context}: {error}\n"));
+                }
+                ObsEvent::SessionFailed { error } => {
+                    out.push_str(&format!("failed: {error}\n"));
                 }
                 ObsEvent::SessionEnd { reason } => {
                     let attempts = self
@@ -683,6 +792,9 @@ impl<W: Write> RunObserver for JsonlEmitter<W> {
             SessionEvent::Ended { reason } => ObsEvent::SessionEnd {
                 reason: reason.clone(),
             },
+            SessionEvent::Failed { error } => ObsEvent::SessionFailed {
+                error: error.clone(),
+            },
         };
         self.event(e);
     }
@@ -699,6 +811,14 @@ impl<W: Write> RunObserver for JsonlEmitter<W> {
 
     fn on_waiting(&mut self, call: CallHandle) {
         self.note_waiting(call.id());
+    }
+
+    fn on_retry(&mut self, context: &str, attempt: u32, error: &CallError) {
+        self.event(ObsEvent::Retry {
+            context: context.to_string(),
+            attempt,
+            error: error.clone(),
+        });
     }
 }
 
@@ -718,6 +838,9 @@ impl<W: Write> RunObserver for &mut JsonlEmitter<W> {
     fn on_waiting(&mut self, call: CallHandle) {
         (**self).on_waiting(call);
     }
+    fn on_retry(&mut self, context: &str, attempt: u32, error: &CallError) {
+        (**self).on_retry(context, attempt, error);
+    }
 }
 
 impl<W: Write + Send> CampaignObserver for JsonlEmitter<W> {
@@ -730,6 +853,8 @@ impl<W: Write + Send> CampaignObserver for JsonlEmitter<W> {
             seeds: grid.seeds.clone(),
             mode: grid.mode.label().to_string(),
             faults: grid.faults.clone(),
+            injection: grid.injection.clone(),
+            retry: grid.retry.clone(),
         });
     }
 
@@ -777,7 +902,22 @@ impl<W: Write + Send> CampaignObserver for JsonlEmitter<W> {
             workload: cell.workload.clone(),
             seed: cell.seed,
             cell_seed: cell.cell_seed,
-            run: cell.run.clone(),
+            run: cell
+                .run()
+                .expect("on_cell_finished carries a finished cell")
+                .clone(),
+        });
+    }
+
+    fn on_cell_failed(&mut self, cell: &CampaignCell) {
+        self.event(ObsEvent::CellFailed {
+            workload: cell.workload.clone(),
+            seed: cell.seed,
+            cell_seed: cell.cell_seed,
+            failure: cell
+                .failure()
+                .expect("on_cell_failed carries a failed cell")
+                .clone(),
         });
     }
 
@@ -806,6 +946,7 @@ impl<W: Write + Send> CampaignObserver for JsonlEmitter<W> {
             mean_best_speedup: report.mean_best_speedup(),
             rules: report.rules.len(),
             shards: report.rule_store.shard_count(),
+            failed: report.failed_cells().len(),
         });
         // Best-effort flush so owned (moved-in) emitters persist without
         // further calls. Deliberately not .expect(): a flush failure here
@@ -839,6 +980,9 @@ impl<W: Write + Send> CampaignObserver for &mut JsonlEmitter<W> {
     }
     fn on_cell_finished(&mut self, cell: &CampaignCell) {
         (**self).on_cell_finished(cell);
+    }
+    fn on_cell_failed(&mut self, cell: &CampaignCell) {
+        (**self).on_cell_failed(cell);
     }
     fn on_rules_merged(&mut self, workload: &str, added: usize, total: usize) {
         (**self).on_rules_merged(workload, added, total);
@@ -1024,6 +1168,20 @@ impl<W: Write + Send> CampaignObserver for ProgressRenderer<W> {
         self.redraw();
     }
 
+    fn on_cell_failed(&mut self, cell: &CampaignCell) {
+        if !self.live {
+            let failure = cell
+                .failure()
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "unknown failure".to_string());
+            self.say(&format!(
+                "  ! {} (seed {}) failed: {failure}",
+                cell.workload, cell.seed
+            ));
+        }
+        self.redraw();
+    }
+
     fn on_round_finished(&mut self, round: &RoundSched) {
         self.rounds_done += 1;
         if !self.live {
@@ -1044,8 +1202,14 @@ impl<W: Write + Send> CampaignObserver for ProgressRenderer<W> {
             let _ = writeln!(self.out);
             self.drawn = 0;
         }
+        let failed = report.failed_cells().len();
+        let failed_note = if failed > 0 {
+            format!(", {failed} failed")
+        } else {
+            String::new()
+        };
         self.say(&format!(
-            "campaign done: {} cell(s), mean speedup x{:.2}",
+            "campaign done: {} cell(s){failed_note}, mean speedup x{:.2}",
             report.cells.len(),
             report.mean_best_speedup(),
         ));
@@ -1107,7 +1271,7 @@ mod tests {
         assert!(!canon.contains("host_secs"), "{canon}");
         assert!(!canon.contains("Waiting"), "{canon}");
         assert!(
-            canon.starts_with("{\"v\":2,\"e\":{\"SessionStart\""),
+            canon.starts_with("{\"v\":3,\"e\":{\"SessionStart\""),
             "{canon}"
         );
         assert!((rec.host_secs() - 1.0).abs() < 1e-12);
@@ -1120,20 +1284,39 @@ mod tests {
         rec.lines[1].v = SCHEMA_VERSION + 1;
         let err = RunRecord::parse(&rec.to_jsonl()).expect_err("must reject");
         assert!(err.contains("line 2"), "{err}");
-        assert!(err.contains("schema v3"), "{err}");
+        assert!(err.contains("schema v4"), "{err}");
         // Malformed JSON reports its line too.
-        let err = RunRecord::parse("{\"v\":2,\"e\":null,\"t\":null}\nnot json\n")
+        let err = RunRecord::parse("{\"v\":3,\"e\":null,\"t\":null}\nnot json\n")
             .expect_err("must reject");
         assert!(err.starts_with("line 2"), "{err}");
         // A future-version line with an event variant this reader does
         // not know must still report the version, not a parse error —
         // the version probe runs before full deserialization.
-        let err = RunRecord::parse("{\"v\":3,\"e\":{\"FromTheFuture\":{}},\"t\":null}\n")
+        let err = RunRecord::parse("{\"v\":4,\"e\":{\"FromTheFuture\":{}},\"t\":null}\n")
             .expect_err("must reject");
-        assert!(err.contains("record is schema v3"), "{err}");
-        // A v1 record (pre-scenario schema) is likewise foreign now.
-        let err = RunRecord::parse("{\"v\":1,\"e\":null,\"t\":null}\n").expect_err("must reject");
-        assert!(err.contains("record is schema v1"), "{err}");
+        assert!(err.contains("record is schema v4"), "{err}");
+        // A v2 record (pre-failure-domain schema) is likewise foreign now.
+        let err = RunRecord::parse("{\"v\":2,\"e\":null,\"t\":null}\n").expect_err("must reject");
+        assert!(err.contains("record is schema v2"), "{err}");
+    }
+
+    /// The crash-resume entry point: a record whose final line was torn
+    /// mid-write parses up to the tear; corruption anywhere else still
+    /// fails, and untorn records parse identically to `parse`.
+    #[test]
+    fn partial_parse_drops_only_a_torn_final_line() {
+        let rec = sample_record();
+        let jsonl = rec.to_jsonl();
+        // Untorn: identical to the strict parse.
+        assert_eq!(RunRecord::parse_partial(&jsonl).expect("parses"), rec);
+        // Torn tail: the final line is dropped, the rest survives.
+        let torn = format!("{jsonl}{{\"v\":3,\"e\":{{\"Sess");
+        let back = RunRecord::parse_partial(&torn).expect("torn tail tolerated");
+        assert_eq!(back, rec);
+        // Corruption mid-file is NOT a crash artifact: still an error.
+        let mid = jsonl.replacen("SessionStart", "Sess", 1);
+        let err = RunRecord::parse_partial(&mid).expect_err("mid-file corruption rejected");
+        assert!(err.starts_with("line 1"), "{err}");
     }
 
     #[test]
@@ -1219,11 +1402,19 @@ mod tests {
             workers: 2,
             schedule: Schedule::Lpt,
             faults: None,
+            injection: None,
+            retry: None,
         });
         pr.on_round_start(1);
         pr.on_cell_claimed(0, 1, 0, "IOR_16M");
         pr.on_cell_suspended(0, 1, 0, dummy_handle());
         pr.on_cell_published(0, 1, 0, 0.5);
+        pr.on_cell_failed(&CampaignCell {
+            workload: "MDWorkbench_8K".into(),
+            seed: 1,
+            cell_seed: 9,
+            outcome: crate::campaign::CellOutcome::Failed(CellFailure::Panic("boom".into())),
+        });
         let text = String::from_utf8(pr.out.clone()).unwrap();
         assert!(
             text.contains("2 workload(s) x 2 seed(s), warm rules, lpt over 2 worker(s)"),
@@ -1232,6 +1423,10 @@ mod tests {
         assert!(text.contains("w0 > IOR_16M"), "{text}");
         assert!(text.contains("waiting on call #"), "{text}");
         assert!(text.contains("w0 = IOR_16M done"), "{text}");
+        assert!(
+            text.contains("! MDWorkbench_8K (seed 1) failed: panic: boom"),
+            "{text}"
+        );
         assert!(
             !text.contains('\x1b'),
             "plain mode must not emit ANSI: {text}"

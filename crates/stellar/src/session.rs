@@ -32,7 +32,19 @@
 //!   [`RunObserver::on_waiting`], never `on_event`, so the semantic event
 //!   stream, the transcript and every usage meter stay bit-identical to
 //!   the instant-backend path (property-tested in
-//!   `tests/integration_nonblocking.rs`).
+//!   `tests/integration_nonblocking.rs`);
+//! * **failure domains** — when the engine injects backend failures
+//!   (`StellarBuilder::failures`, CLI `--inject-failures`), calls can
+//!   conclude [`llmsim::CallStatus::Failed`]. Transient errors are
+//!   retried under the engine's [`RetryPolicy`] (resubmission after a
+//!   poll-tick backoff, each retry reported canonically via
+//!   [`RunObserver::on_retry`]); a fatal error or an exhausted budget
+//!   ends the session with a structured [`SessionError`] and the terminal
+//!   [`SessionEvent::Failed`] — never a panic. Because failure verdicts
+//!   are drawn per *submission index* (see [`llmsim::SimFailures`]),
+//!   retry schedules are identical under any latency profile, which
+//!   keeps the canonical stream byte-identical across execution shapes
+//!   even with injection on.
 
 use crate::engine::{AttemptRecord, SeedPolicy, Stellar, TuningRun};
 use agents::{
@@ -41,11 +53,120 @@ use agents::{
 };
 use darshan::Table;
 use llmsim::{
-    CallHandle, CallStatus, LlmBackend, LlmCall, NonBlockingBackend, SimLatency, SimLlm, UsageMeter,
+    CallError, CallHandle, CallStatus, FailureInjection, LatencyProfile, LlmBackend, LlmCall,
+    NonBlockingBackend, SimFailures, SimLatency, SimLlm, UsageMeter,
 };
 use pfs::params::{ParamRegistry, TuningConfig};
+use serde::{Deserialize, Serialize};
 use simcore::rng::{combine, stable_hash};
+use std::fmt;
 use workloads::Workload;
+
+/// How a session treats [`llmsim::CallStatus::Failed`] backend calls.
+///
+/// Budgets are measured in the session's own deterministic units: attempts
+/// per logical call and backoff in poll ticks, never wall time. The
+/// pending-poll timeout is **off by default** because, unlike the
+/// failure-verdict stream, it keys off *poll counts*, which the latency
+/// profile changes — enabling it trades the cross-latency byte-equality
+/// guarantee for bounded pending time (per-run determinism still holds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total submissions allowed per logical call, first try included.
+    /// Treated as at least 1.
+    pub max_attempts: u32,
+    /// Polls to sit out after a transient failure before the resubmitted
+    /// call is first polled.
+    pub backoff_ticks: u32,
+    /// Cancel-and-resubmit a call still pending after this many polls,
+    /// consuming one attempt (so a transport that never completes cannot
+    /// loop forever). `None` = wait indefinitely.
+    pub pending_timeout: Option<u32>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_ticks: 1,
+            pending_timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `max_attempts`, floored at one submission.
+    pub fn attempt_budget(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Canonical label for run records
+    /// (e.g. `"3 attempt(s), backoff 1 tick(s)"`).
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{} attempt(s), backoff {} tick(s)",
+            self.attempt_budget(),
+            self.backoff_ticks
+        );
+        if let Some(t) = self.pending_timeout {
+            label.push_str(&format!(", timeout {t} poll(s)"));
+        }
+        label
+    }
+}
+
+/// Why a session ended without a [`TuningRun`]. Structured, serializable
+/// and deterministic — it feeds the canonical stream
+/// ([`crate::obs::ObsEvent::SessionFailed`]) and campaign failed-cell
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionError {
+    /// A backend call failed fatally; no retry can clear it.
+    FatalCall {
+        /// Turn label of the failed call.
+        context: String,
+        /// The provider error.
+        error: CallError,
+    },
+    /// Transient failures exhausted the [`RetryPolicy`] budget.
+    RetriesExhausted {
+        /// Turn label of the failed call.
+        context: String,
+        /// Submissions spent (the full budget).
+        attempts: u32,
+        /// The last error observed.
+        last: CallError,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::FatalCall { context, error } => {
+                write!(f, "fatal backend call at {context}: {error}")
+            }
+            SessionError::RetriesExhausted {
+                context,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "retry budget exhausted at {context} after {attempts} attempt(s): {last}"
+            ),
+        }
+    }
+}
+
+/// Terminal state of a drained session: the finished run, or the
+/// structured error that ended it. Returned by
+/// [`TuningSession::drain_outcome`] / [`TuningSession::into_outcome`].
+#[derive(Debug, Clone)]
+pub enum SessionOutcome {
+    /// The session completed and produced a run.
+    Finished(TuningRun),
+    /// The session ended with [`SessionEvent::Failed`].
+    Failed(SessionError),
+}
 
 /// One agent-visible step of a tuning run.
 #[derive(Debug, Clone)]
@@ -82,6 +203,15 @@ pub enum SessionEvent {
     Ended {
         /// The agent's justification (or the abort reason).
         reason: String,
+    },
+    /// The run ended with a structured failure: a fatal backend error or
+    /// an exhausted retry budget. Terminal, like [`SessionEvent::Ended`],
+    /// but there is no [`TuningRun`] — use
+    /// [`TuningSession::drain_outcome`] / [`TuningSession::into_outcome`]
+    /// to collect the error without panicking.
+    Failed {
+        /// What ended the session.
+        error: SessionError,
     },
 }
 
@@ -123,6 +253,17 @@ pub trait RunObserver {
     fn on_waiting(&mut self, call: CallHandle) {
         let _ = call;
     }
+
+    /// Called when a transient backend failure consumed an attempt and
+    /// the call was resubmitted: `context` is the turn label, `attempt`
+    /// the resubmission's 1-based number, `error` what the previous
+    /// submission failed with. **Canonical**, unlike
+    /// [`RunObserver::on_waiting`]: failure verdicts are drawn per
+    /// submission index, so the retry sequence is identical across
+    /// latency profiles and execution shapes.
+    fn on_retry(&mut self, context: &str, attempt: u32, error: &CallError) {
+        let _ = (context, attempt, error);
+    }
 }
 
 enum Phase {
@@ -134,37 +275,135 @@ enum Phase {
     Drive,
     /// Ended; `finished` holds the run.
     Done,
+    /// Ended with a failure; `failed` holds the error.
+    Failed,
+}
+
+/// What clearing the gate produced this step.
+enum GateStatus {
+    /// Gate clear — the turn may execute.
+    Clear,
+    /// Call in flight (or a retry backing off) — suspend. `retry` carries
+    /// the canonical retry notification when this very step resubmitted
+    /// after a transient failure.
+    Waiting {
+        /// The in-flight handle.
+        call: CallHandle,
+        /// `(context, attempt, error)` when a retry was just issued.
+        retry: Option<(String, u32, CallError)>,
+    },
+    /// A fatal error or an exhausted budget: the session must fail.
+    Failed(SessionError),
 }
 
 /// The non-blocking transport gate an agent turn must clear before it
 /// executes. One call in flight at a time — a session is a single logical
 /// conversation; overlap comes from multiplexing *sessions*, not calls.
+///
+/// The transport stacks the failure domain over the latency domain:
+/// `SimFailures<SimLatency>` draws each call's failure verdict at
+/// submission and its tick budget independently, so the failure schedule
+/// is latency-invariant (see the module docs).
 struct Gate {
-    transport: SimLatency,
+    transport: SimFailures<SimLatency>,
+    policy: RetryPolicy,
     pending: Option<CallHandle>,
+    /// Turn label of the in-flight logical call.
+    context: String,
+    /// 1-based submission number of the in-flight attempt.
+    attempt: u32,
+    /// Polls spent on the current submission (pending-timeout clock).
+    polls: u32,
+    /// Polls still to sit out before a resubmitted call is polled.
+    backoff_left: u32,
     turns: u64,
 }
 
 impl Gate {
-    /// Poll (or open) the turn's call. `Some(handle)` means still in
-    /// flight; `None` means the gate is clear and the turn may execute.
-    fn acquire(&mut self, phase_label: &str) -> Option<CallHandle> {
+    /// Poll (or open) the turn's call and report the gate's state.
+    fn acquire(&mut self, phase_label: &str) -> GateStatus {
         let handle = match self.pending {
             Some(h) => h,
             None => {
-                let context = format!("{phase_label}:turn{}", self.turns);
+                // New logical call: fresh turn label, first attempt.
+                self.context = format!("{phase_label}:turn{}", self.turns);
                 self.turns += 1;
-                let h = self.transport.submit(LlmCall::Turn { context });
-                self.pending = Some(h);
-                h
+                self.attempt = 1;
+                self.backoff_left = 0;
+                self.submit_attempt()
             }
         };
+        // Retry backoff: the resubmitted call sits unpolled until the
+        // backoff expires, so backoff is measured in poll ticks exactly
+        // like the latency budget.
+        if self.backoff_left > 0 {
+            self.backoff_left -= 1;
+            return GateStatus::Waiting {
+                call: handle,
+                retry: None,
+            };
+        }
+        // Pending-poll timeout: cancel and resubmit, consuming an attempt
+        // (a transport that never completes cannot loop forever).
+        if let Some(limit) = self.policy.pending_timeout {
+            if self.polls >= limit {
+                self.transport.cancel(handle);
+                self.pending = None;
+                let error = CallError::Transient {
+                    reason: "pending-poll timeout".to_string(),
+                };
+                return self.retry_or_fail(error);
+            }
+        }
+        self.polls += 1;
         match self.transport.poll(handle) {
-            CallStatus::Pending => Some(handle),
+            CallStatus::Pending => GateStatus::Waiting {
+                call: handle,
+                retry: None,
+            },
             CallStatus::Ready(_) => {
                 self.pending = None;
-                None
+                GateStatus::Clear
             }
+            CallStatus::Failed(error) => {
+                self.pending = None;
+                if !error.is_transient() {
+                    return GateStatus::Failed(SessionError::FatalCall {
+                        context: self.context.clone(),
+                        error,
+                    });
+                }
+                self.retry_or_fail(error)
+            }
+        }
+    }
+
+    /// Submit (or resubmit) the current logical call.
+    fn submit_attempt(&mut self) -> CallHandle {
+        let h = self.transport.submit(LlmCall::Turn {
+            context: self.context.clone(),
+        });
+        self.pending = Some(h);
+        self.polls = 0;
+        h
+    }
+
+    /// A transient failure consumed an attempt: resubmit under the budget
+    /// or fail the session.
+    fn retry_or_fail(&mut self, error: CallError) -> GateStatus {
+        if self.attempt >= self.policy.attempt_budget() {
+            return GateStatus::Failed(SessionError::RetriesExhausted {
+                context: self.context.clone(),
+                attempts: self.attempt,
+                last: error,
+            });
+        }
+        self.attempt += 1;
+        self.backoff_left = self.policy.backoff_ticks;
+        let call = self.submit_attempt();
+        GateStatus::Waiting {
+            call,
+            retry: Some((self.context.clone(), self.attempt, error)),
         }
     }
 
@@ -200,6 +439,7 @@ pub struct TuningSession<'a> {
     transcript_cursor: usize,
     abort_reason: Option<String>,
     finished: Option<TuningRun>,
+    failed: Option<SessionError>,
 }
 
 impl<'a> TuningSession<'a> {
@@ -240,13 +480,7 @@ impl<'a> TuningSession<'a> {
             analysis_backend,
             tuning_backend,
             observers: Vec::new(),
-            // Seeded per cell: a session's latency sequence is a pure
-            // function of its run seed, independent of sibling cells.
-            gate: engine.options().backend_latency.map(|profile| Gate {
-                transport: SimLatency::gate(profile, combine(run_seed, 3)),
-                pending: None,
-                turns: 0,
-            }),
+            gate: Self::build_gate(engine, run_seed),
             phase: Phase::Start,
             default_cfg: TuningConfig::lustre_default(),
             default_wall: 0.0,
@@ -258,7 +492,41 @@ impl<'a> TuningSession<'a> {
             transcript_cursor: 0,
             abort_reason: None,
             finished: None,
+            failed: None,
         }
+    }
+
+    /// The transport gate, built when the engine injects latency and/or
+    /// failures (instant latency when only failures are configured).
+    /// Seeded per cell: a session's latency *and* failure sequences are
+    /// pure functions of its run seed, independent of sibling cells.
+    fn build_gate(engine: &Stellar, run_seed: u64) -> Option<Gate> {
+        let options = engine.options();
+        if options.backend_latency.is_none() && options.failures.is_none() {
+            return None;
+        }
+        let latency = options.backend_latency.unwrap_or(LatencyProfile::fixed(0));
+        let inner = SimLatency::gate(latency, combine(run_seed, 3));
+        let transport = match options.failures {
+            Some(injection) => SimFailures::wrapping(
+                inner,
+                FailureInjection {
+                    seed: combine(combine(run_seed, 4), injection.seed),
+                    profile: injection.profile,
+                },
+            ),
+            None => SimFailures::transparent(inner),
+        };
+        Some(Gate {
+            transport,
+            policy: options.retry,
+            pending: None,
+            context: String::new(),
+            attempt: 0,
+            polls: 0,
+            backoff_left: 0,
+            turns: 0,
+        })
     }
 
     /// Attach an observer. Multiple observers receive events in attachment
@@ -276,9 +544,27 @@ impl<'a> TuningSession<'a> {
         }
     }
 
-    /// Whether the run has concluded.
+    /// Whether the run has concluded — finished ([`SessionEvent::Ended`])
+    /// or failed ([`SessionEvent::Failed`]).
     pub fn is_ended(&self) -> bool {
-        matches!(self.phase, Phase::Done)
+        matches!(self.phase, Phase::Done | Phase::Failed)
+    }
+
+    /// Whether the run ended with [`SessionEvent::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self.phase, Phase::Failed)
+    }
+
+    /// The structured error that ended the session, if it failed.
+    pub fn error(&self) -> Option<&SessionError> {
+        self.failed.as_ref()
+    }
+
+    /// Backend calls currently in flight through the session's transport
+    /// gate (0 without injected latency/failures, and always 0 once the
+    /// session has ended — aborts cancel the pending call).
+    pub fn in_flight(&self) -> usize {
+        self.gate.as_ref().map_or(0, |g| g.transport.in_flight())
     }
 
     /// Whether the session is suspended on an in-flight backend call —
@@ -320,11 +606,24 @@ impl<'a> TuningSession<'a> {
                 obs.on_session_start(&name, self.run_seed, &scenario);
             }
         }
-        if let Some(call) = self.poll_gate() {
-            for obs in &mut self.observers {
-                obs.on_waiting(call);
+        match self.poll_gate() {
+            GateStatus::Clear => {}
+            GateStatus::Waiting { call, retry } => {
+                if let Some((context, attempt, error)) = retry {
+                    for obs in &mut self.observers {
+                        obs.on_retry(&context, attempt, &error);
+                    }
+                }
+                for obs in &mut self.observers {
+                    obs.on_waiting(call);
+                }
+                return SessionEvent::Waiting { call };
             }
-            return SessionEvent::Waiting { call };
+            GateStatus::Failed(error) => {
+                let event = self.fail(error);
+                self.notify(&event);
+                return event;
+            }
         }
         let event = match self.phase {
             Phase::Start => self.step_start(),
@@ -339,26 +638,32 @@ impl<'a> TuningSession<'a> {
                         .unwrap_or_default(),
                 }
             }
+            Phase::Failed => {
+                return SessionEvent::Failed {
+                    error: self.failed.clone().expect("failed phase carries its error"),
+                }
+            }
         };
         self.notify(&event);
         event
     }
 
     /// Non-blocking seam: phases that spend agent turns (analysis, every
-    /// drive decision) must clear the transport gate first. Returns the
-    /// in-flight handle while the turn's call is pending, `None` once the
-    /// step may do real work. The initial default run is simulator work,
-    /// not an LLM call, so `Phase::Start` never gates; an abort abandons
-    /// the in-flight call so the session ends without waiting it out.
-    fn poll_gate(&mut self) -> Option<CallHandle> {
+    /// drive decision) must clear the transport gate first. The initial
+    /// default run is simulator work, not an LLM call, so `Phase::Start`
+    /// never gates; an abort abandons the in-flight call so the session
+    /// ends without waiting it out.
+    fn poll_gate(&mut self) -> GateStatus {
         if !matches!(self.phase, Phase::Analyze | Phase::Drive) {
-            return None;
+            return GateStatus::Clear;
         }
         let aborting = self.abort_reason.is_some();
-        let gate = self.gate.as_mut()?;
+        let Some(gate) = self.gate.as_mut() else {
+            return GateStatus::Clear;
+        };
         if aborting {
             gate.cancel_pending();
-            return None;
+            return GateStatus::Clear;
         }
         let label = match self.phase {
             Phase::Analyze => "analyze",
@@ -367,7 +672,19 @@ impl<'a> TuningSession<'a> {
         gate.acquire(label)
     }
 
+    /// Record the structured error and enter the terminal failed state.
+    fn fail(&mut self, error: SessionError) -> SessionEvent {
+        self.failed = Some(error.clone());
+        self.phase = Phase::Failed;
+        SessionEvent::Failed { error }
+    }
+
     /// Drain the session to completion and return the finished run.
+    ///
+    /// # Panics
+    /// Panics if the session fails (only possible with injected backend
+    /// failures) — failure-aware callers use
+    /// [`TuningSession::drain_outcome`].
     pub fn drain(mut self) -> TuningRun {
         while !self.is_ended() {
             self.step();
@@ -375,11 +692,36 @@ impl<'a> TuningSession<'a> {
         self.into_run()
     }
 
-    /// The finished run. Panics if the session has not ended — check
-    /// [`TuningSession::is_ended`] or use [`TuningSession::drain`].
+    /// Drain the session to completion and return how it ended — the
+    /// finished run or the structured error. Never panics on failure.
+    pub fn drain_outcome(mut self) -> SessionOutcome {
+        while !self.is_ended() {
+            self.step();
+        }
+        self.into_outcome()
+    }
+
+    /// The finished run. Panics if the session has not ended or ended in
+    /// failure — check [`TuningSession::is_ended`] /
+    /// [`TuningSession::is_failed`], or use the outcome variants.
     pub fn into_run(self) -> TuningRun {
+        if let Some(error) = &self.failed {
+            panic!("session failed ({error}); use drain_outcome()/into_outcome()");
+        }
         self.finished
             .expect("session not finished; call step() until is_ended() or use drain()")
+    }
+
+    /// How the ended session concluded. Panics if the session has not
+    /// ended yet.
+    pub fn into_outcome(self) -> SessionOutcome {
+        if let Some(error) = self.failed {
+            return SessionOutcome::Failed(error);
+        }
+        SessionOutcome::Finished(
+            self.finished
+                .expect("session not finished; call step() until is_ended()"),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -604,6 +946,7 @@ mod tests {
         events: Vec<String>,
         last_tuning_calls: u64,
         waits: u64,
+        retries: Vec<(String, u32, CallError)>,
     }
 
     struct SharedRecorder(Rc<RefCell<Recorder>>);
@@ -619,6 +962,7 @@ mod tests {
                 // comparing recorded orders with and without latency.
                 SessionEvent::Waiting { .. } => "waiting",
                 SessionEvent::Ended { .. } => "ended",
+                SessionEvent::Failed { .. } => "failed",
             };
             self.0.borrow_mut().events.push(tag.to_string());
         }
@@ -630,6 +974,12 @@ mod tests {
         }
         fn on_waiting(&mut self, _call: llmsim::CallHandle) {
             self.0.borrow_mut().waits += 1;
+        }
+        fn on_retry(&mut self, context: &str, attempt: u32, error: &CallError) {
+            self.0
+                .borrow_mut()
+                .retries
+                .push((context.to_string(), attempt, error.clone()));
         }
     }
 
@@ -763,24 +1113,31 @@ mod tests {
     /// Aborting a suspended session abandons the in-flight call: the very
     /// next step ends the run (abort takes effect before the next agent
     /// decision, exactly as on the instant path) instead of waiting out
-    /// the provider's remaining latency.
+    /// the provider's remaining latency. Pins the full abort contract
+    /// under `--backend-latency`: the in-flight `CallHandle` is cancelled
+    /// on the backend (`in_flight` drops to 0) and an attached emitter
+    /// still writes a well-formed final record.
     #[test]
     fn abort_while_waiting_ends_immediately() {
         let engine = StellarBuilder::new()
             .backend_latency(llmsim::LatencyProfile::fixed(50))
             .build();
         let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let mut emitter = crate::obs::JsonlEmitter::new(Vec::new());
         let mut session = engine.session(w.as_ref(), RuleSet::new(), 4);
+        session.observe(Box::new(&mut emitter));
         session.step(); // initial run (ungated simulator work)
         let mut event = session.step(); // analyze turn: call goes in flight
         assert!(matches!(event, SessionEvent::Waiting { .. }));
         assert!(session.is_waiting());
+        assert_eq!(session.in_flight(), 1);
         while matches!(event, SessionEvent::Waiting { .. }) {
             event = session.step();
         }
         assert!(matches!(event, SessionEvent::AnalysisReport(_)));
         let event = session.step(); // first agent decision goes in flight
         assert!(matches!(event, SessionEvent::Waiting { .. }));
+        assert_eq!(session.in_flight(), 1);
         session.abort("deadline");
         let event = session.step();
         let SessionEvent::Ended { reason } = event else {
@@ -788,8 +1145,24 @@ mod tests {
         };
         assert_eq!(reason, "deadline");
         assert!(!session.is_waiting(), "abort cancels the in-flight call");
+        assert_eq!(
+            session.in_flight(),
+            0,
+            "the cancelled call is gone from the backend, not leaked"
+        );
         let run = session.into_run();
         assert!(run.attempts.is_empty(), "aborted before any attempt");
+        // The emitter's record is complete and well-formed: it parses,
+        // and its canonical stream ends with the SessionEnd event
+        // carrying the abort reason.
+        let bytes = emitter.into_inner();
+        let text = String::from_utf8(bytes).expect("utf-8 record");
+        let record = crate::obs::RunRecord::parse(&text).expect("well-formed final record");
+        let events = record.events();
+        match events.last() {
+            Some(crate::obs::ObsEvent::SessionEnd { reason }) => assert_eq!(reason, "deadline"),
+            other => panic!("record must end with SessionEnd, got {other:?}"),
+        }
     }
 
     #[test]
@@ -812,5 +1185,163 @@ mod tests {
         assert_eq!(run.end_reason, "operator requested shutdown");
         // Best falls back to the default configuration.
         assert_eq!(run.best_wall.to_bits(), run.default_wall.to_bits());
+    }
+
+    /// With every call failing transiently, the session burns its retry
+    /// budget and ends in `SessionEvent::Failed` carrying
+    /// `RetriesExhausted` — it never panics and never produces a run.
+    #[test]
+    fn exhausted_retries_fail_the_session_structurally() {
+        let engine = StellarBuilder::new()
+            .failures(llmsim::FailureInjection {
+                seed: 1,
+                profile: llmsim::FailureProfile {
+                    transient_rate: 1.0,
+                    fatal_rate: 0.0,
+                },
+            })
+            .retry_policy(RetryPolicy {
+                max_attempts: 3,
+                backoff_ticks: 1,
+                pending_timeout: None,
+            })
+            .build();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let recorder = Rc::new(RefCell::new(Recorder::default()));
+        let mut session = engine.session(w.as_ref(), RuleSet::new(), 5);
+        session.observe(Box::new(SharedRecorder(recorder.clone())));
+        let mut last = session.step();
+        assert!(matches!(last, SessionEvent::InitialRun { .. }));
+        while !session.is_ended() {
+            last = session.step();
+        }
+        let SessionEvent::Failed { error } = &last else {
+            panic!("expected Failed, got {last:?}");
+        };
+        let SessionError::RetriesExhausted { attempts, last, .. } = error else {
+            panic!("expected RetriesExhausted, got {error:?}");
+        };
+        assert_eq!(*attempts, 3, "the full budget was spent");
+        assert!(last.is_transient());
+        assert!(session.is_failed());
+        assert_eq!(session.in_flight(), 0, "no call left dangling");
+        // Two resubmissions (attempts 2 and 3) were reported canonically.
+        let rec = recorder.borrow();
+        assert_eq!(
+            rec.retries.iter().map(|(_, n, _)| *n).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(rec.events.last().map(String::as_str), Some("failed"));
+        drop(rec);
+        // Terminal state is idempotent, like Ended.
+        assert!(matches!(session.step(), SessionEvent::Failed { .. }));
+        let SessionOutcome::Failed(err) = session.into_outcome() else {
+            panic!("outcome must be Failed");
+        };
+        assert!(matches!(err, SessionError::RetriesExhausted { .. }));
+    }
+
+    /// A fatal verdict fails the session on the spot, without consuming
+    /// the retry budget.
+    #[test]
+    fn fatal_calls_fail_without_retrying() {
+        let engine = StellarBuilder::new()
+            .failures(llmsim::FailureInjection {
+                seed: 2,
+                profile: llmsim::FailureProfile {
+                    transient_rate: 0.0,
+                    fatal_rate: 1.0,
+                },
+            })
+            .build();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let recorder = Rc::new(RefCell::new(Recorder::default()));
+        let mut session = engine.session(w.as_ref(), RuleSet::new(), 5);
+        session.observe(Box::new(SharedRecorder(recorder.clone())));
+        let outcome = session.drain_outcome();
+        let SessionOutcome::Failed(SessionError::FatalCall { error, .. }) = outcome else {
+            panic!("expected FatalCall, got {outcome:?}");
+        };
+        assert!(!error.is_transient());
+        assert!(recorder.borrow().retries.is_empty(), "fatal never retries");
+    }
+
+    /// The deterministic-retry contract: under a mild injection the
+    /// session recovers through retries and produces a run bit-identical
+    /// across reruns — and identical under any latency profile, because
+    /// failure verdicts are drawn per submission index, which latency
+    /// cannot shift.
+    #[test]
+    fn retried_sessions_are_deterministic_and_latency_invariant() {
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let drive = |latency: Option<llmsim::LatencyProfile>| {
+            let mut builder = StellarBuilder::new()
+                .failures(llmsim::FailureInjection {
+                    seed: 3,
+                    profile: llmsim::FailureProfile {
+                        transient_rate: 0.3,
+                        fatal_rate: 0.0,
+                    },
+                })
+                .retry_policy(RetryPolicy {
+                    max_attempts: 10,
+                    backoff_ticks: 1,
+                    pending_timeout: None,
+                });
+            if let Some(profile) = latency {
+                builder = builder.backend_latency(profile);
+            }
+            let engine = builder.build();
+            let recorder = Rc::new(RefCell::new(Recorder::default()));
+            let mut session = engine.session(w.as_ref(), RuleSet::new(), 9);
+            session.observe(Box::new(SharedRecorder(recorder.clone())));
+            let outcome = session.drain_outcome();
+            let SessionOutcome::Finished(run) = outcome else {
+                panic!("a 10-attempt budget must survive a 0.3 transient rate: {outcome:?}");
+            };
+            let Ok(rec) = Rc::try_unwrap(recorder) else {
+                panic!("the recorder must have a sole owner after the drain");
+            };
+            let rec = rec.into_inner();
+            (run, rec.events, rec.retries)
+        };
+
+        let (run_a, events_a, retries_a) = drive(None);
+        assert!(!retries_a.is_empty(), "the injection must bite");
+        let (run_b, events_b, retries_b) = drive(None);
+        assert_eq!(retries_a, retries_b, "same seed, same retry schedule");
+        assert_eq!(events_a, events_b);
+        assert_eq!(run_a.best_wall.to_bits(), run_b.best_wall.to_bits());
+        assert_eq!(run_a.transcript, run_b.transcript);
+
+        let (run_c, events_c, retries_c) = drive(Some(llmsim::LatencyProfile::uniform(1, 3)));
+        assert_eq!(retries_a, retries_c, "latency cannot shift the schedule");
+        assert_eq!(events_a, events_c);
+        assert_eq!(run_a.best_wall.to_bits(), run_c.best_wall.to_bits());
+        assert_eq!(run_a.tuning_usage, run_c.tuning_usage);
+    }
+
+    /// The pending-poll timeout cancels a stuck call, resubmits, and
+    /// consumes an attempt — so a transport that outlasts every budgeted
+    /// attempt fails the session instead of hanging it.
+    #[test]
+    fn pending_timeout_consumes_the_budget() {
+        let engine = StellarBuilder::new()
+            .backend_latency(llmsim::LatencyProfile::fixed(100))
+            .retry_policy(RetryPolicy {
+                max_attempts: 2,
+                backoff_ticks: 0,
+                pending_timeout: Some(5),
+            })
+            .build();
+        let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+        let session = engine.session(w.as_ref(), RuleSet::new(), 7);
+        let outcome = session.drain_outcome();
+        let SessionOutcome::Failed(SessionError::RetriesExhausted { attempts, last, .. }) = outcome
+        else {
+            panic!("expected RetriesExhausted via timeout, got {outcome:?}");
+        };
+        assert_eq!(attempts, 2);
+        assert_eq!(last.reason(), "pending-poll timeout");
     }
 }

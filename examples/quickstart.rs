@@ -73,6 +73,12 @@ fn main() {
             SessionEvent::Ended { reason } => {
                 println!("  event: ended — {reason}");
             }
+            SessionEvent::Failed { error } => {
+                // Only seen when the builder injects backend failures
+                // (`.failures(...)`): terminal, with no tuning run —
+                // collect the error via `drain_outcome()`/`into_outcome()`.
+                println!("  event: failed — {error}");
+            }
         }
     }
     let run = session.into_run();

@@ -59,8 +59,8 @@ fn main() {
         }
         s
     };
-    let cold_run = &cold.cells[0].run;
-    let warm_run = &warm.cells[0].run;
+    let cold_run = cold.cells[0].run().expect("perfect backend");
+    let warm_run = warm.cells[0].run().expect("perfect backend");
     println!(
         "  without rules: {}   (best x{:.2})",
         fmt(cold_run),

@@ -23,42 +23,46 @@ fn campaign_parallel_equals_serial() {
 
     assert_eq!(parallel.cells.len(), 4);
     assert_eq!(parallel.cells.len(), serial.cells.len());
-    for (p, s) in parallel.cells.iter().zip(&serial.cells) {
-        assert_eq!(p.workload, s.workload);
-        assert_eq!(p.seed, s.seed);
-        assert_eq!(p.cell_seed, s.cell_seed);
+    for (cp, cs) in parallel.cells.iter().zip(&serial.cells) {
+        assert_eq!(cp.workload, cs.workload);
+        assert_eq!(cp.seed, cs.seed);
+        assert_eq!(cp.cell_seed, cs.cell_seed);
+        let p = cp.run().expect("perfect backend: every cell finishes");
+        let s = cs.run().expect("perfect backend: every cell finishes");
         assert_eq!(
-            p.run.best_wall.to_bits(),
-            s.run.best_wall.to_bits(),
+            p.best_wall.to_bits(),
+            s.best_wall.to_bits(),
             "{} @ seed {}: parallel and serial best_wall diverged",
-            p.workload,
-            p.seed
+            cp.workload,
+            cp.seed
         );
         assert_eq!(
-            p.run.best_config, s.run.best_config,
+            p.best_config, s.best_config,
             "{} @ seed {}: parallel and serial best_config diverged",
-            p.workload, p.seed
+            cp.workload, cp.seed
         );
-        assert_eq!(p.run.attempts.len(), s.run.attempts.len());
+        assert_eq!(p.attempts.len(), s.attempts.len());
     }
     assert_eq!(parallel.rules, serial.rules, "accumulated rules diverged");
 }
 
 fn assert_reports_identical(tag: &str, a: &CampaignReport, b: &CampaignReport) {
     assert_eq!(a.cells.len(), b.cells.len(), "{tag}: cell count");
-    for (x, y) in a.cells.iter().zip(&b.cells) {
-        assert_eq!(x.workload, y.workload, "{tag}");
-        assert_eq!(x.seed, y.seed, "{tag}");
-        assert_eq!(x.cell_seed, y.cell_seed, "{tag}");
+    for (cx, cy) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(cx.workload, cy.workload, "{tag}");
+        assert_eq!(cx.seed, cy.seed, "{tag}");
+        assert_eq!(cx.cell_seed, cy.cell_seed, "{tag}");
+        let x = cx.run().expect("perfect backend: every cell finishes");
+        let y = cy.run().expect("perfect backend: every cell finishes");
         assert_eq!(
-            x.run.best_wall.to_bits(),
-            y.run.best_wall.to_bits(),
+            x.best_wall.to_bits(),
+            y.best_wall.to_bits(),
             "{tag}: {} @ seed {} best_wall diverged",
-            x.workload,
-            x.seed
+            cx.workload,
+            cx.seed
         );
-        assert_eq!(x.run.best_config, y.run.best_config, "{tag}");
-        assert_eq!(x.run.transcript, y.run.transcript, "{tag}");
+        assert_eq!(x.best_config, y.best_config, "{tag}");
+        assert_eq!(x.transcript, y.transcript, "{tag}");
     }
     assert_eq!(a.rules, b.rules, "{tag}: accumulated rules diverged");
 }
@@ -129,7 +133,8 @@ fn campaign_cell_matches_standalone_session() {
     let standalone = fixed_engine
         .session(w.as_ref(), RuleSet::new(), cell.cell_seed)
         .drain();
-    assert_eq!(cell.run.best_wall.to_bits(), standalone.best_wall.to_bits());
-    assert_eq!(cell.run.best_config, standalone.best_config);
-    assert_eq!(cell.run.transcript, standalone.transcript);
+    let run = cell.run().expect("perfect backend: the cell finishes");
+    assert_eq!(run.best_wall.to_bits(), standalone.best_wall.to_bits());
+    assert_eq!(run.best_config, standalone.best_config);
+    assert_eq!(run.transcript, standalone.transcript);
 }

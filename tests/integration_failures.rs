@@ -1,0 +1,250 @@
+//! Failure-domain conformance: the acceptance properties of the
+//! fallible-backend work, pinned end to end.
+//!
+//! 1. A campaign under seeded backend-failure injection emits a canonical
+//!    JSONL stream that is byte-identical across serial, multi-threaded
+//!    and latency-injected executions — retries and failures are part of
+//!    the deterministic record, not scheduling noise.
+//! 2. A panicking cell is isolated: it publishes
+//!    [`CellOutcome::Failed`] while its siblings finish normally, and
+//!    serial and parallel executions agree on every cell.
+//! 3. A session that exhausts its retry budget ends with
+//!    [`SessionEvent::Failed`] and a structured [`SessionError`] — never
+//!    a panic.
+//! 4. A campaign resumed from a crash-torn partial run record replays
+//!    the completed rounds and recomputes the remainder, producing a
+//!    report and canonical stream bit-identical to the uninterrupted
+//!    run.
+
+use llmsim::{FailureInjection, FailureProfile, LatencyProfile};
+use stellar::{
+    Campaign, CampaignReport, CellFailure, JsonlEmitter, RetryPolicy, RunRecord, SessionError,
+    SessionEvent, SessionOutcome, Stellar, StellarBuilder,
+};
+use workloads::WorkloadKind;
+
+const GRID: [WorkloadKind; 2] = [WorkloadKind::Ior64K, WorkloadKind::MdWorkbench2K];
+const SCALE: f64 = 0.05;
+const SEEDS: [u64; 2] = [71, 72];
+
+/// An engine with the standard failure injection (seed 9) and a
+/// three-attempt retry budget, plus optional backend latency.
+fn engine(latency: Option<LatencyProfile>) -> Stellar {
+    let mut b = StellarBuilder::new()
+        .attempt_budget(3)
+        .failures(FailureInjection::standard(9))
+        .retry_policy(RetryPolicy {
+            max_attempts: 3,
+            ..Default::default()
+        });
+    if let Some(p) = latency {
+        b = b.backend_latency(p);
+    }
+    b.build()
+}
+
+fn campaign(e: &Stellar) -> Campaign<'_> {
+    Campaign::new(e).kinds(&GRID, SCALE).seeds(SEEDS)
+}
+
+/// Run the grid with a recording emitter attached; return the report and
+/// the parsed record.
+fn record_campaign(e: &Stellar, threads: usize, serial: bool) -> (CampaignReport, RunRecord) {
+    let mut emitter = JsonlEmitter::new(Vec::new());
+    let c = campaign(e).threads(threads).observe(Box::new(&mut emitter));
+    let report = if serial { c.run_serial() } else { c.run() };
+    drop(c); // release the emitter borrow held by the observer box
+    let bytes = emitter.into_inner();
+    let record = RunRecord::parse(std::str::from_utf8(&bytes).expect("utf-8")).expect("parses");
+    (report, record)
+}
+
+/// Acceptance property 1: failure verdicts are drawn per submission
+/// index, so the canonical stream — retries included — is identical
+/// whether the grid runs serially, across four workers, or with
+/// suspended cells under injected latency.
+#[test]
+fn injected_failure_campaign_is_deterministic_across_execution_shapes() {
+    let instant = engine(None);
+    let (_, serial) = record_campaign(&instant, 1, true);
+    let (_, parallel) = record_campaign(&instant, 4, false);
+    let latent_engine = engine(Some(LatencyProfile::fixed(2)));
+    let (_, latent) = record_campaign(&latent_engine, 2, false);
+
+    let canon = serial.canonical_jsonl();
+    assert!(!canon.is_empty());
+    assert_eq!(canon, parallel.canonical_jsonl(), "serial vs parallel");
+    assert_eq!(canon, latent.canonical_jsonl(), "serial vs latency");
+}
+
+/// A workload whose stream generation panics: the cell's first
+/// simulated execution unwinds mid-session. Cost hints delegate to the
+/// wrapped workload so scheduler planning (which runs outside the cell's
+/// failure domain) stays panic-free.
+struct PanicOnGenerate(Box<dyn workloads::Workload>);
+
+impl workloads::Workload for PanicOnGenerate {
+    fn name(&self) -> String {
+        "PanicCell".into()
+    }
+
+    fn generate(
+        &self,
+        _topo: &pfs::topology::ClusterSpec,
+        _seed: u64,
+    ) -> Vec<pfs::ops::RankStream> {
+        panic!("injected cell panic")
+    }
+
+    fn scaled(&self, factor: f64) -> Box<dyn workloads::Workload> {
+        Box::new(PanicOnGenerate(self.0.scaled(factor)))
+    }
+
+    fn describe(&self) -> String {
+        self.0.describe()
+    }
+
+    fn cost_hint(&self, topo: &pfs::topology::ClusterSpec) -> workloads::CostHint {
+        self.0.cost_hint(topo)
+    }
+}
+
+/// Acceptance property 2: a panicking cell publishes
+/// `CellOutcome::Failed` without aborting its siblings, and serial and
+/// parallel executions agree cell for cell.
+#[test]
+fn panicking_cell_is_isolated_from_its_siblings() {
+    let e = StellarBuilder::new().attempt_budget(3).build();
+    let build = || {
+        Campaign::new(&e)
+            .workload(WorkloadKind::Ior64K.spec_at(SCALE))
+            .workload(Box::new(PanicOnGenerate(
+                WorkloadKind::Ior16M.spec_at(SCALE),
+            )))
+            .workload(WorkloadKind::MdWorkbench2K.spec_at(SCALE))
+            .seeds([5])
+    };
+    let serial = build().run_serial();
+    let parallel = build().threads(4).run();
+
+    for (tag, report) in [("serial", &serial), ("parallel", &parallel)] {
+        assert_eq!(report.cells.len(), 3, "{tag}");
+        let failed = report.failed_cells();
+        assert_eq!(failed.len(), 1, "{tag}: exactly the panicking cell fails");
+        assert_eq!(failed[0].workload, "PanicCell", "{tag}");
+        match failed[0].failure() {
+            Some(CellFailure::Panic(msg)) => {
+                assert!(msg.contains("injected cell panic"), "{tag}: {msg}");
+            }
+            other => panic!("{tag}: expected a panic failure, got {other:?}"),
+        }
+        assert!(report.cells[0].run().is_some(), "{tag}: sibling 0 finished");
+        assert!(report.cells[2].run().is_some(), "{tag}: sibling 2 finished");
+    }
+
+    // Serial and parallel agree bit for bit, failed cell included.
+    for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(s.workload, p.workload);
+        assert_eq!(s.cell_seed, p.cell_seed);
+        assert_eq!(s.failure(), p.failure());
+        match (s.run(), p.run()) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.best_wall.to_bits(), b.best_wall.to_bits());
+                assert_eq!(a.transcript, b.transcript);
+            }
+            (None, None) => {}
+            _ => panic!("{}: serial and parallel outcomes disagree", s.workload),
+        }
+    }
+}
+
+/// Acceptance property 3: an all-transient backend with a spent retry
+/// budget ends the session via `SessionEvent::Failed` and a structured
+/// `RetriesExhausted` error — the drain never panics.
+#[test]
+fn retry_exhaustion_fails_the_session_without_panicking() {
+    let e = StellarBuilder::new()
+        .attempt_budget(2)
+        .failures(FailureInjection {
+            seed: 3,
+            profile: FailureProfile {
+                transient_rate: 1.0,
+                fatal_rate: 0.0,
+            },
+        })
+        .retry_policy(RetryPolicy {
+            max_attempts: 2,
+            backoff_ticks: 1,
+            pending_timeout: None,
+        })
+        .build();
+    let w = WorkloadKind::Ior16M.spec().scaled(0.08);
+    let mut session = e.session(w.as_ref(), agents::RuleSet::new(), 11);
+    let mut saw_failed = false;
+    while !session.is_ended() {
+        if let SessionEvent::Failed { error } = session.step() {
+            saw_failed = true;
+            assert!(matches!(error, SessionError::RetriesExhausted { .. }));
+        }
+    }
+    assert!(saw_failed, "the terminal event must be Failed");
+    match session.into_outcome() {
+        SessionOutcome::Failed(SessionError::RetriesExhausted { attempts, .. }) => {
+            assert_eq!(attempts, 2, "both budgeted submissions were spent");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+/// Acceptance property 4: a campaign resumed from a crash-torn partial
+/// record — complete round one, a torn final line — replays round one
+/// from the record and recomputes round two, landing on a report and
+/// canonical stream bit-identical to the uninterrupted run.
+#[test]
+fn resumed_campaign_is_bit_identical_to_uninterrupted() {
+    let e = engine(None);
+    let (full_report, full_record) = record_campaign(&e, 1, true);
+    let full_jsonl = full_record.to_jsonl();
+
+    // Crash simulation: keep everything before the second round, then
+    // tear the write mid-line.
+    let lines: Vec<&str> = full_jsonl.lines().collect();
+    let second_round = lines
+        .iter()
+        .position(|l| l.contains("\"RoundStart\"") && l.contains(&format!("\"seed\":{}", SEEDS[1])))
+        .expect("the record has a second round");
+    let mut partial: String = lines[..second_round]
+        .iter()
+        .flat_map(|l| [*l, "\n"])
+        .collect();
+    partial.push_str("{\"v\":3,\"e\":{\"Cell"); // torn, no trailing newline
+
+    let record = RunRecord::parse_partial(&partial).expect("partial record parses");
+    let mut emitter = JsonlEmitter::new(Vec::new());
+    let c = campaign(&e)
+        .resume_from(&record)
+        .expect("same grid, same flags: resumable")
+        .observe(Box::new(&mut emitter));
+    let resumed_report = c.run_serial();
+    drop(c);
+    let bytes = emitter.into_inner();
+    let resumed_record =
+        RunRecord::parse(std::str::from_utf8(&bytes).expect("utf-8")).expect("parses");
+
+    assert_eq!(
+        resumed_report.render(),
+        full_report.render(),
+        "the resumed report must be bit-identical"
+    );
+    assert_eq!(
+        resumed_record.canonical_jsonl(),
+        full_record.canonical_jsonl(),
+        "the resumed canonical stream must be bit-identical"
+    );
+    assert_eq!(resumed_report.cells.len(), full_report.cells.len());
+    for (r, f) in resumed_report.cells.iter().zip(&full_report.cells) {
+        assert_eq!(r.run(), f.run(), "{} @ seed {}", f.workload, f.seed);
+        assert_eq!(r.failure(), f.failure());
+    }
+    assert_eq!(resumed_report.rules, full_report.rules);
+}

@@ -38,30 +38,26 @@ fn campaign(e: &Stellar) -> Campaign<'_> {
 /// a single backend charge.
 fn assert_reports_identical(tag: &str, a: &CampaignReport, b: &CampaignReport) {
     assert_eq!(a.cells.len(), b.cells.len(), "{tag}: cell count");
-    for (x, y) in a.cells.iter().zip(&b.cells) {
-        assert_eq!(x.workload, y.workload, "{tag}");
-        assert_eq!(x.seed, y.seed, "{tag}");
-        assert_eq!(x.cell_seed, y.cell_seed, "{tag}");
+    for (cx, cy) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(cx.workload, cy.workload, "{tag}");
+        assert_eq!(cx.seed, cy.seed, "{tag}");
+        assert_eq!(cx.cell_seed, cy.cell_seed, "{tag}");
+        let x = cx.run().expect("perfect backend: every cell finishes");
+        let y = cy.run().expect("perfect backend: every cell finishes");
         assert_eq!(
-            x.run.best_wall.to_bits(),
-            y.run.best_wall.to_bits(),
+            x.best_wall.to_bits(),
+            y.best_wall.to_bits(),
             "{tag}: {} @ seed {} best_wall diverged",
-            x.workload,
-            x.seed
+            cx.workload,
+            cx.seed
         );
-        assert_eq!(x.run.best_config, y.run.best_config, "{tag}");
-        assert_eq!(x.run.attempts.len(), y.run.attempts.len(), "{tag}");
-        assert_eq!(x.run.end_reason, y.run.end_reason, "{tag}");
-        assert_eq!(x.run.transcript, y.run.transcript, "{tag}");
-        assert_eq!(x.run.new_rules, y.run.new_rules, "{tag}");
-        assert_eq!(
-            x.run.tuning_usage, y.run.tuning_usage,
-            "{tag}: tuning usage"
-        );
-        assert_eq!(
-            x.run.analysis_usage, y.run.analysis_usage,
-            "{tag}: analysis usage"
-        );
+        assert_eq!(x.best_config, y.best_config, "{tag}");
+        assert_eq!(x.attempts.len(), y.attempts.len(), "{tag}");
+        assert_eq!(x.end_reason, y.end_reason, "{tag}");
+        assert_eq!(x.transcript, y.transcript, "{tag}");
+        assert_eq!(x.new_rules, y.new_rules, "{tag}");
+        assert_eq!(x.tuning_usage, y.tuning_usage, "{tag}: tuning usage");
+        assert_eq!(x.analysis_usage, y.analysis_usage, "{tag}: analysis usage");
     }
     assert_eq!(a.rules, b.rules, "{tag}: accumulated rules diverged");
 }

@@ -103,7 +103,13 @@ fn observation_is_inert() {
     for (a, b) in bare.cells.iter().zip(&observed.cells) {
         assert_eq!(a.workload, b.workload);
         assert_eq!(a.cell_seed, b.cell_seed);
-        assert_eq!(a.run, b.run, "{} @ seed {} diverged", a.workload, a.seed);
+        assert_eq!(
+            a.run(),
+            b.run(),
+            "{} @ seed {} diverged",
+            a.workload,
+            a.seed
+        );
     }
     assert_eq!(bare.rules, observed.rules);
 }
