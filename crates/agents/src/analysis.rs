@@ -195,7 +195,7 @@ pub fn build_report(header: &str, tables: &[Table]) -> IoReport {
         .max_by(|a, b| {
             let ab = a.sum(Counter::BytesWritten.name()) + a.sum(Counter::BytesRead.name());
             let bb = b.sum(Counter::BytesWritten.name()) + b.sum(Counter::BytesRead.name());
-            ab.partial_cmp(&bb).expect("finite")
+            ab.total_cmp(&bb)
         })
         .map(|t| t.name.clone())
         .unwrap_or_default();

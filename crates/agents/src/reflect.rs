@@ -29,7 +29,7 @@ pub fn reflect(
 ) -> Vec<Rule> {
     let Some(best) = history
         .iter()
-        .min_by(|a, b| a.wall_secs.partial_cmp(&b.wall_secs).expect("finite"))
+        .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
     else {
         return Vec::new();
     };

@@ -361,7 +361,7 @@ impl RuleSet {
             .map(|r| (r.match_score(workload_tags), r))
             .filter(|(s, _)| *s >= 0.6)
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         scored.into_iter().map(|(_, r)| r).collect()
     }
 

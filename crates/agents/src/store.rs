@@ -439,7 +439,7 @@ fn matching_in<'s>(shards: &'s ShardMap, workload_tags: &[ContextTag]) -> Vec<&'
     }
     // Score descending, accumulation order among ties — matching the flat
     // RuleSet's stable sort.
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     scored.into_iter().map(|(_, _, r)| r).collect()
 }
 

@@ -181,7 +181,7 @@ impl TuningAgent {
     pub fn best(&self) -> Option<&Attempt> {
         self.history
             .iter()
-            .min_by(|a, b| a.wall_secs.partial_cmp(&b.wall_secs).expect("finite"))
+            .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
     }
 
     fn classify(&self) -> WorkloadClass {

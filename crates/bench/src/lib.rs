@@ -40,6 +40,8 @@ pub fn series(xs: &[f64]) -> String {
 
 /// Experiment scale: `STELLAR_SCALE` env var, default 1.0 (paper scale).
 pub fn scale_from_env() -> f64 {
+    // detlint::allow(D008): bench-harness knob only; the scale is echoed in
+    // the bench JSON header, never into canonical run records
     std::env::var("STELLAR_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())

@@ -68,7 +68,7 @@ impl Table {
     /// Distinct values of a column, sorted.
     pub fn distinct(&self, name: &str) -> Vec<f64> {
         let mut v = self.column(name).unwrap_or_default();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in tables"));
+        v.sort_by(|a, b| a.total_cmp(b));
         v.dedup();
         v
     }
@@ -87,7 +87,7 @@ impl Table {
             .into_iter()
             .map(|(k, v)| (f64::from_bits(k), v))
             .collect();
-        out.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
         out
     }
 }
@@ -197,6 +197,27 @@ mod tests {
         let posix = &tables[0];
         let per_rank = posix.group_sum("RANK", "BYTES_WRITTEN");
         assert_eq!(per_rank, vec![(0.0, 1000.0), (1.0, 3000.0)]);
+    }
+
+    #[test]
+    fn nan_values_order_deterministically_without_panicking() {
+        // Regression: `sort_by(partial_cmp().unwrap())` panicked on NaN;
+        // total_cmp orders it after every finite value instead.
+        let t = Table {
+            name: "T".into(),
+            columns: vec!["K".into(), "V".into()],
+            rows: vec![vec![f64::NAN, 1.0], vec![2.0, f64::NAN], vec![1.0, 3.0]],
+        };
+        let d = t.distinct("K");
+        assert_eq!(&d[..2], &[1.0, 2.0]);
+        assert!(d[2].is_nan(), "NaN sorts last under the total order");
+        let g = t.group_sum("K", "V");
+        assert_eq!((g[0].0, g[1].0), (1.0, 2.0));
+        assert!(g[2].0.is_nan());
+        assert!(
+            g[1].1.is_nan(),
+            "NaN sums stay NaN, keyed deterministically"
+        );
     }
 
     #[test]

@@ -15,15 +15,29 @@
 //! a (possibly multi-line) array of module-path globs. Unknown sections,
 //! keys, or malformed lines are hard errors — a lint config that is
 //! silently ignored is worse than none.
+//!
+//! Every entry records the `detlint.toml` line it came from: since the
+//! cone analysis (PR 9), entries are *cone-entry exclusions*, and an
+//! entry whose glob no longer matches any canonical-cone module is
+//! reported as a stale waiver at that line.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// One allowlist entry: a module-path glob plus its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Module-path glob (`*` matches any substring, `::` included).
+    pub glob: String,
+    /// 1-based `detlint.toml` line the entry appears on.
+    pub line: usize,
+}
 
 /// Parsed allowlist configuration.
 #[derive(Debug, Default, Clone)]
 pub struct Config {
     /// Rule id → module-path globs exempt from that rule.
-    pub allow: BTreeMap<String, Vec<String>>,
+    pub allow: BTreeMap<String, Vec<AllowEntry>>,
 }
 
 /// A configuration parse error with its 1-based line number.
@@ -87,36 +101,78 @@ impl Config {
                     message: "`allow` outside a `[rules.<ID>]` section".into(),
                 });
             };
-            // Gather the array source, consuming continuation lines until
-            // the closing bracket.
-            let mut array_src = rest.trim().to_string();
-            let mut last_line = i + 1;
-            while !array_src.contains(']') {
+            // Parse the array fragment-by-fragment so each element keeps
+            // the physical line it appears on.
+            let entries = cfg.allow.entry(rule).or_default();
+            let first = rest.trim();
+            let Some(mut fragment) = first.strip_prefix('[').map(str::to_string) else {
+                return Err(ConfigError {
+                    line: i + 1,
+                    message: format!("expected `[ ... ]`, got `{first}`"),
+                });
+            };
+            let mut at = i + 1;
+            loop {
+                let (body, done) = match fragment.find(']') {
+                    Some(k) => {
+                        if !fragment[k + 1..].trim().is_empty() {
+                            return Err(ConfigError {
+                                line: at,
+                                message: format!(
+                                    "unexpected trailing `{}` after `]`",
+                                    fragment[k + 1..].trim()
+                                ),
+                            });
+                        }
+                        (&fragment[..k], true)
+                    }
+                    None => (fragment.as_str(), false),
+                };
+                for part in body.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue; // trailing comma / blank continuation
+                    }
+                    let glob = part
+                        .strip_prefix('"')
+                        .and_then(|s| s.strip_suffix('"'))
+                        .ok_or_else(|| ConfigError {
+                            line: at,
+                            message: format!("expected a quoted string, got `{part}`"),
+                        })?;
+                    if glob.is_empty() {
+                        return Err(ConfigError {
+                            line: at,
+                            message: "empty allowlist entry".into(),
+                        });
+                    }
+                    entries.push(AllowEntry {
+                        glob: glob.to_string(),
+                        line: at,
+                    });
+                }
+                if done {
+                    break;
+                }
                 match lines.next() {
                     Some((j, cont)) => {
-                        array_src.push(' ');
-                        array_src.push_str(strip_comment(cont).trim());
-                        last_line = j + 1;
+                        fragment = strip_comment(cont).trim().to_string();
+                        at = j + 1;
                     }
                     None => {
                         return Err(ConfigError {
-                            line: last_line,
+                            line: at,
                             message: "unterminated `allow` array".into(),
                         });
                     }
                 }
             }
-            let entries = parse_string_array(&array_src).map_err(|message| ConfigError {
-                line: last_line,
-                message,
-            })?;
-            cfg.allow.entry(rule).or_default().extend(entries);
         }
         Ok(cfg)
     }
 
-    /// Globs configured for `rule` (empty slice when none).
-    pub fn allows_for(&self, rule: &str) -> &[String] {
+    /// Entries configured for `rule` (empty slice when none).
+    pub fn allows_for(&self, rule: &str) -> &[AllowEntry] {
         self.allow.get(rule).map(Vec::as_slice).unwrap_or(&[])
     }
 }
@@ -132,31 +188,6 @@ fn strip_comment(line: &str) -> &str {
         }
     }
     line
-}
-
-/// Parse `[ "a", "b", ]` into its string elements.
-fn parse_string_array(src: &str) -> Result<Vec<String>, String> {
-    let src = src.trim();
-    let inner = src
-        .strip_prefix('[')
-        .and_then(|s| s.strip_suffix(']'))
-        .ok_or_else(|| format!("expected `[ ... ]`, got `{src}`"))?;
-    let mut out = Vec::new();
-    for part in inner.split(',') {
-        let part = part.trim();
-        if part.is_empty() {
-            continue; // trailing comma
-        }
-        let value = part
-            .strip_prefix('"')
-            .and_then(|s| s.strip_suffix('"'))
-            .ok_or_else(|| format!("expected a quoted string, got `{part}`"))?;
-        if value.is_empty() {
-            return Err("empty allowlist entry".into());
-        }
-        out.push(value.to_string());
-    }
-    Ok(out)
 }
 
 /// Match a module path against a glob where `*` matches any substring
@@ -180,6 +211,13 @@ pub fn glob_match(glob: &str, path: &str) -> bool {
 mod tests {
     use super::*;
 
+    fn globs<'c>(cfg: &'c Config, rule: &str) -> Vec<&'c str> {
+        cfg.allows_for(rule)
+            .iter()
+            .map(|e| e.glob.as_str())
+            .collect()
+    }
+
     #[test]
     fn parses_sections_and_arrays() {
         let cfg = Config::parse(
@@ -196,9 +234,26 @@ allow = [
 "#,
         )
         .unwrap();
-        assert_eq!(cfg.allows_for("D001"), ["bench::bin::perfsuite"]);
-        assert_eq!(cfg.allows_for("D005"), ["*::bin::*", "examples::*"]);
+        assert_eq!(globs(&cfg, "D001"), ["bench::bin::perfsuite"]);
+        assert_eq!(globs(&cfg, "D005"), ["*::bin::*", "examples::*"]);
         assert!(cfg.allows_for("D002").is_empty());
+    }
+
+    #[test]
+    fn entries_carry_their_source_lines() {
+        let cfg = Config::parse(
+            "[rules.D001]\nallow = [\"a::b\"]\n[rules.D005]\nallow = [\n    \"c::*\",\n    \"d::*\", \"e::*\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.allows_for("D001"),
+            [AllowEntry {
+                glob: "a::b".into(),
+                line: 2
+            }]
+        );
+        let lines: Vec<usize> = cfg.allows_for("D005").iter().map(|e| e.line).collect();
+        assert_eq!(lines, [5, 6, 6]);
     }
 
     #[test]
@@ -208,6 +263,7 @@ allow = [
         assert!(Config::parse("allow = [\"x\"]").is_err());
         assert!(Config::parse("[rules.D001]\nallow = [\"x\"").is_err());
         assert!(Config::parse("[rules.D001]\nallow = [x]").is_err());
+        assert!(Config::parse("[rules.D001]\nallow = [\"x\"] junk").is_err());
     }
 
     #[test]
@@ -217,7 +273,7 @@ allow = [
     }
 
     #[test]
-    fn globs() {
+    fn globs_match() {
         assert!(glob_match("*::bin::*", "stellar::bin::stellar_tune"));
         assert!(glob_match("examples::*", "examples::quickstart"));
         assert!(glob_match(

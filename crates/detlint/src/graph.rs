@@ -1,0 +1,1339 @@
+//! Workspace symbol index and conservative call graph.
+//!
+//! The cone analysis ([`crate::taint`]) needs to know, for every function
+//! in the workspace, who calls it and whom it calls. This module builds
+//! that graph from the [`crate::lexer`] token stream alone — no rustc, no
+//! new dependencies — by recognising:
+//!
+//! - `fn` items, including methods (qualified by their enclosing
+//!   `impl`/`trait` self type) and functions nested in inline `mod` blocks,
+//! - `use` declarations (plain, `as` renames, nested `{...}` groups and
+//!   glob imports), which feed path resolution,
+//! - call expressions `path::to::f(...)` and method calls `recv.m(...)`,
+//!   turbofish included.
+//!
+//! Resolution is **name + module-path based** and deliberately
+//! conservative in the over-approximating direction:
+//!
+//! - a qualified call resolves to every workspace function whose qualified
+//!   path ends with the call path (after `use`/`crate`/`self`/`super`
+//!   expansion), falling back to the last two segments — so re-export
+//!   paths like `stellar::JsonlEmitter::create` still reach
+//!   `stellar::obs::JsonlEmitter::create`; a qualified call matching
+//!   nothing in the workspace is external (std/vendored) and adds no edge;
+//! - a bare call prefers same-module functions, then `use`-imported ones,
+//!   and otherwise links **every** function of that name in the workspace;
+//! - a method call `x.m(...)` links every workspace method named `m`
+//!   regardless of receiver type (receiver types are not inferred).
+//!
+//! Over-approximation errs toward putting *more* functions in the
+//! canonical cone, never fewer, which is the safe direction for a
+//! determinism linter: a spurious edge can only make a rule fire where a
+//! human must waive it, not hide a genuine violation.
+//!
+//! Everything is deterministic: files are indexed in sorted path order,
+//! functions are numbered in that order, and edge sets are `BTreeSet`s.
+
+use crate::lexer::{lex, LineIndex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Index of a function in [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// One indexed function (free function, method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare name (`plan`, `on_event`, ...).
+    pub name: String,
+    /// Fully qualified path: module path, plus the `impl`/`trait` self
+    /// type for methods (`stellar::sched::plan`,
+    /// `stellar::obs::JsonlEmitter::event`).
+    pub qualified: String,
+    /// Module path only (no type segment, no fn name).
+    pub module: String,
+    /// Workspace-relative file the function lives in.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte range of the body in the file source (`{`..=`}`), or an empty
+    /// range for bodyless trait signatures.
+    pub body: (usize, usize),
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All indexed functions, in deterministic (file, offset) order.
+    pub fns: Vec<FnDef>,
+    /// Forward edges: `callees[f]` = functions `f` may call.
+    pub callees: Vec<BTreeSet<FnId>>,
+    /// Reverse edges: `callers[f]` = functions that may call `f`.
+    pub callers: Vec<BTreeSet<FnId>>,
+    /// Per-file function ids, for enclosing-function lookups.
+    by_file: BTreeMap<String, Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Build the graph for a set of `(path, contents)` files. The result
+    /// is independent of the order `files` is given in: files are indexed
+    /// in sorted path order.
+    pub fn build(files: &[(String, String)]) -> CallGraph {
+        let mut sorted: Vec<&(String, String)> = files.iter().collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut g = CallGraph::default();
+        let mut file_syms = Vec::new();
+        for (path, src) in &sorted {
+            let syms = index_file(path, src, &mut g);
+            file_syms.push(syms);
+        }
+        g.callees = vec![BTreeSet::new(); g.fns.len()];
+        g.callers = vec![BTreeSet::new(); g.fns.len()];
+
+        // Name → defs map for resolution.
+        let mut by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        for (id, f) in g.fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(id);
+        }
+
+        for syms in &file_syms {
+            for call in &syms.calls {
+                let Some(caller) = call.caller else { continue };
+                for callee in resolve(call, syms, &g, &by_name) {
+                    if callee != caller {
+                        g.callees[caller].insert(callee);
+                    }
+                }
+            }
+        }
+        for (caller, outs) in g.callees.iter().enumerate() {
+            for &callee in outs {
+                g.callers[callee].insert(caller);
+            }
+        }
+        g
+    }
+
+    /// The innermost function whose body contains `offset` in `file`.
+    pub fn enclosing_fn(&self, file: &str, offset: usize) -> Option<FnId> {
+        let ids = self.by_file.get(file)?;
+        ids.iter()
+            .copied()
+            .filter(|&id| {
+                let (s, e) = self.fns[id].body;
+                s < offset && offset < e
+            })
+            .max_by_key(|&id| self.fns[id].body.0)
+    }
+
+    /// Ids of every function defined in `file`, in offset order.
+    pub fn fns_in_file(&self, file: &str) -> &[FnId] {
+        self.by_file.get(file).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Module paths (shared with the rule engine)
+// ---------------------------------------------------------------------------
+
+/// Package name of the workspace-root umbrella crate.
+const UMBRELLA: &str = "stellar_repro";
+
+/// Derive the crate-level module path for a workspace-relative file path.
+pub fn module_base(path: &str) -> String {
+    let norm = |s: &str| s.replace('-', "_");
+    let parts: Vec<&str> = path.split('/').collect();
+    let joined = |crate_name: &str, tail: &[&str]| -> String {
+        let mut segs = vec![norm(crate_name)];
+        for (i, p) in tail.iter().enumerate() {
+            let is_last = i + 1 == tail.len();
+            let p = p.strip_suffix(".rs").unwrap_or(p);
+            if is_last && (p == "mod" || p == "lib") {
+                continue;
+            }
+            segs.push(norm(p));
+        }
+        segs.join("::")
+    };
+    match parts.as_slice() {
+        ["crates", c, "src", "main.rs"] => format!("{}::bin::main", norm(c)),
+        ["crates", c, "src", "bin", rest @ ..] => {
+            format!(
+                "{}::bin::{}",
+                norm(c),
+                joined("", rest).trim_start_matches("::")
+            )
+        }
+        ["crates", c, "src", rest @ ..] => joined(c, rest),
+        ["crates", c, "benches", rest @ ..] => {
+            format!(
+                "{}::benches::{}",
+                norm(c),
+                joined("", rest).trim_start_matches("::")
+            )
+        }
+        ["crates", c, "tests", rest @ ..] => {
+            format!(
+                "{}::tests::{}",
+                norm(c),
+                joined("", rest).trim_start_matches("::")
+            )
+        }
+        ["src", rest @ ..] => joined(UMBRELLA, rest),
+        ["tests", rest @ ..] => joined("tests", rest),
+        ["examples", rest @ ..] => joined("examples", rest),
+        _ => joined("", parts.as_slice())
+            .trim_start_matches("::")
+            .to_string(),
+    }
+}
+
+/// An inline `mod name { ... }` block span.
+pub struct ModSpan {
+    /// Module name.
+    pub name: String,
+    /// Byte offset of the opening brace.
+    pub start: usize,
+    /// Byte offset of the closing brace.
+    pub end: usize,
+}
+
+/// Find inline module blocks by scanning code tokens for `mod <ident> {`
+/// and matching braces (only braces in code count, so string contents
+/// cannot unbalance the scan).
+pub fn inline_modules(src: &str, tokens: &[Token]) -> Vec<ModSpan> {
+    let mut opens: Vec<(String, usize)> = Vec::new(); // (name, open-brace offset)
+    for t in tokens {
+        if t.kind != TokenKind::Code {
+            continue;
+        }
+        let text = &src[t.start..t.end];
+        let bytes = text.as_bytes();
+        let mut from = 0usize;
+        while let Some(rel) = text[from..].find("mod") {
+            let at = from + rel;
+            from = at + 3;
+            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+            let after = at + 3;
+            if !before_ok || after >= bytes.len() || !bytes[after].is_ascii_whitespace() {
+                continue;
+            }
+            // Read the identifier after `mod`.
+            let mut j = after;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            if j == name_start {
+                continue;
+            }
+            let name = text[name_start..j].to_string();
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'{' {
+                opens.push((name, t.start + j));
+            }
+        }
+    }
+
+    // Match each open brace with its close by walking all code braces once.
+    let mut spans = Vec::new();
+    let mut stack: Vec<(usize, Option<usize>)> = Vec::new(); // (offset, opens-index)
+    let mut open_idx = 0usize;
+    for t in tokens {
+        if t.kind != TokenKind::Code {
+            continue;
+        }
+        for (rel, b) in src.as_bytes()[t.start..t.end].iter().enumerate() {
+            let off = t.start + rel;
+            match b {
+                b'{' => {
+                    let tag = if open_idx < opens.len() && opens[open_idx].1 == off {
+                        open_idx += 1;
+                        Some(open_idx - 1)
+                    } else {
+                        None
+                    };
+                    stack.push((off, tag));
+                }
+                b'}' => {
+                    if let Some((start, Some(i))) = stack.pop() {
+                        spans.push(ModSpan {
+                            name: opens[i].0.clone(),
+                            start,
+                            end: off,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unclosed module blocks (truncated input): run to EOF.
+    for (start, tag) in stack {
+        if let Some(i) = tag {
+            spans.push(ModSpan {
+                name: opens[i].0.clone(),
+                start,
+                end: src.len(),
+            });
+        }
+    }
+    spans.sort_by_key(|s| s.start);
+    spans
+}
+
+/// Full module path of a byte offset: file base plus enclosing inline mods.
+pub fn module_at(base: &str, mods: &[ModSpan], offset: usize) -> String {
+    let mut path = base.to_string();
+    for m in mods {
+        if m.start < offset && offset < m.end {
+            path.push_str("::");
+            path.push_str(&m.name);
+        }
+    }
+    path
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+// ---------------------------------------------------------------------------
+// Per-file symbol extraction
+// ---------------------------------------------------------------------------
+
+/// Code bytes of one file, flattened across tokens, with a map back to
+/// source offsets. Comments and literals are gone, so scans here can never
+/// match inside them, and constructs split by a comment re-join. Also used
+/// by the D006–D008 scanners in [`crate::rules`].
+pub(crate) struct CodeText {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) offs: Vec<usize>,
+}
+
+impl CodeText {
+    pub(crate) fn new(src: &str, tokens: &[Token]) -> CodeText {
+        let mut bytes = Vec::with_capacity(src.len());
+        let mut offs = Vec::with_capacity(src.len());
+        for t in tokens {
+            if t.kind == TokenKind::Code {
+                for (rel, &b) in src.as_bytes()[t.start..t.end].iter().enumerate() {
+                    bytes.push(b);
+                    offs.push(t.start + rel);
+                }
+            }
+        }
+        CodeText { bytes, offs }
+    }
+
+    fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Skip whitespace forward from `i`.
+    pub(crate) fn skip_ws(&self, mut i: usize) -> usize {
+        while i < self.len() && self.bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+
+    /// Skip whitespace backward from `i` (returns the index after the last
+    /// non-whitespace byte before `i`).
+    fn skip_ws_back(&self, mut i: usize) -> usize {
+        while i > 0 && self.bytes[i - 1].is_ascii_whitespace() {
+            i -= 1;
+        }
+        i
+    }
+
+    /// Is `self.bytes[at..at+word.len()]` a word-bounded `word`?
+    fn word_at(&self, at: usize, word: &str) -> bool {
+        let w = word.as_bytes();
+        if at + w.len() > self.len() || &self.bytes[at..at + w.len()] != w {
+            return false;
+        }
+        let pre_ok = at == 0 || !is_ident_byte(self.bytes[at - 1]);
+        let post_ok = at + w.len() >= self.len() || !is_ident_byte(self.bytes[at + w.len()]);
+        pre_ok && post_ok
+    }
+
+    /// Read the identifier starting at `i`, if any.
+    fn ident_at(&self, i: usize) -> Option<(usize, String)> {
+        let mut j = i;
+        while j < self.len() && is_ident_byte(self.bytes[j]) {
+            j += 1;
+        }
+        if j == i || self.bytes[i].is_ascii_digit() {
+            return None;
+        }
+        Some((j, String::from_utf8_lossy(&self.bytes[i..j]).into_owned()))
+    }
+
+    /// Matching close brace for the open brace at `i` (code-only braces).
+    /// Returns the index of the `}`, or the end of input if unclosed.
+    fn match_brace(&self, i: usize) -> usize {
+        debug_assert_eq!(self.bytes[i], b'{');
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.len() {
+            match self.bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.len().saturating_sub(1)
+    }
+
+    /// Matching close paren for the open paren at `i` (code-only parens).
+    /// Returns the index of the `)`, or the end of input if unclosed.
+    pub(crate) fn match_paren(&self, i: usize) -> usize {
+        debug_assert_eq!(self.bytes[i], b'(');
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.len() {
+            match self.bytes[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.len().saturating_sub(1)
+    }
+
+    /// Skip a balanced `<...>` starting at `i` (which must be `<`).
+    /// `->` arrows inside (fn types) do not count as closers. Returns the
+    /// index just past the closing `>`.
+    fn skip_angles(&self, i: usize) -> usize {
+        debug_assert_eq!(self.bytes[i], b'<');
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < self.len() {
+            match self.bytes[j] {
+                b'<' => depth += 1,
+                b'>' if j > 0 && self.bytes[j - 1] == b'-' => {} // `->`
+                b'>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                // A `(`, `{` or `;` at depth >0 means this was a comparison,
+                // not generics; bail to avoid eating the rest of the file.
+                b';' | b'{' => return i + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        self.len()
+    }
+}
+
+/// One call site found in a file.
+struct CallSite {
+    /// Enclosing function, if the call is inside one.
+    caller: Option<FnId>,
+    /// `true` for `.name(...)` method syntax.
+    is_method: bool,
+    /// Path segments (just the name for bare and method calls).
+    path: Vec<String>,
+}
+
+/// Per-file symbols feeding resolution.
+struct FileSyms {
+    /// Module path of the file root.
+    base: String,
+    /// `use` alias → full path.
+    uses: BTreeMap<String, String>,
+    /// Glob-import prefixes (`use a::b::*` → `a::b`).
+    glob_uses: Vec<String>,
+    /// Calls found in this file.
+    calls: Vec<CallSite>,
+}
+
+/// Rust keywords that look like call names but never are.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "in", "as", "ref", "mut",
+    "move", "impl", "dyn", "where", "use", "pub", "crate", "super", "self", "Self", "mod", "trait",
+    "struct", "enum", "union", "const", "static", "type", "unsafe", "extern", "await", "break",
+    "continue", "box",
+];
+
+/// An `impl`/`trait` block span with its self-type name.
+struct TypeSpan {
+    name: String,
+    /// Code-index range of the block body.
+    start: usize,
+    end: usize,
+}
+
+/// Index one file: append its `FnDef`s to `g` and return the symbols
+/// needed for call resolution.
+fn index_file(path: &str, src: &str, g: &mut CallGraph) -> FileSyms {
+    let tokens = lex(src);
+    let index = LineIndex::new(src);
+    let mods = inline_modules(src, &tokens);
+    let base = module_base(path);
+    let code = CodeText::new(src, &tokens);
+
+    let type_spans = find_type_spans(&code);
+    let first_id = g.fns.len();
+
+    // --- fn items ---
+    let mut fn_code_spans: Vec<(usize, usize, FnId)> = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code.word_at(i, "fn") {
+            i += 1;
+            continue;
+        }
+        let kw = i;
+        i += 2;
+        let j = code.skip_ws(i);
+        let Some((after_name, name)) = code.ident_at(j) else {
+            continue; // `fn(` pointer type or malformed
+        };
+        // Find the body open brace: first `{` at paren depth 0; a `;`
+        // first means a bodyless trait/extern signature.
+        let mut k = after_name;
+        let mut paren = 0usize;
+        let mut body: Option<(usize, usize)> = None;
+        while k < code.len() {
+            match code.bytes[k] {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren = paren.saturating_sub(1),
+                b'<' if paren == 0 && k > 0 && code.bytes[k - 1] != b'-' => {
+                    k = code.skip_angles(k);
+                    continue;
+                }
+                b'{' if paren == 0 => {
+                    body = Some((k, code.match_brace(k)));
+                    break;
+                }
+                b';' if paren == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some((open, close)) = body else {
+            i = after_name;
+            continue;
+        };
+        let src_off = code.offs[kw];
+        let (line, _) = index.line_col(src, src_off);
+        let module = module_at(&base, &mods, src_off);
+        let ty = type_spans
+            .iter()
+            .filter(|t| t.start < kw && kw < t.end)
+            .max_by_key(|t| t.start);
+        let qualified = match ty {
+            Some(t) => format!("{module}::{}::{name}", t.name),
+            None => format!("{module}::{name}"),
+        };
+        let id = g.fns.len();
+        g.fns.push(FnDef {
+            name,
+            qualified,
+            module,
+            file: path.to_string(),
+            line,
+            body: (code.offs[open], code.offs[close]),
+        });
+        fn_code_spans.push((open, close, id));
+        i = open + 1;
+    }
+    g.by_file
+        .insert(path.to_string(), (first_id..g.fns.len()).collect());
+
+    // --- use declarations ---
+    let mut uses = BTreeMap::new();
+    let mut glob_uses = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code.word_at(i, "use") {
+            i += 1;
+            continue;
+        }
+        let start = i + 3;
+        let mut end = start;
+        while end < code.len() && code.bytes[end] != b';' {
+            end += 1;
+        }
+        let decl = String::from_utf8_lossy(&code.bytes[start..end]).into_owned();
+        parse_use(decl.trim(), &mut uses, &mut glob_uses);
+        i = end + 1;
+    }
+
+    // --- call sites ---
+    let enclosing = |at: usize| -> Option<FnId> {
+        fn_code_spans
+            .iter()
+            .filter(|&&(s, e, _)| s < at && at < e)
+            .max_by_key(|&&(s, _, _)| s)
+            .map(|&(_, _, id)| id)
+    };
+    let mut calls = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !is_ident_byte(code.bytes[i]) || (i > 0 && is_ident_byte(code.bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let Some((after, name)) = code.ident_at(i) else {
+            i += 1;
+            continue;
+        };
+        let start = i;
+        i = after;
+        if KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // What follows: `(`, or a turbofish `::<...>` then `(`, else not a
+        // call. A `!` marks a macro invocation — skipped.
+        let mut k = code.skip_ws(after);
+        if k + 2 < code.len() && code.bytes[k] == b':' && code.bytes[k + 1] == b':' {
+            let t = code.skip_ws(k + 2);
+            if t < code.len() && code.bytes[t] == b'<' {
+                k = code.skip_ws(code.skip_angles(t));
+            }
+        }
+        if k >= code.len() || code.bytes[k] != b'(' {
+            continue;
+        }
+        // Definition sites (`fn name(`) are not calls.
+        let before = code.skip_ws_back(start);
+        if before >= 2 && code.word_at(before - 2, "fn") {
+            continue;
+        }
+        if before > 0 && code.bytes[before - 1] == b'.' {
+            calls.push(CallSite {
+                caller: enclosing(start),
+                is_method: true,
+                path: vec![name],
+            });
+            continue;
+        }
+        // Collect leading `seg::` path segments (turbofish-tolerant).
+        let mut segs = vec![name];
+        let mut b = before;
+        loop {
+            if b < 2 || code.bytes[b - 1] != b':' || code.bytes[b - 2] != b':' {
+                break;
+            }
+            b = code.skip_ws_back(b - 2);
+            if b > 0 && code.bytes[b - 1] == b'>' {
+                // `Vec::<u8>::new` — walk back over the generics.
+                let mut depth = 0usize;
+                while b > 0 {
+                    match code.bytes[b - 1] {
+                        b'>' => depth += 1,
+                        b'<' => depth -= 1,
+                        _ => {}
+                    }
+                    b -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b = code.skip_ws_back(b);
+                if b >= 2 && code.bytes[b - 1] == b':' && code.bytes[b - 2] == b':' {
+                    b = code.skip_ws_back(b - 2);
+                } else {
+                    break;
+                }
+            }
+            let seg_end = b;
+            while b > 0 && is_ident_byte(code.bytes[b - 1]) {
+                b -= 1;
+            }
+            if b == seg_end {
+                break;
+            }
+            let seg = String::from_utf8_lossy(&code.bytes[b..seg_end]).into_owned();
+            segs.insert(0, seg);
+            b = code.skip_ws_back(b);
+        }
+        calls.push(CallSite {
+            caller: enclosing(start),
+            is_method: false,
+            path: segs,
+        });
+    }
+
+    FileSyms {
+        base,
+        uses,
+        glob_uses,
+        calls,
+    }
+}
+
+/// Find `impl`/`trait` block spans with their self-type names.
+fn find_type_spans(code: &CodeText) -> Vec<TypeSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let (kw_len, is_trait) = if code.word_at(i, "impl") {
+            (4, false)
+        } else if code.word_at(i, "trait") {
+            (5, true)
+        } else {
+            i += 1;
+            continue;
+        };
+        let header_start = i + kw_len;
+        // Find the opening `{` (or a terminating `;` for `trait A = B;`).
+        let mut k = header_start;
+        let mut open = None;
+        while k < code.len() {
+            match code.bytes[k] {
+                b'<' if k > 0 && code.bytes[k - 1] != b'-' => {
+                    k = code.skip_angles(k);
+                    continue;
+                }
+                b'{' => {
+                    open = Some(k);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i = k + 1;
+            continue;
+        };
+        let header = String::from_utf8_lossy(&code.bytes[header_start..open]).into_owned();
+        let name = if is_trait {
+            first_ident(&header)
+        } else {
+            impl_self_type(&header)
+        };
+        let close = code.match_brace(open);
+        if let Some(name) = name {
+            out.push(TypeSpan {
+                name,
+                start: open,
+                end: close,
+            });
+        }
+        i = open + 1;
+    }
+    out
+}
+
+/// First identifier in a string (the trait name in a `trait` header).
+fn first_ident(s: &str) -> Option<String> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    while i < b.len() && !is_ident_byte(b[i]) {
+        i += 1;
+    }
+    let start = i;
+    while i < b.len() && is_ident_byte(b[i]) {
+        i += 1;
+    }
+    (i > start).then(|| s[start..i].to_string())
+}
+
+/// The self-type name of an `impl` header: the last path segment of the
+/// type after `for` (trait impls) or of the first type (inherent impls),
+/// generics stripped.
+fn impl_self_type(header: &str) -> Option<String> {
+    // Strip leading generics `<...>`.
+    let header = header.trim_start();
+    let header = if let Some(rest) = header.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut cut = rest.len();
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        &rest[cut..]
+    } else {
+        header
+    };
+    // The self type: after a top-level ` for `, else the whole header.
+    let part = match split_top_level_for(header) {
+        Some((_, rhs)) => rhs,
+        None => header,
+    };
+    // Drop a trailing `where` clause, take the last ident before generics.
+    let part = part.split(" where ").next().unwrap_or(part);
+    let upto = part.find('<').unwrap_or(part.len());
+    let mut last = None;
+    let b = part.as_bytes();
+    let mut i = 0;
+    while i < upto {
+        if is_ident_byte(b[i]) && (i == 0 || !is_ident_byte(b[i - 1])) {
+            let start = i;
+            while i < upto && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            let word = &part[start..i];
+            if !KEYWORDS.contains(&word) && !word.chars().next().is_some_and(|c| c.is_ascii_digit())
+            {
+                last = Some(word.to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    last
+}
+
+/// Split an impl header on a ` for ` at angle-depth 0 (so `Box<dyn For>`
+/// or generics containing `for` bounds don't split).
+fn split_top_level_for(s: &str) -> Option<(&str, &str)> {
+    let b = s.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i + 5 <= b.len() {
+        match b[i] {
+            b'<' => depth += 1,
+            b'>' => depth -= 1,
+            b'f' if depth == 0
+                && s[i..].starts_with("for")
+                && (i == 0 || !is_ident_byte(b[i - 1]))
+                && (i + 3 == b.len() || !is_ident_byte(b[i + 3])) =>
+            {
+                return Some((&s[..i], s[i + 3..].trim_start()));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse one `use` declaration body (after the `use` keyword, before `;`)
+/// into alias → path entries and glob prefixes.
+fn parse_use(decl: &str, uses: &mut BTreeMap<String, String>, globs: &mut Vec<String>) {
+    let decl = decl.trim_start_matches("pub").trim();
+    parse_use_inner("", decl, uses, globs);
+}
+
+fn parse_use_inner(
+    prefix: &str,
+    part: &str,
+    uses: &mut BTreeMap<String, String>,
+    globs: &mut Vec<String>,
+) {
+    let part = part.trim();
+    if part.is_empty() {
+        return;
+    }
+    // Nested group: `head::{a, b::c}`.
+    if let Some(brace) = part.find('{') {
+        let head = part[..brace].trim().trim_end_matches("::");
+        let inner = part[brace + 1..].trim_end().trim_end_matches('}');
+        let joined = join_path(prefix, head);
+        for elem in split_top_level_commas(inner) {
+            parse_use_inner(&joined, elem, uses, globs);
+        }
+        return;
+    }
+    if let Some((path, alias)) = part.split_once(" as ") {
+        let full = join_path(prefix, path.trim());
+        uses.insert(alias.trim().to_string(), full);
+        return;
+    }
+    if part == "*" {
+        if !prefix.is_empty() {
+            globs.push(prefix.to_string());
+        }
+        return;
+    }
+    if let Some(head) = part.strip_suffix("::*") {
+        globs.push(join_path(prefix, head));
+        return;
+    }
+    if part == "self" {
+        if let Some(last) = prefix.rsplit("::").next() {
+            uses.insert(last.to_string(), prefix.to_string());
+        }
+        return;
+    }
+    let full = join_path(prefix, part);
+    if let Some(last) = full.rsplit("::").next() {
+        uses.insert(last.to_string(), full.clone());
+    }
+}
+
+fn join_path(prefix: &str, tail: &str) -> String {
+    let tail = tail.trim().trim_start_matches("::");
+    if prefix.is_empty() {
+        tail.to_string()
+    } else if tail.is_empty() {
+        prefix.to_string()
+    } else {
+        format!("{prefix}::{tail}")
+    }
+}
+
+/// Split on commas at brace-depth 0.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Resolution
+// ---------------------------------------------------------------------------
+
+/// Resolve one call site to candidate callee ids. See the module docs for
+/// the over-approximation policy.
+fn resolve(
+    call: &CallSite,
+    syms: &FileSyms,
+    g: &CallGraph,
+    by_name: &BTreeMap<&str, Vec<FnId>>,
+) -> Vec<FnId> {
+    let name = call.path.last().expect("call has a name");
+    let Some(candidates) = by_name.get(name.as_str()) else {
+        return Vec::new(); // no workspace function of this name: external
+    };
+
+    if call.is_method {
+        // Method calls: receiver types are not inferred; link every
+        // workspace method (or function) of this name.
+        return candidates.clone();
+    }
+
+    if call.path.len() == 1 {
+        // Bare call: same module first, then an explicit `use` import,
+        // then glob imports, then every function of this name.
+        let caller_module = call
+            .caller
+            .map(|c| g.fns[c].module.clone())
+            .unwrap_or_else(|| syms.base.clone());
+        let local: Vec<FnId> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| g.fns[id].module == caller_module)
+            .collect();
+        if !local.is_empty() {
+            return local;
+        }
+        if let Some(full) = syms.uses.get(name.as_str()) {
+            let via_use = suffix_matches(candidates, g, &path_segments(full));
+            if !via_use.is_empty() {
+                return via_use;
+            }
+        }
+        for prefix in &syms.glob_uses {
+            let full = format!("{prefix}::{name}");
+            let via_glob = suffix_matches(candidates, g, &path_segments(&full));
+            if !via_glob.is_empty() {
+                return via_glob;
+            }
+        }
+        return candidates.clone();
+    }
+
+    // Qualified call: expand the first segment, then suffix-match against
+    // qualified names; fall back to the last two segments (re-exports);
+    // a miss is an external item, not an over-approximation.
+    let mut segs: Vec<String> = call.path.clone();
+    let first = segs[0].as_str();
+    if first == "crate" {
+        let krate = syms
+            .base
+            .split("::")
+            .next()
+            .unwrap_or(&syms.base)
+            .to_string();
+        segs.splice(0..1, [krate]);
+    } else if first == "self" {
+        let caller_module = call
+            .caller
+            .map(|c| g.fns[c].module.clone())
+            .unwrap_or_else(|| syms.base.clone());
+        segs.splice(0..1, path_segments(&caller_module));
+    } else if first == "super" {
+        let caller_module = call
+            .caller
+            .map(|c| g.fns[c].module.clone())
+            .unwrap_or_else(|| syms.base.clone());
+        let mut parent: Vec<String> = path_segments(&caller_module);
+        parent.pop();
+        segs.splice(0..1, parent);
+    } else if let Some(full) = syms.uses.get(first) {
+        segs.splice(0..1, path_segments(full));
+    }
+    if segs.first().map(String::as_str) == Some("") {
+        segs.remove(0); // leading `::`
+    }
+
+    let full = suffix_matches(candidates, g, &segs);
+    if !full.is_empty() {
+        return full;
+    }
+    if call.path.len() >= 2 {
+        let last_two = &call.path[call.path.len() - 2..];
+        let two = suffix_matches(candidates, g, last_two);
+        if !two.is_empty() {
+            return two;
+        }
+    }
+    Vec::new()
+}
+
+fn path_segments(p: &str) -> Vec<String> {
+    p.split("::").map(str::to_string).collect()
+}
+
+/// Candidates whose qualified path ends with `suffix` (segment-aligned).
+fn suffix_matches<S: AsRef<str>>(candidates: &[FnId], g: &CallGraph, suffix: &[S]) -> Vec<FnId> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let segs: Vec<&str> = g.fns[id].qualified.split("::").collect();
+            segs.len() >= suffix.len()
+                && segs[segs.len() - suffix.len()..]
+                    .iter()
+                    .zip(suffix)
+                    .all(|(a, b)| *a == b.as_ref())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        CallGraph::build(&files)
+    }
+
+    fn id_of(g: &CallGraph, qualified: &str) -> FnId {
+        g.fns
+            .iter()
+            .position(|f| f.qualified == qualified)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no fn {qualified}; have {:?}",
+                    g.fns.iter().map(|f| &f.qualified).collect::<Vec<_>>()
+                )
+            })
+    }
+
+    fn has_edge(g: &CallGraph, from: &str, to: &str) -> bool {
+        g.callees[id_of(g, from)].contains(&id_of(g, to))
+    }
+
+    #[test]
+    fn module_base_paths() {
+        assert_eq!(module_base("crates/pfs/src/lib.rs"), "pfs");
+        assert_eq!(
+            module_base("crates/pfs/src/model/cache.rs"),
+            "pfs::model::cache"
+        );
+        assert_eq!(module_base("crates/pfs/src/model/mod.rs"), "pfs::model");
+        assert_eq!(
+            module_base("crates/stellar/src/bin/stellar-tune.rs"),
+            "stellar::bin::stellar_tune"
+        );
+        assert_eq!(
+            module_base("crates/detlint/src/main.rs"),
+            "detlint::bin::main"
+        );
+        assert_eq!(
+            module_base("crates/bench/benches/tuning.rs"),
+            "bench::benches::tuning"
+        );
+        assert_eq!(module_base("src/lib.rs"), "stellar_repro");
+        assert_eq!(
+            module_base("tests/integration_obs.rs"),
+            "tests::integration_obs"
+        );
+        assert_eq!(
+            module_base("examples/quickstart.rs"),
+            "examples::quickstart"
+        );
+    }
+
+    #[test]
+    fn inline_module_resolution() {
+        let src = "mod outer { mod inner { fn f() { } } } fn g() { }";
+        let tokens = lex(src);
+        let mods = inline_modules(src, &tokens);
+        assert_eq!(mods.len(), 2);
+        let f_at = src.find("fn f").unwrap();
+        let g_at = src.find("fn g").unwrap();
+        assert_eq!(module_at("c", &mods, f_at), "c::outer::inner");
+        assert_eq!(module_at("c", &mods, g_at), "c");
+    }
+
+    #[test]
+    fn indexes_free_fns_methods_and_trait_defaults() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn free() {}\n\
+             struct S;\n\
+             impl S { fn method(&self) {} }\n\
+             trait T { fn sig(&self); fn dflt(&self) { self.sig() } }\n\
+             impl T for S { fn sig(&self) {} }\n",
+        )]);
+        let names: Vec<&str> = g.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert!(names.contains(&"a::free"));
+        assert!(names.contains(&"a::S::method"));
+        assert!(names.contains(&"a::T::dflt"));
+        assert!(names.contains(&"a::S::sig"), "{names:?}");
+        // The bodyless trait signature is not indexed; the default method
+        // links to the impl's definition by name.
+        assert!(has_edge(&g, "a::T::dflt", "a::S::sig"));
+    }
+
+    #[test]
+    fn cross_crate_edge_via_use() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "use b::helpers::emit;\nfn run() { emit(1); }\n",
+            ),
+            ("crates/b/src/helpers.rs", "pub fn emit(_x: u32) {}\n"),
+        ]);
+        assert!(has_edge(&g, "a::run", "b::helpers::emit"));
+    }
+
+    #[test]
+    fn qualified_call_resolves_without_use() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "fn run() { b::helpers::emit(1); }\n"),
+            ("crates/b/src/helpers.rs", "pub fn emit(_x: u32) {}\n"),
+        ]);
+        assert!(has_edge(&g, "a::run", "b::helpers::emit"));
+    }
+
+    #[test]
+    fn reexport_path_resolves_by_type_suffix() {
+        // `b::Emitter::create` textually, definition at b::obs::Emitter::create.
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn run() { let _ = b::Emitter::create(); }\n",
+            ),
+            (
+                "crates/b/src/obs.rs",
+                "pub struct Emitter;\nimpl Emitter { pub fn create() -> Emitter { Emitter } }\n",
+            ),
+        ]);
+        assert!(has_edge(&g, "a::run", "b::obs::Emitter::create"));
+    }
+
+    #[test]
+    fn method_call_links_all_same_name_methods() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "fn go(x: X) { x.fire(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct P; impl P { pub fn fire(&self) {} }\n\
+                 pub struct Q; impl Q { pub fn fire(&self) {} }\n",
+            ),
+        ]);
+        // Receiver types are not inferred: both `fire`s are candidates.
+        assert!(has_edge(&g, "a::go", "b::P::fire"));
+        assert!(has_edge(&g, "a::go", "b::Q::fire"));
+    }
+
+    #[test]
+    fn unresolved_bare_call_over_approximates() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "fn go() { mystery(); }\n"),
+            ("crates/b/src/lib.rs", "pub fn mystery() {}\n"),
+            ("crates/c/src/lib.rs", "pub fn mystery() {}\n"),
+        ]);
+        assert!(has_edge(&g, "a::go", "b::mystery"));
+        assert!(has_edge(&g, "a::go", "c::mystery"));
+    }
+
+    #[test]
+    fn bare_call_prefers_same_module() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn go() { helper(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        assert!(has_edge(&g, "a::go", "a::helper"));
+        assert!(!has_edge(&g, "a::go", "b::helper"));
+    }
+
+    #[test]
+    fn external_qualified_call_adds_no_edges() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "fn new() {}\nfn go() { let _v: Vec<u8> = Vec::new(); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct W; impl W { pub fn new() {} }\n",
+            ),
+        ]);
+        // `Vec::new` matches no workspace item (`a::new` is not `*::Vec::new`,
+        // nor is `b::W::new`): it is external, not everything named `new`.
+        let go = id_of(&g, "a::go");
+        assert!(g.callees[go].is_empty(), "{:?}", g.callees[go]);
+    }
+
+    #[test]
+    fn turbofish_calls_are_seen() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "use b::pick;\nfn go() { let _ = pick::<u64>(); x.convert::<u8>(); }\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn pick<T>() -> T { todo!() }\n\
+                 pub struct C; impl C { pub fn convert<T>(&self) {} }\n",
+            ),
+        ]);
+        assert!(has_edge(&g, "a::go", "b::pick"));
+        assert!(has_edge(&g, "a::go", "b::C::convert"));
+    }
+
+    #[test]
+    fn glob_import_resolves() {
+        let g = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "use b::helpers::*;\nfn go() { emit(); }\n",
+            ),
+            ("crates/b/src/helpers.rs", "pub fn emit() {}\n"),
+        ]);
+        assert!(has_edge(&g, "a::go", "b::helpers::emit"));
+    }
+
+    #[test]
+    fn use_groups_and_renames() {
+        let mut uses = BTreeMap::new();
+        let mut globs = Vec::new();
+        parse_use("a::b::{c, d::e, f as g, self}", &mut uses, &mut globs);
+        assert_eq!(uses.get("c").unwrap(), "a::b::c");
+        assert_eq!(uses.get("e").unwrap(), "a::b::d::e");
+        assert_eq!(uses.get("g").unwrap(), "a::b::f");
+        assert_eq!(uses.get("b").unwrap(), "a::b");
+        parse_use("x::y::*", &mut uses, &mut globs);
+        assert_eq!(globs, ["x::y"]);
+    }
+
+    #[test]
+    fn impl_headers() {
+        assert_eq!(impl_self_type("Foo"), Some("Foo".into()));
+        assert_eq!(impl_self_type("Foo<T>"), Some("Foo".into()));
+        assert_eq!(
+            impl_self_type("Display for CallError"),
+            Some("CallError".into())
+        );
+        assert_eq!(
+            impl_self_type("std::fmt::Display for obs::Line"),
+            Some("Line".into())
+        );
+        assert_eq!(
+            impl_self_type("Observer for &mut Emitter<W>"),
+            Some("Emitter".into())
+        );
+    }
+
+    #[test]
+    fn enclosing_fn_is_innermost() {
+        let src = "fn outer() {\n    fn inner() {\n        let x = 1;\n    }\n}\n";
+        let g = graph(&[("crates/a/src/lib.rs", src)]);
+        let at = src.find("let x").unwrap();
+        let id = g.enclosing_fn("crates/a/src/lib.rs", at).unwrap();
+        assert_eq!(g.fns[id].qualified, "a::inner");
+    }
+
+    #[test]
+    fn calls_in_nested_mods_carry_the_inline_module_path() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "mod inner { pub fn f() { super::g(); } }\nfn g() {}\n",
+        )]);
+        assert_eq!(g.fns[id_of(&g, "a::inner::f")].module, "a::inner");
+        assert!(has_edge(&g, "a::inner::f", "a::g"));
+    }
+
+    #[test]
+    fn build_is_input_order_invariant() {
+        let files = [
+            ("crates/a/src/lib.rs", "use b::emit;\nfn go() { emit(); }\n"),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn emit() { helper(); }\nfn helper() {}\n",
+            ),
+            ("crates/c/src/lib.rs", "fn lone() {}\n"),
+        ];
+        let g1 = graph(&files);
+        let mut rev = files;
+        rev.reverse();
+        let g2 = graph(&rev);
+        let summarize = |g: &CallGraph| -> Vec<(String, Vec<String>)> {
+            g.fns
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    (
+                        f.qualified.clone(),
+                        g.callees[i]
+                            .iter()
+                            .map(|&j| g.fns[j].qualified.clone())
+                            .collect(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(summarize(&g1), summarize(&g2));
+    }
+}

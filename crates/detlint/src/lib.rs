@@ -13,17 +13,29 @@
 //! | D003 | RNG sources other than `simcore::chacha` |
 //! | D004 | `available_parallelism` probes outside the documented sched fallback |
 //! | D005 | stdout writes outside the CLI bins and `campaign::table` |
+//! | D006 | non-total float ordering (`partial_cmp(..).unwrap()`) — `total_cmp` required |
+//! | D007 | completion-order merges (channel `recv`, join-handle collection) |
+//! | D008 | environment-dependent values (`std::env::var*`) |
 //!
-//! Violations are waived either by a module-path glob in the committed
-//! `detlint.toml` ([`config`]) or by an inline annotation with a mandatory
-//! reason — `// detlint::allow(D00x): <reason>` — on the offending line or
-//! the line above ([`rules`]). Malformed and unused annotations are
-//! themselves violations, so waivers cannot rot.
+//! Since PR 9 the engine is **cone-aware**: a conservative cross-crate
+//! call graph ([`graph`]) plus a taint pass ([`taint`]) compute the
+//! *canonical cone* — every function whose behavior can reach canonical
+//! bytes — and rules fire only inside it. Helper code that provably never
+//! feeds canonical output (bench harness internals, progress painters)
+//! needs no waivers at all.
+//!
+//! Violations inside the cone are waived either by a module-path glob in
+//! the committed `detlint.toml` ([`config`]) or by an inline annotation
+//! with a mandatory reason — `// detlint::allow(D00x): <reason>` — on the
+//! offending line or the line above ([`rules`]). Malformed and unused
+//! annotations are violations, and so is a `detlint.toml` entry whose
+//! glob no longer matches any cone module, so waivers cannot rot.
 //!
 //! The engine is purely lexical: a minimal but correct Rust lexer
 //! ([`lexer`]) partitions each file into code, comments, and literals, and
-//! rules match only inside code spans. No rustc internals, no new
-//! dependencies, deterministic output.
+//! everything downstream — rules and call graph alike — matches only
+//! inside code spans. No rustc internals, no new dependencies,
+//! deterministic output (SARIF 2.1.0 via [`sarif`] for CI annotation).
 //!
 //! Run it with `cargo run -p detlint` from the workspace root; see
 //! `ARCHITECTURE.md` ("Determinism enforcement") for the full contract.
@@ -32,9 +44,12 @@
 #![deny(missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod taint;
 pub mod walk;
 
 pub use config::Config;
-pub use rules::{lint_file, lint_files, Diagnostic, RULES};
+pub use rules::{lint_file, lint_files, Analysis, Diagnostic, RULES};

@@ -1,21 +1,31 @@
 //! CLI entry point: lint the workspace and report violations.
 //!
 //! ```text
-//! detlint [--root DIR] [--config FILE] [--format text|json] [--out FILE] [--list-rules]
+//! detlint [--root DIR] [--config FILE] [--format text|json|sarif]
+//!         [--out FILE] [--changed[=REF]] [--list-rules]
 //! ```
 //!
 //! Exit status: 0 when clean, 1 on violations, 2 on usage/config errors.
 //! Diagnostics print to stdout as `file:line:col [rule] message`; with
-//! `--format json` a machine-readable report is printed instead (or
-//! written to `--out FILE`, keeping the human text on stdout — that is
-//! what CI uploads as an artifact).
+//! `--format json` a machine-readable report is printed instead, and with
+//! `--format sarif` a SARIF 2.1.0 document for CI annotation. `--out FILE`
+//! writes the selected machine format to a file, keeping the human text on
+//! stdout — that is what CI uploads as an artifact.
+//!
+//! `--changed[=REF]` (default `HEAD`) restricts *reported* diagnostics to
+//! files changed vs a git ref (plus untracked files and `detlint.toml`
+//! stale-waiver findings) for fast local/pre-commit runs. The cone
+//! analysis still runs over the whole workspace — reachability is a
+//! whole-program property — and when git is unavailable the flag falls
+//! back to a full-workspace report.
 
 #![forbid(unsafe_code)]
 
 use detlint::rules::META_RULE;
-use detlint::{lint_files, walk, Config, Diagnostic, RULES};
+use detlint::{lint_files, sarif, walk, Config, Diagnostic, RULES};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The machine-readable report emitted by `--format json` / `--out`.
@@ -27,40 +37,62 @@ struct Report {
     count: usize,
 }
 
+/// Output format selected by `--format`.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
-    let mut format_json = false;
+    let mut format = Format::Text;
     let mut out_path: Option<PathBuf> = None;
+    let mut changed_ref: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
             "--config" => config_path = args.next().map(PathBuf::from),
             "--format" => match args.next().as_deref() {
-                Some("json") => format_json = true,
-                Some("text") => format_json = false,
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                Some("sarif") => format = Format::Sarif,
                 other => {
-                    eprintln!("bad --format {other:?}; use text or json");
+                    eprintln!("bad --format {other:?}; use text, json, or sarif");
                     return ExitCode::from(2);
                 }
             },
             "--out" => out_path = args.next().map(PathBuf::from),
+            "--changed" => changed_ref = Some("HEAD".to_string()),
             "--list-rules" => {
                 for r in RULES {
                     println!("{}  {}", r.id, r.title);
                 }
-                println!("{META_RULE}  annotation hygiene (malformed or unused detlint::allow)");
+                println!(
+                    "{META_RULE}  annotation hygiene (malformed/unused detlint::allow, \
+                     stale detlint.toml entries)"
+                );
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: detlint [--root DIR] [--config FILE] [--format text|json] \
-                     [--out FILE] [--list-rules]"
+                    "usage: detlint [--root DIR] [--config FILE] [--format text|json|sarif] \
+                     [--out FILE] [--changed[=REF]] [--list-rules]"
                 );
                 return ExitCode::SUCCESS;
             }
             other => {
+                if let Some(r) = other.strip_prefix("--changed=") {
+                    if r.is_empty() {
+                        eprintln!("--changed= needs a ref");
+                        return ExitCode::from(2);
+                    }
+                    changed_ref = Some(r.to_string());
+                    continue;
+                }
                 eprintln!("unknown argument `{other}`");
                 return ExitCode::from(2);
             }
@@ -91,13 +123,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diagnostics = match lint_files(&files, &cfg) {
+    // The cone analysis always sees the whole workspace; --changed only
+    // filters which findings are reported.
+    let mut diagnostics = match lint_files(&files, &cfg) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(git_ref) = &changed_ref {
+        match changed_files(&root, git_ref) {
+            Some(changed) => {
+                diagnostics.retain(|d| d.path == "detlint.toml" || changed.contains(&d.path));
+            }
+            None => {
+                eprintln!("detlint: git unavailable; --changed falling back to full workspace");
+            }
+        }
+    }
 
     let report = Report {
         version: 1,
@@ -105,30 +149,37 @@ fn main() -> ExitCode {
         count: diagnostics.len(),
         violations: diagnostics.clone(),
     };
+    let machine_output = |format: Format| -> Option<String> {
+        match format {
+            Format::Text => None,
+            Format::Json => Some(serde_json::to_string_pretty(&report).expect("report serializes")),
+            Format::Sarif => Some(sarif::to_json(&diagnostics)),
+        }
+    };
     if let Some(path) = &out_path {
-        let json = serde_json::to_string_pretty(&report).expect("report serializes");
-        if let Err(e) = std::fs::write(path, json) {
+        // --out always writes a machine format; default to JSON for
+        // backward compatibility with the CI artifact upload.
+        let body = machine_output(format).unwrap_or_else(|| machine_output(Format::Json).unwrap());
+        if let Err(e) = std::fs::write(path, body) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
     }
-    if format_json && out_path.is_none() {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serializes")
-        );
-    } else {
-        for d in &diagnostics {
-            println!("{d}");
-        }
-        if diagnostics.is_empty() {
-            eprintln!("detlint: {} files clean", files.len());
-        } else {
-            eprintln!(
-                "detlint: {} violation(s) across {} files",
-                diagnostics.len(),
-                files.len()
-            );
+    match machine_output(format) {
+        Some(body) if out_path.is_none() => println!("{body}"),
+        _ => {
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            if diagnostics.is_empty() {
+                eprintln!("detlint: {} files clean", files.len());
+            } else {
+                eprintln!(
+                    "detlint: {} violation(s) across {} files",
+                    diagnostics.len(),
+                    files.len()
+                );
+            }
         }
     }
     if diagnostics.is_empty() {
@@ -136,6 +187,33 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Workspace-relative paths changed vs `git_ref`, plus untracked files.
+/// `None` when git is missing or errors (not a repo, bad ref, ...).
+fn changed_files(root: &Path, git_ref: &str) -> Option<BTreeSet<String>> {
+    let run = |args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        String::from_utf8(out.stdout).ok()
+    };
+    let diff = run(&["diff", "--name-only", git_ref])?;
+    let untracked = run(&["ls-files", "--others", "--exclude-standard"]).unwrap_or_default();
+    Some(
+        diff.lines()
+            .chain(untracked.lines())
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect(),
+    )
 }
 
 /// Default root: walk up from the current directory to the first directory

@@ -1,14 +1,17 @@
-//! The determinism rule catalogue and the module-path-aware engine.
+//! The determinism rule catalogue and the cone-aware engine.
 //!
 //! Rules are textual: they match patterns inside the *code* spans produced
 //! by [`crate::lexer`] (comments and string/char literals can never match),
 //! resolve each match to a module path (crate path from the file location
 //! plus any inline `mod name { ... }` blocks containing the match), and
-//! then apply three waiver layers in order:
+//! then apply four waiver layers in order:
 //!
 //! 1. **Config allowlists** — module-path globs from `detlint.toml`
 //!    ([`crate::config::Config`]), for whole tools whose job is the thing
-//!    the rule forbids (e.g. the perf harness reads wall clocks).
+//!    the rule forbids (e.g. the perf harness reads wall clocks). Since
+//!    the cone analysis these are *cone-entry exclusions*: an entry whose
+//!    glob matches no canonical-cone module is a stale waiver and is
+//!    itself reported ([`META_RULE`]).
 //! 2. **Inline annotations** — `// detlint::allow(D00x): <reason>` on the
 //!    match line or the line directly above. The reason is mandatory;
 //!    malformed or *unused* annotations are themselves violations
@@ -16,13 +19,26 @@
 //! 3. **Rule-specific evidence** — D002 accepts a visibly sorted site: a
 //!    `.sort*` call in code within the next [`SORT_WINDOW_LINES`] lines
 //!    proves the iteration order is laundered before it can escape.
+//! 4. **Canonical-cone membership** — in workspace mode ([`lint_files`]),
+//!    a match inside a function that the [`crate::taint`] pass proves
+//!    cannot reach canonical bytes is dropped. Matches outside any
+//!    function body (statics, module-level macros) are conservatively
+//!    treated as in-cone. The single-file API ([`lint_file`]) has no
+//!    whole-program graph, so its cone is "everything" and behavior is
+//!    unchanged from the per-file engine.
+//!
+//! The cone check runs *after* annotations are consumed, so a reasoned
+//! waiver on an out-of-cone site still counts as used rather than
+//! degrading into an unused-annotation violation when the cone shrinks.
 //!
 //! Everything here is deterministic: files are linted in sorted order,
 //! per-file state lives in `BTreeMap`/`Vec`, and diagnostics are sorted
 //! before being returned.
 
 use crate::config::{glob_match, Config};
+use crate::graph::{inline_modules, module_at, module_base, CallGraph, CodeText};
 use crate::lexer::{lex, LineIndex, Token, TokenKind};
+use crate::taint::Cone;
 use serde::Serialize;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -65,6 +81,19 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "D005",
         title: "no stdout writes outside the CLI bins and campaign::table",
+    },
+    RuleInfo {
+        id: "D006",
+        title: "no non-total float ordering (partial_cmp().unwrap()/.expect()) — use total_cmp",
+    },
+    RuleInfo {
+        id: "D007",
+        title:
+            "no completion-order merges (channel recv / join-handle collection) on canonical paths",
+    },
+    RuleInfo {
+        id: "D008",
+        title: "no environment-dependent values (std::env::var*) on canonical paths",
     },
 ];
 
@@ -122,19 +151,79 @@ struct Match {
     message: String,
 }
 
+/// Whole-program context for cone-aware linting: the call graph plus the
+/// canonical cone computed from it.
+pub struct Analysis {
+    /// The workspace call graph.
+    pub graph: CallGraph,
+    /// The canonical cone over that graph.
+    pub cone: Cone,
+}
+
+impl Analysis {
+    /// Build graph + cone for a set of `(path, contents)` files using the
+    /// default seed globs ([`crate::taint::SEED_GLOBS`]).
+    pub fn of(files: &[(String, String)]) -> Analysis {
+        let graph = CallGraph::build(files);
+        let cone = Cone::compute(&graph);
+        Analysis { graph, cone }
+    }
+
+    /// Single-file context: the graph covers just this file and the cone
+    /// is "everything" (no whole-program information to exclude with).
+    pub fn single_file(path: &str, src: &str) -> Analysis {
+        let files = [(path.to_string(), src.to_string())];
+        Analysis {
+            graph: CallGraph::build(&files),
+            cone: Cone::everything(),
+        }
+    }
+
+    /// Is the byte at `offset` of `file` inside the canonical cone?
+    /// Offsets outside any function body (statics, module-level macros)
+    /// are conservatively in-cone.
+    pub fn in_cone(&self, file: &str, offset: usize) -> bool {
+        match self.graph.enclosing_fn(file, offset) {
+            Some(id) => self.cone.contains(id),
+            None => true,
+        }
+    }
+
+    /// Module paths that have at least one cone member, ascending.
+    pub fn cone_modules(&self) -> BTreeSet<String> {
+        self.cone
+            .members()
+            .map(|id| self.graph.fns[id].module.clone())
+            .collect()
+    }
+}
+
 /// Lint one in-memory file. `path` must be workspace-relative with `/`
 /// separators (it determines the module path used by allowlists).
+///
+/// Single-file mode has no whole-program call graph, so every function is
+/// treated as canonical; use [`lint_files`] for cone-aware linting.
 pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let analysis = Analysis::single_file(path, src);
+    lint_file_with(path, src, cfg, &analysis)
+}
+
+/// Lint one file against a prebuilt whole-program [`Analysis`].
+fn lint_file_with(path: &str, src: &str, cfg: &Config, analysis: &Analysis) -> Vec<Diagnostic> {
     let tokens = lex(src);
     let index = LineIndex::new(src);
     let mods = inline_modules(src, &tokens);
     let base = module_base(path);
+    let code = CodeText::new(src, &tokens);
     let mut annotations = collect_annotations(src, &tokens, &index);
     let mut out = Vec::new();
 
     let mut matches = Vec::new();
     scan_simple_patterns(src, &tokens, &mut matches);
     scan_hash_iteration(src, &tokens, &mut matches);
+    scan_float_ordering(&code, &mut matches);
+    scan_completion_order(src, &code, &mut matches);
+    scan_env_reads(&code, &mut matches);
 
     for m in matches {
         let (line, col) = index.line_col(src, m.offset);
@@ -143,11 +232,13 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         if cfg
             .allows_for(m.rule)
             .iter()
-            .any(|g| glob_match(g, &module))
+            .any(|e| glob_match(&e.glob, &module))
         {
             continue;
         }
         // Layer 2: inline annotations (same line or the line above).
+        // Consumed before the cone check so a reasoned waiver on an
+        // out-of-cone site does not rot into an unused annotation.
         if let Some(a) = annotations.iter_mut().find(|a| {
             a.malformed.is_none()
                 && (a.line == line || a.target_line == line)
@@ -158,6 +249,10 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         }
         // Layer 3: rule-specific evidence.
         if m.rule == "D002" && visibly_sorted(src, &tokens, &index, m.offset) {
+            continue;
+        }
+        // Layer 4: canonical-cone membership.
+        if !analysis.in_cone(path, m.offset) {
             continue;
         }
         out.push(Diagnostic {
@@ -199,184 +294,48 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
 }
 
 /// Lint a batch of `(path, contents)` pairs and return all diagnostics,
-/// sorted by path then position. Config rule ids are validated first.
+/// sorted by path then position, with `detlint.toml` stale-waiver
+/// diagnostics appended. Config rule ids are validated first.
+///
+/// This is the cone-aware entry point: a whole-program [`Analysis`] is
+/// built once, rules only fire inside the canonical cone, and every
+/// config allowlist entry must still intersect the cone — an entry whose
+/// glob matches no cone module is reported as a stale waiver at its
+/// `detlint.toml` line (mirroring the unused-annotation meta rule).
 pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Result<Vec<Diagnostic>, String> {
     for rule in cfg.allow.keys() {
         if !known_rule(rule) {
             return Err(format!("detlint.toml: unknown rule `{rule}` in allowlist"));
         }
     }
+    let analysis = Analysis::of(files);
     let mut sorted: Vec<&(String, String)> = files.iter().collect();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = Vec::new();
     for (path, src) in sorted {
-        out.extend(lint_file(path, src, cfg));
+        out.extend(lint_file_with(path, src, cfg, &analysis));
     }
-    Ok(out)
-}
-
-// ---------------------------------------------------------------------------
-// Module paths
-// ---------------------------------------------------------------------------
-
-/// Package name of the workspace-root umbrella crate.
-const UMBRELLA: &str = "stellar_repro";
-
-/// Derive the crate-level module path for a workspace-relative file path.
-fn module_base(path: &str) -> String {
-    let norm = |s: &str| s.replace('-', "_");
-    let parts: Vec<&str> = path.split('/').collect();
-    let joined = |crate_name: &str, tail: &[&str]| -> String {
-        let mut segs = vec![norm(crate_name)];
-        for (i, p) in tail.iter().enumerate() {
-            let is_last = i + 1 == tail.len();
-            let p = p.strip_suffix(".rs").unwrap_or(p);
-            if is_last && (p == "mod" || p == "lib") {
-                continue;
-            }
-            segs.push(norm(p));
-        }
-        segs.join("::")
-    };
-    match parts.as_slice() {
-        ["crates", c, "src", "main.rs"] => format!("{}::bin::main", norm(c)),
-        ["crates", c, "src", "bin", rest @ ..] => {
-            format!(
-                "{}::bin::{}",
-                norm(c),
-                joined("", rest).trim_start_matches("::")
-            )
-        }
-        ["crates", c, "src", rest @ ..] => joined(c, rest),
-        ["crates", c, "benches", rest @ ..] => {
-            format!(
-                "{}::benches::{}",
-                norm(c),
-                joined("", rest).trim_start_matches("::")
-            )
-        }
-        ["crates", c, "tests", rest @ ..] => {
-            format!(
-                "{}::tests::{}",
-                norm(c),
-                joined("", rest).trim_start_matches("::")
-            )
-        }
-        ["src", rest @ ..] => joined(UMBRELLA, rest),
-        ["tests", rest @ ..] => joined("tests", rest),
-        ["examples", rest @ ..] => joined("examples", rest),
-        _ => joined("", parts.as_slice())
-            .trim_start_matches("::")
-            .to_string(),
-    }
-}
-
-/// An inline `mod name { ... }` block span.
-struct ModSpan {
-    name: String,
-    start: usize,
-    end: usize,
-}
-
-/// Find inline module blocks by scanning code tokens for `mod <ident> {`
-/// and matching braces (only braces in code count, so string contents
-/// cannot unbalance the scan).
-fn inline_modules(src: &str, tokens: &[Token]) -> Vec<ModSpan> {
-    let mut opens: Vec<(String, usize)> = Vec::new(); // (name, open-brace offset)
-    for t in tokens {
-        if t.kind != TokenKind::Code {
-            continue;
-        }
-        let text = &src[t.start..t.end];
-        let bytes = text.as_bytes();
-        let mut from = 0usize;
-        while let Some(rel) = text[from..].find("mod") {
-            let at = from + rel;
-            from = at + 3;
-            let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
-            let after = at + 3;
-            if !before_ok || after >= bytes.len() || !bytes[after].is_ascii_whitespace() {
-                continue;
-            }
-            // Read the identifier after `mod`.
-            let mut j = after;
-            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            let name_start = j;
-            while j < bytes.len() && is_ident_byte(bytes[j]) {
-                j += 1;
-            }
-            if j == name_start {
-                continue;
-            }
-            let name = text[name_start..j].to_string();
-            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            if j < bytes.len() && bytes[j] == b'{' {
-                opens.push((name, t.start + j));
+    // Stale-waiver check: every allowlist entry must exclude something.
+    let cone_modules = analysis.cone_modules();
+    for (rule, entries) in &cfg.allow {
+        for e in entries {
+            if !cone_modules.iter().any(|m| glob_match(&e.glob, m)) {
+                out.push(Diagnostic {
+                    path: "detlint.toml".to_string(),
+                    line: e.line,
+                    col: 1,
+                    rule: META_RULE.to_string(),
+                    message: format!(
+                        "stale allowlist entry \"{}\" for {rule}: no canonical-cone module \
+                         matches this glob (the code it waived no longer reaches canonical \
+                         output; delete the entry)",
+                        e.glob
+                    ),
+                });
             }
         }
     }
-
-    // Match each open brace with its close by walking all code braces once.
-    let mut spans = Vec::new();
-    let mut stack: Vec<(usize, Option<usize>)> = Vec::new(); // (offset, opens-index)
-    let mut open_idx = 0usize;
-    for t in tokens {
-        if t.kind != TokenKind::Code {
-            continue;
-        }
-        for (rel, b) in src.as_bytes()[t.start..t.end].iter().enumerate() {
-            let off = t.start + rel;
-            match b {
-                b'{' => {
-                    let tag = if open_idx < opens.len() && opens[open_idx].1 == off {
-                        open_idx += 1;
-                        Some(open_idx - 1)
-                    } else {
-                        None
-                    };
-                    stack.push((off, tag));
-                }
-                b'}' => {
-                    if let Some((start, Some(i))) = stack.pop() {
-                        spans.push(ModSpan {
-                            name: opens[i].0.clone(),
-                            start,
-                            end: off,
-                        });
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    // Unclosed module blocks (truncated input): run to EOF.
-    for (start, tag) in stack {
-        if let Some(i) = tag {
-            spans.push(ModSpan {
-                name: opens[i].0.clone(),
-                start,
-                end: src.len(),
-            });
-        }
-    }
-    spans.sort_by_key(|s| s.start);
-    spans
-}
-
-/// Full module path of a byte offset: file base plus enclosing inline mods.
-fn module_at(base: &str, mods: &[ModSpan], offset: usize) -> String {
-    let mut path = base.to_string();
-    for m in mods {
-        if m.start < offset && offset < m.end {
-            path.push_str("::");
-            path.push_str(&m.name);
-        }
-    }
-    path
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +533,169 @@ fn scan_simple_patterns(src: &str, tokens: &[Token], out: &mut Vec<Match>) {
                 offset: at,
                 message: (*msg).to_string(),
             });
+        }
+    }
+}
+
+/// D006: `partial_cmp(..)` chained into `.unwrap()` or `.expect(..)`.
+///
+/// `PartialOrd` on floats is not total: a NaN makes `partial_cmp` return
+/// `None`, so an unwrap/expect chain either panics mid-campaign or — when
+/// "handled" upstream — silently depends on which comparison saw the NaN
+/// first. `f64::total_cmp`/`f32::total_cmp` give the IEEE 754 total order
+/// instead. Scanning runs over the flattened code bytes ([`CodeText`]) so
+/// multi-line chains and interleaved comments cannot hide the chain;
+/// `fn partial_cmp` definitions (PartialOrd impls) are not calls and do
+/// not match (no leading `.`).
+fn scan_float_ordering(code: &CodeText, out: &mut Vec<Match>) {
+    let b = &code.bytes;
+    const PAT: &[u8] = b".partial_cmp";
+    let mut i = 0usize;
+    while i + PAT.len() < b.len() {
+        if &b[i..i + PAT.len()] != PAT || is_ident_byte(b[i + PAT.len()]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let after = code.skip_ws(i + PAT.len());
+        i += PAT.len();
+        if after >= b.len() || b[after] != b'(' {
+            continue;
+        }
+        let close = code.match_paren(after);
+        let j = code.skip_ws(close + 1);
+        let chained_into = |method: &[u8]| -> bool {
+            j < b.len()
+                && b[j] == b'.'
+                && b[j + 1..].starts_with(method)
+                && b[j + 1 + method.len()..]
+                    .first()
+                    .is_none_or(|&n| !is_ident_byte(n))
+        };
+        if chained_into(b"unwrap") || chained_into(b"expect") {
+            out.push(Match {
+                rule: "D006",
+                offset: code.offs[start + 1],
+                message: "non-total float ordering: `partial_cmp(..)` chained into \
+                          unwrap/expect panics on NaN (or silently depends on where the \
+                          NaN appears); use `total_cmp` for the IEEE 754 total order"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// D007: completion-order merge primitives.
+///
+/// Channel receives and join-handle collection yield results in the order
+/// workers *finish*, which depends on host scheduling. Canonical data must
+/// be merged in grid order (the campaign result-slot barrier) instead.
+/// `.join()` only matches with empty parens, so `slice.join(", ")` — a
+/// string join, deterministic — is not a completion-order primitive.
+fn scan_completion_order(src: &str, code: &CodeText, out: &mut Vec<Match>) {
+    let b = &code.bytes;
+    let push = |out: &mut Vec<Match>, off: usize, what: &str| {
+        out.push(Match {
+            rule: "D007",
+            offset: off,
+            message: format!(
+                "completion-order merge: `{what}` yields results in worker-finish order, \
+                 which depends on host scheduling; merge canonical data in grid order \
+                 (campaign result slots) instead"
+            ),
+        });
+    };
+    // `.recv()` / `.try_recv()` / `.recv_timeout(..)` — channel receives.
+    const CHANNEL_METHODS: &[&str] = &[".recv", ".try_recv", ".recv_timeout"];
+    for pat in CHANNEL_METHODS {
+        let p = pat.as_bytes();
+        let mut i = 0usize;
+        while i + p.len() < b.len() {
+            if &b[i..i + p.len()] != p || is_ident_byte(b[i + p.len()]) {
+                i += 1;
+                continue;
+            }
+            let after = code.skip_ws(i + p.len());
+            let at = code.offs[i + 1];
+            i += p.len();
+            if after < b.len() && b[after] == b'(' {
+                push(out, at, &pat[1..]);
+            }
+        }
+    }
+    // `mpsc::channel` / `mpsc::sync_channel` construction.
+    for pat in ["mpsc::channel", "mpsc::sync_channel"] {
+        let p = pat.as_bytes();
+        let mut i = 0usize;
+        while i + p.len() <= b.len() {
+            let bounded = &b[i..i + p.len()] == p
+                && (i == 0 || !is_ident_byte(b[i - 1]))
+                && (i + p.len() == b.len() || !is_ident_byte(b[i + p.len()]));
+            if bounded {
+                push(out, code.offs[i], pat);
+                i += p.len();
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // `.join()` with *empty* parens: a join-handle wait. The emptiness
+    // check runs on the raw source — in flattened code a string argument
+    // vanishes and `.join(", ")` would look exactly like `.join()`.
+    const JOIN: &[u8] = b".join";
+    let mut i = 0usize;
+    while i + JOIN.len() < b.len() {
+        if &b[i..i + JOIN.len()] != JOIN || is_ident_byte(b[i + JOIN.len()]) {
+            i += 1;
+            continue;
+        }
+        let after = code.skip_ws(i + JOIN.len());
+        let at = code.offs[i + 1];
+        i += JOIN.len();
+        if after >= b.len() || b[after] != b'(' {
+            continue;
+        }
+        let sb = src.as_bytes();
+        let mut k = code.offs[after] + 1;
+        while k < sb.len() && sb[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k < sb.len() && sb[k] == b')' {
+            push(out, at, "join()");
+        }
+    }
+}
+
+/// D008: process-environment reads (`std::env::var` and friends).
+///
+/// Environment variables differ per host and per shell, so a value read
+/// from them that reaches canonical bytes breaks cross-machine
+/// reproducibility. Configuration must arrive as explicit parameters that
+/// the run record captures. (`available_parallelism` is the same hazard
+/// and stays under D004.)
+fn scan_env_reads(code: &CodeText, out: &mut Vec<Match>) {
+    let b = &code.bytes;
+    for pat in ["env::var", "env::vars", "env::var_os", "env::vars_os"] {
+        let p = pat.as_bytes();
+        let mut i = 0usize;
+        while i + p.len() <= b.len() {
+            let bounded = &b[i..i + p.len()] == p
+                && (i == 0 || !is_ident_byte(b[i - 1]))
+                && (i + p.len() == b.len() || !is_ident_byte(b[i + p.len()]));
+            if bounded {
+                out.push(Match {
+                    rule: "D008",
+                    offset: code.offs[i],
+                    message: format!(
+                        "environment-dependent value: `{pat}` differs per host/shell and \
+                         breaks cross-machine reproducibility; pass configuration as an \
+                         explicit parameter the run record captures"
+                    ),
+                });
+                i += p.len();
+            } else {
+                i += 1;
+            }
         }
     }
 }
@@ -834,49 +956,6 @@ mod tests {
     }
 
     #[test]
-    fn module_base_paths() {
-        assert_eq!(module_base("crates/pfs/src/lib.rs"), "pfs");
-        assert_eq!(
-            module_base("crates/pfs/src/model/cache.rs"),
-            "pfs::model::cache"
-        );
-        assert_eq!(module_base("crates/pfs/src/model/mod.rs"), "pfs::model");
-        assert_eq!(
-            module_base("crates/stellar/src/bin/stellar-tune.rs"),
-            "stellar::bin::stellar_tune"
-        );
-        assert_eq!(
-            module_base("crates/detlint/src/main.rs"),
-            "detlint::bin::main"
-        );
-        assert_eq!(
-            module_base("crates/bench/benches/tuning.rs"),
-            "bench::benches::tuning"
-        );
-        assert_eq!(module_base("src/lib.rs"), "stellar_repro");
-        assert_eq!(
-            module_base("tests/integration_obs.rs"),
-            "tests::integration_obs"
-        );
-        assert_eq!(
-            module_base("examples/quickstart.rs"),
-            "examples::quickstart"
-        );
-    }
-
-    #[test]
-    fn inline_module_resolution() {
-        let src = "mod outer { mod inner { fn f() { } } } fn g() { }";
-        let tokens = lex(src);
-        let mods = inline_modules(src, &tokens);
-        assert_eq!(mods.len(), 2);
-        let f_at = src.find("fn f").unwrap();
-        let g_at = src.find("fn g").unwrap();
-        assert_eq!(module_at("c", &mods, f_at), "c::outer::inner");
-        assert_eq!(module_at("c", &mods, g_at), "c");
-    }
-
-    #[test]
     fn strings_and_comments_never_match() {
         let src = concat!(
             "fn f() {\n",
@@ -985,5 +1064,176 @@ fn f(v: Vec<u32>, m: HashMap<u32, u32>) -> u32 {
     fn lint_files_rejects_unknown_config_rule() {
         let cfg = Config::parse("[rules.D999]\nallow = [\"x\"]\n").unwrap();
         assert!(lint_files(&[], &cfg).is_err());
+    }
+
+    #[test]
+    fn d006_partial_cmp_unwrap_and_expect_fire() {
+        let src = "
+fn f(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.partial_cmp(b).expect(\"finite\"));
+}
+";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "D006"));
+    }
+
+    #[test]
+    fn d006_multiline_chain_fires() {
+        let src = "
+fn f(v: &mut Vec<(f64, u32)>) {
+    v.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0) // a comment splitting the chain
+            .expect(\"finite\")
+            .then(a.1.cmp(&b.1))
+    });
+}
+";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "D006");
+    }
+
+    #[test]
+    fn d006_total_cmp_and_unwrap_or_are_clean() {
+        let src = "
+fn f(v: &mut Vec<f64>) -> std::cmp::Ordering {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[0].partial_cmp(&v[1]).unwrap_or(std::cmp::Ordering::Equal)
+}
+";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d006_partial_ord_impl_is_not_flagged() {
+        let src = "
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Ev) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d007_channel_and_join_fire() {
+        let src = "
+fn f(rx: std::sync::mpsc::Receiver<u32>, h: std::thread::JoinHandle<()>) {
+    let (_tx, _rx2) = std::sync::mpsc::channel::<u32>();
+    while let Ok(v) = rx.recv() { let _ = v; }
+    h.join().ok();
+}
+";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 3, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "D007"));
+    }
+
+    #[test]
+    fn d007_string_join_is_clean() {
+        let src = "fn f(parts: &[String]) -> String { parts.join(\", \") }";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d008_env_reads_fire() {
+        let src = "
+fn f() -> Option<String> {
+    for (_k, _v) in std::env::vars() {}
+    std::env::var(\"STELLAR_SCALE\").ok()
+}
+";
+        let d = lint("crates/pfs/src/lib.rs", src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.rule == "D008"));
+    }
+
+    #[test]
+    fn d008_unrelated_var_names_are_clean() {
+        let src = "fn f() { let env_var = 1; let _ = env_var; }";
+        assert!(lint("crates/pfs/src/lib.rs", src).is_empty());
+    }
+
+    // --- cone-aware workspace mode ---
+
+    fn ws(files: &[(&str, &str)], cfg: &Config) -> Vec<Diagnostic> {
+        let files: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        lint_files(&files, cfg).unwrap()
+    }
+
+    /// A seed-module file plus a caller and an unconnected island.
+    const SEED: (&str, &str) = ("crates/stellar/src/obs.rs", "pub fn emit() -> u64 { 42 }\n");
+
+    #[test]
+    fn out_of_cone_violation_is_dropped_in_workspace_mode() {
+        let island = (
+            "crates/bench/src/lib.rs",
+            "pub fn island() { let _t = std::time::Instant::now(); }\n",
+        );
+        let d = ws(&[SEED, island], &Config::default());
+        assert!(d.is_empty(), "{d:?}");
+        // The same file linted alone (cone = everything) does fire.
+        assert_eq!(lint(island.0, island.1).len(), 1);
+    }
+
+    #[test]
+    fn in_cone_violation_fires_in_workspace_mode() {
+        let caller = (
+            "crates/stellar/src/session.rs",
+            "pub fn step() -> u64 { let _t = std::time::Instant::now(); crate::obs::emit() }\n",
+        );
+        let d = ws(&[SEED, caller], &Config::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "D001");
+        assert_eq!(d[0].path, caller.0);
+    }
+
+    #[test]
+    fn top_level_matches_are_conservatively_in_cone() {
+        // A match outside any fn body (module-level macro fragment) has no
+        // enclosing function; it must still fire in workspace mode.
+        let island = (
+            "crates/bench/src/lib.rs",
+            "pub static NAME: &str = \"x\";\nfn lone() {}\nmod t { pub const N: u32 = 1; }\n\
+             macro_rules! m { () => { std::time::SystemTime::now() }; }\n",
+        );
+        let d = ws(&[SEED, island], &Config::default());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "D001");
+    }
+
+    #[test]
+    fn annotation_on_out_of_cone_site_still_counts_as_used() {
+        let island = (
+            "crates/bench/src/lib.rs",
+            "pub fn island() {\n    // detlint::allow(D001): harness-only timing\n    \
+             let _t = std::time::Instant::now();\n}\n",
+        );
+        let d = ws(&[SEED, island], &Config::default());
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_reported_with_its_line() {
+        let cfg = Config::parse("[rules.D001]\nallow = [\n    \"nowhere::*\",\n]\n").unwrap();
+        let d = ws(&[SEED], &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].path, "detlint.toml");
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[0].rule, META_RULE);
+        assert!(d[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn live_allowlist_entry_is_not_stale() {
+        let cfg = Config::parse("[rules.D001]\nallow = [\"stellar::obs\"]\n").unwrap();
+        let d = ws(&[SEED], &cfg);
+        assert!(d.is_empty(), "{d:?}");
     }
 }

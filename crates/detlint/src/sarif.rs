@@ -1,0 +1,337 @@
+//! SARIF 2.1.0 emission for CI annotation.
+//!
+//! GitHub's code-scanning upload turns a SARIF report into inline PR
+//! annotations, so `detlint --format sarif` emits the subset of SARIF
+//! 2.1.0 that upload consumes: one run, the tool driver with the full
+//! rule catalogue ([`crate::rules::RULES`] plus the `DLINT` meta rule),
+//! and one `result` per diagnostic with a physical location
+//! (workspace-relative URI + 1-based line/column region).
+//!
+//! The same structs derive `Deserialize`, which is how [`validate`]
+//! checks conformance offline: the emitted JSON must round-trip through
+//! the typed model (every required SARIF property present with the right
+//! JSON type — the vendored derive rejects missing or mistyped fields)
+//! and then pass the semantic constraints the schema imposes (version
+//! literal, level enum, in-bounds rule indices, 1-based regions).
+
+use crate::rules::{Diagnostic, META_RULE, RULES};
+use serde::{Deserialize, Serialize};
+
+/// The published SARIF 2.1.0 schema URI.
+pub const SCHEMA_URI: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Top-level SARIF log.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SarifLog {
+    /// Schema URI (`$schema`).
+    #[serde(rename = "$schema")]
+    pub schema: String,
+    /// SARIF version — always `"2.1.0"`.
+    pub version: String,
+    /// Analysis runs; detlint emits exactly one.
+    pub runs: Vec<Run>,
+}
+
+/// One analysis run.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Run {
+    /// The tool that produced this run.
+    pub tool: Tool,
+    /// One entry per diagnostic.
+    pub results: Vec<ResultEntry>,
+}
+
+/// The analysis tool.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Tool {
+    /// The driver component.
+    pub driver: Driver,
+}
+
+/// Tool driver metadata plus the rule catalogue.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Driver {
+    /// Tool name.
+    pub name: String,
+    /// Link shown next to findings.
+    #[serde(rename = "informationUri")]
+    pub information_uri: String,
+    /// The rule catalogue; `ruleIndex` in results points into this.
+    pub rules: Vec<ReportingDescriptor>,
+}
+
+/// One rule description.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReportingDescriptor {
+    /// Stable rule id (`D001`... / `DLINT`).
+    pub id: String,
+    /// One-line rule summary.
+    #[serde(rename = "shortDescription")]
+    pub short_description: Message,
+}
+
+/// A SARIF message object.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Message {
+    /// Plain-text message.
+    pub text: String,
+}
+
+/// One reported finding.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ResultEntry {
+    /// Rule id of the finding.
+    #[serde(rename = "ruleId")]
+    pub rule_id: String,
+    /// Index of the rule in the driver's `rules` array.
+    #[serde(rename = "ruleIndex")]
+    pub rule_index: usize,
+    /// Severity — detlint violations are always `"error"`.
+    pub level: String,
+    /// The diagnostic message.
+    pub message: Message,
+    /// Where the finding is.
+    pub locations: Vec<Location>,
+}
+
+/// A result location.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Location {
+    /// The physical (file/region) location.
+    #[serde(rename = "physicalLocation")]
+    pub physical_location: PhysicalLocation,
+}
+
+/// File + region of a finding.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PhysicalLocation {
+    /// The file the finding is in.
+    #[serde(rename = "artifactLocation")]
+    pub artifact_location: ArtifactLocation,
+    /// The position inside that file.
+    pub region: Region,
+}
+
+/// A workspace-relative file reference.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ArtifactLocation {
+    /// Relative path with `/` separators.
+    pub uri: String,
+    /// Base the URI is relative to (the checkout root).
+    #[serde(rename = "uriBaseId")]
+    pub uri_base_id: String,
+}
+
+/// A 1-based source region.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Region {
+    /// 1-based start line.
+    #[serde(rename = "startLine")]
+    pub start_line: usize,
+    /// 1-based start column.
+    #[serde(rename = "startColumn")]
+    pub start_column: usize,
+}
+
+/// The full rule catalogue as SARIF reporting descriptors: the shipped
+/// rules in order, then the `DLINT` meta rule last.
+fn catalogue() -> Vec<ReportingDescriptor> {
+    let mut rules: Vec<ReportingDescriptor> = RULES
+        .iter()
+        .map(|r| ReportingDescriptor {
+            id: r.id.to_string(),
+            short_description: Message {
+                text: r.title.to_string(),
+            },
+        })
+        .collect();
+    rules.push(ReportingDescriptor {
+        id: META_RULE.to_string(),
+        short_description: Message {
+            text:
+                "annotation hygiene (malformed/unused detlint::allow, stale detlint.toml entries)"
+                    .to_string(),
+        },
+    });
+    rules
+}
+
+/// Build the SARIF log for a set of diagnostics.
+pub fn report(diagnostics: &[Diagnostic]) -> SarifLog {
+    let rules = catalogue();
+    let index_of = |id: &str| -> usize {
+        rules
+            .iter()
+            .position(|r| r.id == id)
+            .unwrap_or(rules.len() - 1) // unknown ids fold into the meta rule
+    };
+    let results = diagnostics
+        .iter()
+        .map(|d| ResultEntry {
+            rule_id: d.rule.clone(),
+            rule_index: index_of(&d.rule),
+            level: "error".to_string(),
+            message: Message {
+                text: d.message.clone(),
+            },
+            locations: vec![Location {
+                physical_location: PhysicalLocation {
+                    artifact_location: ArtifactLocation {
+                        uri: d.path.clone(),
+                        uri_base_id: "SRCROOT".to_string(),
+                    },
+                    region: Region {
+                        start_line: d.line.max(1),
+                        start_column: d.col.max(1),
+                    },
+                },
+            }],
+        })
+        .collect();
+    SarifLog {
+        schema: SCHEMA_URI.to_string(),
+        version: "2.1.0".to_string(),
+        runs: vec![Run {
+            tool: Tool {
+                driver: Driver {
+                    name: "detlint".to_string(),
+                    information_uri: "https://github.com/oasis-tcs/sarif-spec".to_string(),
+                    rules,
+                },
+            },
+            results,
+        }],
+    }
+}
+
+/// Render diagnostics as a pretty-printed SARIF 2.1.0 document.
+pub fn to_json(diagnostics: &[Diagnostic]) -> String {
+    serde_json::to_string_pretty(&report(diagnostics)).expect("SARIF log serializes")
+}
+
+/// Validate a SARIF document against the 2.1.0 schema subset detlint
+/// emits: the JSON must parse into the typed model (all required
+/// properties present with the correct JSON types) and satisfy the
+/// schema's semantic constraints. Returns a description of the first
+/// violation found.
+pub fn validate(json: &str) -> Result<(), String> {
+    let log: SarifLog = serde_json::from_str(json).map_err(|e| format!("not valid SARIF: {e}"))?;
+    if log.version != "2.1.0" {
+        return Err(format!("version must be \"2.1.0\", got {:?}", log.version));
+    }
+    if !log.schema.contains("sarif") {
+        return Err(format!(
+            "$schema does not reference SARIF: {:?}",
+            log.schema
+        ));
+    }
+    if log.runs.is_empty() {
+        return Err("runs must contain at least one run".to_string());
+    }
+    for run in &log.runs {
+        let driver = &run.tool.driver;
+        if driver.name.is_empty() {
+            return Err("tool.driver.name must be non-empty".to_string());
+        }
+        for (i, r) in run.results.iter().enumerate() {
+            if r.rule_index >= driver.rules.len() {
+                return Err(format!(
+                    "results[{i}].ruleIndex {} out of bounds ({} rules)",
+                    r.rule_index,
+                    driver.rules.len()
+                ));
+            }
+            if driver.rules[r.rule_index].id != r.rule_id {
+                return Err(format!(
+                    "results[{i}].ruleId {:?} does not match rules[{}].id {:?}",
+                    r.rule_id, r.rule_index, driver.rules[r.rule_index].id
+                ));
+            }
+            if !matches!(r.level.as_str(), "none" | "note" | "warning" | "error") {
+                return Err(format!(
+                    "results[{i}].level {:?} not a SARIF level",
+                    r.level
+                ));
+            }
+            if r.locations.is_empty() {
+                return Err(format!("results[{i}] has no locations"));
+            }
+            for loc in &r.locations {
+                let phys = &loc.physical_location;
+                if phys.artifact_location.uri.is_empty() {
+                    return Err(format!("results[{i}] artifactLocation.uri is empty"));
+                }
+                if phys.artifact_location.uri.starts_with('/') {
+                    return Err(format!(
+                        "results[{i}] artifactLocation.uri must be relative: {:?}",
+                        phys.artifact_location.uri
+                    ));
+                }
+                if phys.region.start_line == 0 || phys.region.start_column == 0 {
+                    return Err(format!("results[{i}] region is 0-based; SARIF is 1-based"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            path: "crates/pfs/src/lib.rs".to_string(),
+            line,
+            col: 5,
+            rule: rule.to_string(),
+            message: format!("{rule} fired"),
+        }
+    }
+
+    #[test]
+    fn emitted_sarif_validates() {
+        let diags = [diag("D001", 3), diag("D006", 7), diag(META_RULE, 1)];
+        let json = to_json(&diags);
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn empty_report_validates() {
+        validate(&to_json(&[])).unwrap();
+    }
+
+    #[test]
+    fn rule_indices_point_at_the_catalogue() {
+        let log = report(&[diag("D006", 1)]);
+        let run = &log.runs[0];
+        let r = &run.results[0];
+        assert_eq!(run.tool.driver.rules[r.rule_index].id, "D006");
+        // Catalogue = shipped rules + meta rule, in order.
+        assert_eq!(run.tool.driver.rules.len(), RULES.len() + 1);
+        assert_eq!(run.tool.driver.rules.last().unwrap().id, META_RULE);
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate("{}").is_err());
+        assert!(validate("not json").is_err());
+        let mut log = report(&[diag("D001", 1)]);
+        log.version = "2.0.0".to_string();
+        let json = serde_json::to_string_pretty(&log).unwrap();
+        assert!(validate(&json).unwrap_err().contains("version"));
+        let mut log = report(&[diag("D001", 1)]);
+        log.runs[0].results[0].rule_index = 99;
+        let json = serde_json::to_string_pretty(&log).unwrap();
+        assert!(validate(&json).unwrap_err().contains("out of bounds"));
+        let mut log = report(&[diag("D001", 1)]);
+        log.runs[0].results[0].locations[0]
+            .physical_location
+            .region
+            .start_line = 0;
+        let json = serde_json::to_string_pretty(&log).unwrap();
+        assert!(validate(&json).unwrap_err().contains("1-based"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Canonical-cone taint pass.
+//!
+//! The determinism contract pins the *canonical byte stream*: the JSONL
+//! run records, campaign tables, and reports that must be bit-identical
+//! across serial / parallel / latency / failure-injection runs. A
+//! function can break that contract only if its behavior can reach those
+//! bytes. This module computes the set of such functions — the
+//! **canonical cone** — from the [`crate::graph::CallGraph`].
+//!
+//! Seeds are the emit sites themselves, named by module globs
+//! ([`SEED_GLOBS`]): `stellar::obs` (ObsEvent construction and the
+//! `JsonlEmitter` canonical half), `stellar::campaign::table`, and the
+//! rule-merge / report paths in `agents`.
+//!
+//! The cone is then:
+//!
+//! ```text
+//! roots = seeds ∪ ancestors(seeds)        // can call into an emit site
+//! cone  = roots ∪ descendants(roots)      // anything those roots execute
+//! ```
+//!
+//! Ancestors matter because a caller of an emit site decides *what* gets
+//! emitted (e.g. a campaign worker ordering results before the table is
+//! rendered). Descendants of those roots matter because any helper they
+//! invoke computes values that flow into canonical bytes. A function with
+//! no path to or from a seed — a bench harness helper, a progress-board
+//! painter — is outside the cone, and rules D001–D008 do not fire there.
+//!
+//! Both closures are plain worklist BFS over `BTreeSet`s, so membership
+//! is deterministic and independent of file input order (the graph
+//! itself already is).
+
+use crate::graph::{CallGraph, FnId};
+use std::collections::BTreeSet;
+
+/// Module globs whose functions seed the canonical cone. Matched with
+/// [`crate::config::glob_match`] semantics (`*` crosses `::`).
+pub const SEED_GLOBS: &[&str] = &[
+    "stellar::obs*",
+    "stellar::campaign::table",
+    "agents::rules*",
+    "agents::report*",
+];
+
+/// The canonical cone over a call graph.
+#[derive(Debug)]
+pub struct Cone {
+    members: BTreeSet<FnId>,
+    /// True when every function is a member (single-file mode).
+    all: bool,
+}
+
+impl Cone {
+    /// Compute the cone for `graph` from the default seed globs.
+    pub fn compute(graph: &CallGraph) -> Cone {
+        Cone::compute_with(graph, SEED_GLOBS)
+    }
+
+    /// Compute the cone for `graph` seeding from `seed_globs`.
+    pub fn compute_with<S: AsRef<str>>(graph: &CallGraph, seed_globs: &[S]) -> Cone {
+        let seeds: BTreeSet<FnId> = graph
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                seed_globs
+                    .iter()
+                    .any(|g| crate::config::glob_match(g.as_ref(), &f.module))
+            })
+            .map(|(id, _)| id)
+            .collect();
+
+        // Ancestors: everything that can reach a seed.
+        let roots = closure(&seeds, |id| graph.callers[id].iter().copied());
+        // Descendants of the roots: everything those roots may execute.
+        let members = closure(&roots, |id| graph.callees[id].iter().copied());
+
+        Cone {
+            members,
+            all: false,
+        }
+    }
+
+    /// A cone containing every function — the single-file (`lint_file`)
+    /// behavior, where no whole-program graph is available and the
+    /// conservative answer is "everything is canonical".
+    pub fn everything() -> Cone {
+        Cone {
+            members: BTreeSet::new(),
+            all: true,
+        }
+    }
+
+    /// Is `id` in the cone?
+    pub fn contains(&self, id: FnId) -> bool {
+        self.all || self.members.contains(&id)
+    }
+
+    /// Cone member ids, in ascending order. Empty (not "all fns") for
+    /// [`Cone::everything`].
+    pub fn members(&self) -> impl Iterator<Item = FnId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Number of explicit members (0 for [`Cone::everything`]).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no explicit member is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Transitive closure of `start` under `next`, worklist BFS. Terminates
+/// because the visited set only grows and ids are finite.
+fn closure<F, I>(start: &BTreeSet<FnId>, mut next: F) -> BTreeSet<FnId>
+where
+    F: FnMut(FnId) -> I,
+    I: Iterator<Item = FnId>,
+{
+    let mut seen = start.clone();
+    let mut work: Vec<FnId> = start.iter().copied().collect();
+    while let Some(id) = work.pop() {
+        for n in next(id) {
+            if seen.insert(n) {
+                work.push(n);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::CallGraph;
+
+    fn build(files: &[(&str, &str)]) -> CallGraph {
+        let files: Vec<(String, String)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect();
+        CallGraph::build(&files)
+    }
+
+    fn member(g: &CallGraph, cone: &Cone, qualified: &str) -> bool {
+        let id = g
+            .fns
+            .iter()
+            .position(|f| f.qualified == qualified)
+            .unwrap_or_else(|| panic!("no fn {qualified}"));
+        cone.contains(id)
+    }
+
+    /// caller → seed → helper, plus an unrelated island.
+    const FILES: &[(&str, &str)] = &[
+        (
+            "crates/stellar/src/obs.rs",
+            "pub fn emit() { fmt_line(); }\nfn fmt_line() {}\n",
+        ),
+        (
+            "crates/stellar/src/session.rs",
+            "use crate::obs::emit;\npub fn step() { emit(); }\n",
+        ),
+        (
+            "crates/bench/src/lib.rs",
+            "pub fn island() { spin(); }\nfn spin() {}\n",
+        ),
+    ];
+
+    #[test]
+    fn seeds_ancestors_and_descendants_are_in() {
+        let g = build(FILES);
+        let cone = Cone::compute_with(&g, &["stellar::obs*"]);
+        assert!(member(&g, &cone, "stellar::obs::emit"), "seed");
+        assert!(member(&g, &cone, "stellar::obs::fmt_line"), "descendant");
+        assert!(member(&g, &cone, "stellar::session::step"), "ancestor");
+    }
+
+    #[test]
+    fn disconnected_fns_are_out() {
+        let g = build(FILES);
+        let cone = Cone::compute_with(&g, &["stellar::obs*"]);
+        assert!(!member(&g, &cone, "bench::island"));
+        assert!(!member(&g, &cone, "bench::spin"));
+    }
+
+    #[test]
+    fn descendants_of_ancestors_are_in() {
+        // step() calls emit() (seed) but also tidy(): tidy computes values
+        // a canonical caller uses, so it is in the cone.
+        let g = build(&[
+            ("crates/stellar/src/obs.rs", "pub fn emit() {}\n"),
+            (
+                "crates/stellar/src/session.rs",
+                "use crate::obs::emit;\npub fn step() { tidy(); emit(); }\nfn tidy() {}\n",
+            ),
+        ]);
+        let cone = Cone::compute_with(&g, &["stellar::obs*"]);
+        assert!(member(&g, &cone, "stellar::session::tidy"));
+    }
+
+    #[test]
+    fn everything_cone_contains_arbitrary_ids() {
+        let cone = Cone::everything();
+        assert!(cone.contains(0));
+        assert!(cone.contains(123_456));
+        assert!(cone.is_empty());
+    }
+
+    #[test]
+    fn cone_is_input_order_invariant() {
+        let mut rev: Vec<(&str, &str)> = FILES.to_vec();
+        rev.reverse();
+        let g1 = build(FILES);
+        let g2 = build(&rev);
+        let c1 = Cone::compute_with(&g1, &["stellar::obs*"]);
+        let c2 = Cone::compute_with(&g2, &["stellar::obs*"]);
+        let names = |g: &CallGraph, c: &Cone| -> Vec<String> {
+            c.members().map(|id| g.fns[id].qualified.clone()).collect()
+        };
+        assert_eq!(names(&g1, &c1), names(&g2, &c2));
+    }
+}

@@ -149,6 +149,85 @@ fn d005_bin_paths_waived_by_committed_config() {
 }
 
 #[test]
+fn d006_partial_float_ordering() {
+    let violating = concat!(
+        "fn f(v: &mut Vec<f64>) {\n",
+        "    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+        "}\n",
+    );
+    let annotated = concat!(
+        "fn f(v: &mut Vec<f64>) {\n",
+        "    // detlint::allow(D006): inputs are clamped finite one line up\n",
+        "    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+        "}\n",
+    );
+    check_triple("D006", violating, annotated, &[(2, 24)]);
+
+    let d = &lint_file(FIXTURE_PATH, violating, &empty_cfg())[0];
+    assert!(
+        d.message.contains("total_cmp"),
+        "D006 must point at the fix: {}",
+        d.message
+    );
+}
+
+#[test]
+fn d006_total_cmp_is_clean() {
+    let src = "fn f(v: &mut Vec<f64>) {\n    v.sort_by(|a, b| a.total_cmp(b));\n}\n";
+    let got = lint_file(FIXTURE_PATH, src, &empty_cfg());
+    assert!(
+        got.is_empty(),
+        "total_cmp is the fix, not a finding: {got:?}"
+    );
+}
+
+#[test]
+fn d007_completion_order_merge() {
+    let violating = concat!(
+        "fn f(rx: std::sync::mpsc::Receiver<u64>) -> Vec<u64> {\n",
+        "    let mut out = Vec::new();\n",
+        "    while let Ok(v) = rx.recv() {\n",
+        "        out.push(v);\n",
+        "    }\n",
+        "    out\n",
+        "}\n",
+    );
+    let annotated = concat!(
+        "fn f(rx: std::sync::mpsc::Receiver<u64>) -> Vec<u64> {\n",
+        "    let mut out = Vec::new();\n",
+        "    // detlint::allow(D007): results re-sorted into grid order below\n",
+        "    while let Ok(v) = rx.recv() {\n",
+        "        out.push(v);\n",
+        "    }\n",
+        "    out\n",
+        "}\n",
+    );
+    check_triple("D007", violating, annotated, &[(3, 26)]);
+}
+
+#[test]
+fn d007_string_join_is_clean() {
+    // `.join(", ")` on a slice of strings is not a thread join; the
+    // empty-argument check must read the raw source, where the string
+    // literal is visible.
+    let src = "fn f(v: &[String]) -> String {\n    v.join(\", \")\n}\n";
+    let got = lint_file(FIXTURE_PATH, src, &empty_cfg());
+    assert!(got.is_empty(), "string join is not a thread join: {got:?}");
+}
+
+#[test]
+fn d008_environment_read() {
+    let violating = "fn f() -> Option<String> {\n    std::env::var(\"THREADS\").ok()\n}\n";
+    let annotated = concat!(
+        "fn f() -> Option<String> {\n",
+        "    // detlint::allow(D008): knob echoed into the run header, not records\n",
+        "    std::env::var(\"THREADS\").ok()\n",
+        "}\n",
+    );
+    check_triple("D008", violating, annotated, &[(2, 10)]);
+}
+
+#[test]
 fn annotation_without_reason_is_a_meta_violation() {
     let src = "fn f() {\n    // detlint::allow(D001)\n    let t = std::time::Instant::now();\n}\n";
     let got = lint_file(FIXTURE_PATH, src, &empty_cfg());

@@ -83,7 +83,17 @@ fn canary_every_rule_fires_on_a_canonical_path() {
             "fn c4() { let _ = std::thread::available_parallelism(); }",
         ),
         ("D005", "fn c5() { println!(\"x\"); }"),
+        (
+            "D006",
+            "fn c6(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }",
+        ),
+        (
+            "D007",
+            "fn c7(rx: std::sync::mpsc::Receiver<u8>) { while rx.recv().is_ok() {} }",
+        ),
+        ("D008", "fn c8() { let _ = std::env::var(\"X\"); }"),
     ];
+    assert_eq!(cases.len(), detlint::RULES.len(), "one canary per rule");
     for (rule, src) in cases {
         let diags = lint_file("crates/pfs/src/model/engine.rs", src, &cfg);
         assert!(
@@ -91,6 +101,116 @@ fn canary_every_rule_fires_on_a_canonical_path() {
             "{rule} canary did not fire: {diags:?}"
         );
     }
+}
+
+/// The forbidden statement each rule's whole-workspace canary injects
+/// into a cone function body (all valid inside `Model::run`).
+const BODY_CANARIES: &[(&str, &str)] = &[
+    ("D001", "let _c = std::time::Instant::now();"),
+    (
+        "D002",
+        "let _m: std::collections::HashMap<u8, u8> = Default::default(); \
+         for _ in _m.iter() {}",
+    ),
+    ("D003", "let _c = thread_rng();"),
+    ("D004", "let _c = std::thread::available_parallelism();"),
+    ("D005", "println!(\"canary\");"),
+    (
+        "D006",
+        "let mut _v = vec![0.0f64]; _v.sort_by(|a, b| a.partial_cmp(b).unwrap());",
+    ),
+    (
+        "D007",
+        "let (_tx, _rx) = std::sync::mpsc::channel::<u8>(); while _rx.try_recv().is_ok() {}",
+    ),
+    ("D008", "let _c = std::env::var(\"DETLINT_CANARY\");"),
+];
+
+/// Whole-workspace mutation canary: inject each rule's forbidden
+/// construct INTO the body of `Model::run` — a function on the canonical
+/// cone — and lint via `lint_files`, the cone-gated entry point CI uses.
+/// This is the end-to-end proof that the cone reaches real emit paths:
+/// a taint regression that shrinks the cone fails here, not in CI.
+#[test]
+fn canary_body_injection_fires_through_the_cone() {
+    let cfg = committed_config();
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    let path = "crates/pfs/src/model/engine.rs";
+    let idx = files
+        .iter()
+        .position(|(p, _)| p == path)
+        .expect("engine.rs in workspace walk");
+    let anchor = "pub fn run(mut self, streams: Vec<RankStream>) -> (Duration, Diagnostics) {";
+    assert!(
+        files[idx].1.contains(anchor),
+        "injection anchor moved; update the canary"
+    );
+
+    for (rule, stmt) in BODY_CANARIES {
+        let mut mutated = files.clone();
+        mutated[idx].1 = files[idx]
+            .1
+            .replace(anchor, &format!("{anchor}\n        {stmt}"));
+        let diags = lint_files(&mutated, &cfg).expect("config validates");
+        assert!(
+            diags.iter().any(|d| d.rule == *rule && d.path == path),
+            "{rule} body canary did not fire through the cone: {diags:?}"
+        );
+    }
+}
+
+/// The inverse: the same forbidden statements in a function nothing
+/// calls sit OUTSIDE the canonical cone, and workspace-mode linting must
+/// stay silent — that is the cone gate working, not a blind spot
+/// (`canary_body_injection_fires_through_the_cone` proves the rules
+/// still see cone code).
+#[test]
+fn canary_uncalled_fn_is_outside_the_cone() {
+    let cfg = committed_config();
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    let path = "crates/pfs/src/model/engine.rs";
+    let idx = files
+        .iter()
+        .position(|(p, _)| p == path)
+        .expect("engine.rs in workspace walk");
+
+    for (rule, stmt) in BODY_CANARIES {
+        let mut mutated = files.clone();
+        mutated[idx]
+            .1
+            .push_str(&format!("\nfn _detlint_dead_canary() {{ {stmt} }}\n"));
+        let diags = lint_files(&mutated, &cfg).expect("config validates");
+        assert!(
+            !diags.iter().any(|d| d.path == path),
+            "{rule} fired on an uncalled fn — cone gate broken: {diags:?}"
+        );
+    }
+}
+
+/// A detlint.toml entry whose glob matches no cone module is dead weight
+/// and must be reported as a stale waiver, at the entry's own line.
+#[test]
+fn fabricated_stale_entry_is_reported() {
+    let toml = std::fs::read_to_string(workspace_root().join("detlint.toml"))
+        .expect("detlint.toml readable");
+    let stale = format!("{toml}\n[rules.D001]\nallow = [\"no::such::module\"]\n");
+    let cfg = Config::parse(&stale).expect("augmented config parses");
+    let files = collect_workspace(workspace_root()).expect("workspace walk");
+    let diags = lint_files(&files, &cfg).expect("config validates");
+    let stale_diags: Vec<_> = diags.iter().filter(|d| d.path == "detlint.toml").collect();
+    assert_eq!(
+        stale_diags.len(),
+        1,
+        "exactly the fabricated entry: {diags:?}"
+    );
+    assert!(stale_diags[0].message.contains("no::such::module"));
+    assert!(stale_diags[0].message.contains("stale"));
+    // The committed entries stay live — no other diagnostics appear.
+    assert_eq!(
+        diags.len(),
+        1,
+        "committed config must stay clean: {diags:?}"
+    );
 }
 
 /// The allowlist layers must not be wider than intended: the committed

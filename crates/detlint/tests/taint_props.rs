@@ -1,0 +1,110 @@
+//! Property tests for the canonical-cone taint pass: on arbitrary
+//! generated call graphs (cycles, self-calls, disconnected islands) the
+//! cone computation must (a) terminate, (b) be closed under the edges
+//! that define it, and (c) be invariant to the order files are supplied
+//! in — the linter's verdicts may not depend on directory enumeration.
+
+use detlint::graph::CallGraph;
+use detlint::taint::Cone;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Three homes for generated functions. The first is a seed module
+/// (matched by `SEED_GLOBS`' `stellar::obs*`); the others are ordinary
+/// workspace modules.
+const FILES: [&str; 3] = [
+    "crates/stellar/src/obs.rs",
+    "crates/pfs/src/model.rs",
+    "crates/agents/src/plan.rs",
+];
+
+/// Render `n` functions (`f0..f{n-1}`) distributed over [`FILES`] by
+/// `homes`, each body calling exactly the `edges` that leave it. Bare
+/// names are globally unique, so every edge resolves regardless of which
+/// file the callee landed in.
+fn render(n: usize, homes: &[usize], edges: &[(usize, usize)]) -> Vec<(String, String)> {
+    let mut bodies: Vec<String> = vec![String::new(); FILES.len()];
+    for i in 0..n {
+        let mut body = format!("pub fn f{i}() {{\n");
+        for &(a, b) in edges {
+            if a == i {
+                body.push_str(&format!("    f{b}();\n"));
+            }
+        }
+        body.push_str("}\n");
+        bodies[homes[i]].push_str(&body);
+    }
+    FILES
+        .iter()
+        .zip(bodies)
+        .map(|(p, b)| (p.to_string(), b))
+        .collect()
+}
+
+/// The cone as a set of qualified names — the stable identity that a
+/// reordered file list must reproduce.
+fn cone_names(files: &[(String, String)]) -> BTreeSet<String> {
+    let g = CallGraph::build(files);
+    let cone = Cone::compute(&g);
+    cone.members()
+        .map(|id| g.fns[id].qualified.clone())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn taint_terminates_is_closed_and_order_invariant(
+        n in 1usize..12,
+        homes_raw in proptest::collection::vec(0usize..3, 12..13),
+        edges_raw in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+        perm in 0usize..6,
+    ) {
+        let homes = homes_raw[..n].to_vec();
+        let edges: Vec<(usize, usize)> =
+            edges_raw.iter().map(|&(a, b)| (a % n, b % n)).collect();
+        let files = render(n, &homes, &edges);
+
+        // (a) Termination: this returns even when `edges` forms cycles.
+        let g = CallGraph::build(&files);
+        let cone = Cone::compute(&g);
+
+        // Every seed-module function is in the cone by definition...
+        for (id, f) in g.fns.iter().enumerate() {
+            if f.module == "stellar::obs" {
+                prop_assert!(cone.contains(id), "seed {} not in cone", f.qualified);
+            }
+        }
+        // ...as is every direct caller of one (ancestors feed the stream).
+        for (id, f) in g.fns.iter().enumerate() {
+            if g.callees[id]
+                .iter()
+                .any(|&c| g.fns[c].module == "stellar::obs")
+            {
+                prop_assert!(cone.contains(id), "seed caller {} not in cone", f.qualified);
+            }
+        }
+        // (b) Closure: the cone is descendants-of-roots, so a member's
+        // callees are always members — no edge may escape the cone.
+        for id in cone.members() {
+            for &callee in &g.callees[id] {
+                prop_assert!(
+                    cone.contains(callee),
+                    "cone member {} has out-of-cone callee {}",
+                    g.fns[id].qualified,
+                    g.fns[callee].qualified
+                );
+            }
+        }
+
+        // (c) Input-order invariance: rotate/reverse the file list and
+        // the member set (by qualified name) is unchanged.
+        let mut shuffled = files.clone();
+        shuffled.rotate_left(perm % files.len());
+        if perm >= 3 {
+            shuffled.reverse();
+        }
+        prop_assert_eq!(cone_names(&files), cone_names(&shuffled));
+    }
+}

@@ -32,11 +32,7 @@ impl VectorIndex {
             .enumerate()
             .map(|(i, v)| (cosine(&qv, v), i))
             .collect();
-        scored.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("similarities are finite")
-                .then(a.1.cmp(&b.1))
-        });
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         scored
             .into_iter()
             .take(k)

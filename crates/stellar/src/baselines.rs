@@ -140,7 +140,7 @@ pub fn random_search(
     let evaluations = scored.len();
     let (wall_secs, config) = scored
         .into_iter()
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
         .expect("samples > 0");
     SearchResult {
         config,

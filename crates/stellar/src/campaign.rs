@@ -405,7 +405,7 @@ impl CampaignReport {
     pub fn best_cell(&self) -> Option<&CampaignCell> {
         self.cells.iter().filter(|c| !c.is_failed()).max_by(|a, b| {
             let (a, b) = (a.run().expect("finished"), b.run().expect("finished"));
-            a.best_speedup.partial_cmp(&b.best_speedup).expect("finite")
+            a.best_speedup.total_cmp(&b.best_speedup)
         })
     }
 

@@ -166,8 +166,7 @@ pub fn plan(schedule: Schedule, model: &CostModel) -> Vec<usize> {
         order.sort_by(|&a, &b| {
             model
                 .cost(b, schedule)
-                .partial_cmp(&model.cost(a, schedule))
-                .expect("finite costs")
+                .total_cmp(&model.cost(a, schedule))
                 .then(a.cmp(&b))
         });
     }
@@ -185,12 +184,7 @@ pub fn makespan(order: &[usize], costs: &[f64], workers: usize) -> f64 {
     let mut busy = vec![0.0f64; w];
     for &i in order {
         let k = (0..w)
-            .min_by(|&a, &b| {
-                busy[a]
-                    .partial_cmp(&busy[b])
-                    .expect("finite")
-                    .then(a.cmp(&b))
-            })
+            .min_by(|&a, &b| busy[a].total_cmp(&busy[b]).then(a.cmp(&b)))
             .expect("at least one worker");
         busy[k] += costs[i];
     }
@@ -449,6 +443,26 @@ mod tests {
         // Degenerate worker counts clamp sanely.
         assert_eq!(makespan(&[0, 1], &[2.0, 3.0], 0), 5.0);
         assert_eq!(makespan(&[], &[], 4), 0.0);
+    }
+
+    /// Regression: plan() and makespan() sorted with
+    /// `partial_cmp(..).expect("finite costs")`, so a single NaN wall
+    /// time fed through observe() panicked the scheduler mid-campaign.
+    /// Under total_cmp, +NaN orders above every finite cost: the run
+    /// survives and the order stays deterministic.
+    #[test]
+    fn nan_costs_order_deterministically_without_panicking() {
+        let mut model = CostModel::from_hints([hint(0), hint(1), hint(5)]);
+        model.observe(0, f64::NAN);
+        let order = plan(Schedule::Adaptive, &model);
+        // +NaN sorts greatest, so the poisoned cell schedules first;
+        // the rest keep the usual heaviest-first order.
+        assert_eq!(order, vec![0, 2, 1]);
+        assert_eq!(order, plan(Schedule::Adaptive, &model));
+        // The worker pick survives a NaN busy clock too: that worker
+        // never again compares least, so the remaining cells drain
+        // deterministically through the healthy one.
+        assert_eq!(makespan(&order, &[f64::NAN, 1.0, 2.0], 2), 3.0);
     }
 
     #[test]

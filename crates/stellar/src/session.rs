@@ -869,7 +869,7 @@ impl<'a> TuningSession<'a> {
                 self.default_wall,
                 self.default_cfg.clone(),
             )))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
             .expect("non-empty");
 
         // Reflect & Summarize; the caller merges into its global rule set.
