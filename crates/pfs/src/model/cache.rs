@@ -8,6 +8,7 @@
 //! amortised O(1) even under heavy cache pressure.
 
 use crate::ops::FileId;
+use simcore::hash::FxBuildHasher;
 use std::collections::{HashMap, VecDeque};
 
 /// Cache tracking granularity (64 KiB).
@@ -33,7 +34,7 @@ pub struct PageCache {
     budget_bytes: u64,
     used_bytes: u64,
     // chunk -> referenced bit
-    entries: HashMap<(FileId, u64), bool>,
+    entries: HashMap<(FileId, u64), bool, FxBuildHasher>,
     clock: VecDeque<(FileId, u64)>,
     hits: u64,
     misses: u64,
@@ -45,7 +46,7 @@ impl PageCache {
         PageCache {
             budget_bytes,
             used_bytes: 0,
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             clock: VecDeque::new(),
             hits: 0,
             misses: 0,
@@ -76,12 +77,12 @@ impl PageCache {
     /// Insert a chunk, evicting cold chunks if over budget.
     pub fn insert(&mut self, file: FileId, chunk: u64) {
         let key = (file, chunk);
-        match self.entries.get_mut(&key) {
-            Some(referenced) => {
-                *referenced = true;
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() = true;
             }
-            None => {
-                self.entries.insert(key, false);
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(false);
                 self.clock.push_back(key);
                 self.used_bytes += CHUNK_BYTES;
                 self.evict_to_budget();

@@ -8,6 +8,7 @@
 
 use crate::ops::FileId;
 use crate::topology::DiskProfile;
+use simcore::hash::FxBuildHasher;
 use simcore::resources::{FifoServer, Grant};
 use simcore::time::{Duration, SimTime};
 use simcore::SimRng;
@@ -21,7 +22,7 @@ pub struct DiskCalendar {
     // (file, object index) -> next expected object offset for sequential I/O
     // determinism audit (D002): point lookups/inserts/removes only — never
     // iterated, so hash order cannot reach the simulation
-    streams: HashMap<(FileId, u32), u64>,
+    streams: HashMap<(FileId, u32), u64, FxBuildHasher>,
     seq_ops: u64,
     rand_ops: u64,
     bytes: u64,
@@ -33,7 +34,7 @@ impl DiskCalendar {
         DiskCalendar {
             server: FifoServer::new(),
             profile,
-            streams: HashMap::new(),
+            streams: HashMap::default(),
             seq_ops: 0,
             rand_ops: 0,
             bytes: 0,

@@ -5,6 +5,15 @@
 //! deterministic event queue (one event per operation), so shared resources —
 //! NICs, OST disks, the MDS pool, OSC/MDC windows, extent locks — see
 //! arrivals in global time order. Barriers park ranks until all arrive.
+//!
+//! The engine is built to scale to datacenter-sized topologies (100k ranks ×
+//! 1k OSTs) without changing a single canonical byte relative to a dense
+//! small-grid run: per-OST and per-(client, OST) state is materialized
+//! lazily on first touch, rank cursors are structure-of-arrays, hot maps use
+//! a fixed-key deterministic hasher ([`simcore::hash`]), and same-timestamp
+//! events drain in batches ([`EventQueue::pop_run_into`]). See
+//! `ARCHITECTURE.md` § "Simulation performance model" for the cost
+//! accounting and the argument why none of this is observable.
 
 use crate::faults::FaultPlan;
 use crate::model::cache::{chunks_covering, PageCache, CHUNK_BYTES};
@@ -17,6 +26,7 @@ use crate::params::TuningConfig;
 use crate::stripe::{Layout, ObjectExtent, PlacementCache};
 use crate::topology::ClusterSpec;
 use crate::trace::{OpClass, OpRecord, TraceSink};
+use simcore::hash::FxBuildHasher;
 use simcore::resources::{BandwidthChannel, MultiServer};
 use simcore::time::{Duration, SimTime};
 use simcore::{EventQueue, SimRng};
@@ -53,15 +63,13 @@ pub struct Diagnostics {
     pub disk_rand_ops: u64,
 }
 
-/// Internal per-rank cursor.
-struct RankCursor {
-    stream: RankStream,
-    pc: usize,
-    done: bool,
-}
-
 enum Event {
     RankReady(usize),
+}
+
+/// Fixed per-message NIC overhead shared by client and OSS channels.
+fn nic_overhead() -> Duration {
+    Duration::from_micros(20)
 }
 
 /// The engine for one run. Construct with [`Engine::new`], call
@@ -74,11 +82,21 @@ pub struct Engine<'s> {
     rng: SimRng,
 
     client_nics: Vec<BandwidthChannel>,
-    oss_nics: Vec<BandwidthChannel>,
-    disks: Vec<DiskCalendar>,
+    // Server-side resources are materialized lazily on first touch: a
+    // 1k-OST topology running a workload that only strides a few OSTs per
+    // client never pays construction (or memory) for the rest. `None` slots
+    // are observationally identical to a freshly-constructed, never-used
+    // resource, so laziness cannot change any canonical output.
+    oss_nics: Vec<Option<BandwidthChannel>>,
+    disks: Vec<Option<DiskCalendar>>,
     mds: MultiServer,
 
-    oscs: Vec<OscState>,    // client * ost_count + ost
+    // Sparse per-(client, OST) OSC state. The dense layout was
+    // client_count × ost_count entries (2M OscStates at the 100k-rank
+    // point), nearly all of them never touched; every access is a point
+    // lookup keyed by (client, ost), so a deterministic-hash map
+    // materializing entries on first touch is order-safe.
+    oscs: HashMap<(u32, u32), OscState, FxBuildHasher>,
     mdcs: Vec<MdcState>,    // per client
     caches: Vec<PageCache>, // per client
 
@@ -86,21 +104,29 @@ pub struct Engine<'s> {
     // lookups keyed from deterministic op streams; the only iterations are
     // `agg` flushes (keys collected and sorted before RPC issue — hash
     // order is laundered) and the annotated max-reduction over `files`.
-    agg: HashMap<(u32, FileId, u32), DirtyRanges>, // (client, file, obj_index)
-    ra: HashMap<(u32, FileId), RaState>,
-    ra_ready: HashMap<(u32, FileId, u64), SimTime>, // chunk -> ready time
+    agg: HashMap<(u32, FileId, u32), DirtyRanges, FxBuildHasher>, // (client, file, obj_index)
+    ra: HashMap<(u32, FileId), RaState, FxBuildHasher>,
+    ra_ready: HashMap<(u32, FileId, u64), SimTime, FxBuildHasher>, // chunk -> ready time
     ra_inflight: Vec<std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>>, // per client (end, bytes)
     ra_inflight_bytes: Vec<u64>,
-    sa: HashMap<(u32, DirId), SaState>,
-    locks: HashMap<FileId, LockTable>,
-    files: HashMap<FileId, FileState>,
-    dirs: HashMap<DirId, DirState>,
+    sa: HashMap<(u32, DirId), SaState, FxBuildHasher>,
+    locks: HashMap<FileId, LockTable, FxBuildHasher>,
+    files: HashMap<FileId, FileState, FxBuildHasher>,
+    dirs: HashMap<DirId, DirState, FxBuildHasher>,
 
     next_start_ost: u32,
-    // Per-op allocation avoidance: memoized stripe→OST tables plus a
-    // reusable extent buffer (taken/restored around each decomposition).
+    // Per-op allocation avoidance: memoized stripe→OST tables plus reusable
+    // buffers (taken/restored around each use, like `scratch_extents`).
+    // `scratch_runs`/`scratch_starts` serve flush_object and do_read's miss
+    // accumulation; `scratch_objs`/`scratch_file_objs` serve the flush key
+    // collections. Holders never overlap: flush_object never re-enters
+    // itself, and do_read never flushes.
     placements: PlacementCache,
     scratch_extents: Vec<ObjectExtent>,
+    scratch_runs: Vec<(u64, u64)>,
+    scratch_starts: Vec<u64>,
+    scratch_objs: Vec<u32>,
+    scratch_file_objs: Vec<(FileId, u32)>,
     diag: Diagnostics,
     sink: &'s mut dyn TraceSink,
 }
@@ -128,20 +154,16 @@ impl<'s> Engine<'s> {
     ) -> Self {
         let mut rng = SimRng::new(seed);
         let run_noise = rng.lognormal_factor(topo.run_noise_sigma);
-        let nic_overhead = Duration::from_micros(20);
         let client_nics = (0..topo.client_count)
-            .map(|_| BandwidthChannel::new(topo.nic_bytes_per_sec, nic_overhead))
+            .map(|_| BandwidthChannel::new(topo.nic_bytes_per_sec, nic_overhead()))
             .collect();
-        let oss_nics = (0..topo.oss_count)
-            .map(|_| BandwidthChannel::new(topo.nic_bytes_per_sec, nic_overhead))
-            .collect();
-        let disks = (0..topo.ost_count())
-            .map(|_| DiskCalendar::new(topo.disk.clone()))
-            .collect();
+        // Lazy server-side state: every slot starts empty and is built on
+        // first touch (see `disk_at`/`oss_nic_at`/`osc_mut`). None of the
+        // constructors draw from the RNG, so laziness cannot shift the
+        // deterministic draw order either.
+        let oss_nics = (0..topo.oss_count).map(|_| None).collect();
+        let disks = (0..topo.ost_count()).map(|_| None).collect();
         let mds = MultiServer::new(topo.mds_threads as usize);
-        let oscs = (0..topo.client_count * topo.ost_count())
-            .map(|_| OscState::new(cfg.osc_max_rpcs_in_flight as usize))
-            .collect();
         let mdcs = (0..topo.client_count)
             .map(|_| {
                 MdcState::new(
@@ -166,28 +188,78 @@ impl<'s> Engine<'s> {
             oss_nics,
             disks,
             mds,
-            oscs,
+            oscs: HashMap::default(),
             mdcs,
             caches,
-            agg: HashMap::new(),
-            ra: HashMap::new(),
-            ra_ready: HashMap::new(),
+            agg: HashMap::default(),
+            ra: HashMap::default(),
+            ra_ready: HashMap::default(),
             ra_inflight,
             ra_inflight_bytes: vec![0; topo.client_count as usize],
-            sa: HashMap::new(),
-            locks: HashMap::new(),
-            files: HashMap::new(),
-            dirs: HashMap::new(),
+            sa: HashMap::default(),
+            locks: HashMap::default(),
+            files: HashMap::default(),
+            dirs: HashMap::default(),
             next_start_ost: 0,
             placements: PlacementCache::new(topo.ost_count()),
             scratch_extents: Vec::new(),
+            scratch_runs: Vec::new(),
+            scratch_starts: Vec::new(),
+            scratch_objs: Vec::new(),
+            scratch_file_objs: Vec::new(),
             diag: Diagnostics::default(),
             sink,
         }
     }
 
-    fn osc_index(&self, client: u32, ost: u32) -> usize {
-        (client * self.topo.ost_count() + ost) as usize
+    /// The (client, ost) OSC, materialized on first touch. A fresh
+    /// `OscState` is indistinguishable from a dense-constructed one that was
+    /// never used, so lazy materialization is invisible to the simulation.
+    fn osc_mut(&mut self, client: u32, ost: u32) -> &mut OscState {
+        let depth = self.cfg.osc_max_rpcs_in_flight as usize;
+        self.oscs
+            .entry((client, ost))
+            .or_insert_with(|| OscState::new(depth))
+    }
+
+    /// The disk calendar of `ost`, materialized on first touch. An
+    /// associated function (not `&mut self`) so call sites can borrow
+    /// `self.rng` / `self.diag` alongside the returned calendar.
+    fn disk_at<'a>(
+        disks: &'a mut [Option<DiskCalendar>],
+        topo: &ClusterSpec,
+        ost: u32,
+    ) -> &'a mut DiskCalendar {
+        disks[ost as usize].get_or_insert_with(|| DiskCalendar::new(topo.disk.clone()))
+    }
+
+    /// The OSS ingress NIC of `oss`, materialized on first touch.
+    fn oss_nic_at<'a>(
+        nics: &'a mut [Option<BandwidthChannel>],
+        topo: &ClusterSpec,
+        oss: usize,
+    ) -> &'a mut BandwidthChannel {
+        nics[oss]
+            .get_or_insert_with(|| BandwidthChannel::new(topo.nic_bytes_per_sec, nic_overhead()))
+    }
+
+    /// Materialize every lazy slot eagerly, exactly as the engine's former
+    /// dense layout did at construction. Test-only hook: the equivalence
+    /// suite runs a prematerialized engine against a lazy one and asserts
+    /// bit-identical traces, wall clocks and diagnostics.
+    #[cfg(test)]
+    pub(crate) fn prematerialize_dense(&mut self) {
+        for ost in 0..self.topo.ost_count() {
+            Self::disk_at(&mut self.disks, &self.topo, ost);
+        }
+        for oss in 0..self.topo.oss_count as usize {
+            Self::oss_nic_at(&mut self.oss_nics, &self.topo, oss);
+        }
+        for client in 0..self.topo.client_count {
+            for ost in 0..self.topo.ost_count() {
+                self.osc_mut(client, ost);
+            }
+        }
     }
 
     /// Service-time multiplier of `ost` at simulated instant `at` under the
@@ -262,8 +334,10 @@ impl<'s> Engine<'s> {
         is_write: bool,
         short_io: bool,
     ) -> SimTime {
-        let osc = self.osc_index(client, ost);
-        let admit = self.oscs[osc].window.admit(now);
+        let _ = is_write; // reads traverse the request first, then data flows
+                          // back; the calendar composition is symmetric, so
+                          // both directions share one pipeline.
+        let admit = self.osc_mut(client, ost).window.admit(now);
         let setup = if short_io {
             Duration::ZERO
         } else {
@@ -272,33 +346,20 @@ impl<'s> Engine<'s> {
         let t0 = admit + setup + self.half_rtt();
         let g_cnic = self.client_nics[client as usize].schedule(t0, bytes);
         let oss = self.topo.oss_of_ost(ost) as usize;
-        let g_onic = self.oss_nics[oss].schedule(g_cnic.end, bytes);
+        let g_onic =
+            Self::oss_nic_at(&mut self.oss_nics, &self.topo, oss).schedule(g_cnic.end, bytes);
         let noise = self.run_noise * self.fault_factor(ost, g_onic.end);
-        let g_disk = if is_write {
-            self.disks[ost as usize].transfer(
-                g_onic.end,
-                file,
-                obj_index,
-                obj_offset,
-                bytes,
-                noise,
-                &mut self.rng,
-            )
-        } else {
-            // Reads traverse the request first, then data flows back; the
-            // calendar composition is symmetric, so reuse the same pipeline.
-            self.disks[ost as usize].transfer(
-                g_onic.end,
-                file,
-                obj_index,
-                obj_offset,
-                bytes,
-                noise,
-                &mut self.rng,
-            )
-        };
+        let g_disk = Self::disk_at(&mut self.disks, &self.topo, ost).transfer(
+            g_onic.end,
+            file,
+            obj_index,
+            obj_offset,
+            bytes,
+            noise,
+            &mut self.rng,
+        );
         let end = g_disk.end + self.half_rtt();
-        self.oscs[osc].window.complete(end);
+        self.osc_mut(client, ost).window.complete(end);
         self.diag.bulk_rpcs += 1;
         end
     }
@@ -335,8 +396,7 @@ impl<'s> Engine<'s> {
         while remaining > 0 {
             let take = remaining.min(rpc_bytes);
             let end = self.bulk_rpc(client, file, obj_index, ost, off, take, now, true, false);
-            let osc = self.osc_index(client, ost);
-            self.oscs[osc]
+            self.osc_mut(client, ost)
                 .wb_pending
                 .push(std::cmp::Reverse((end, take)));
             if let Some(f) = self.files.get_mut(&file) {
@@ -363,18 +423,20 @@ impl<'s> Engine<'s> {
         };
         let ost = ranges.ost;
         let rpc_bytes = self.cfg.rpc_bytes().max(4096);
-        let mut to_issue: Vec<(u64, u64)> = Vec::new();
+        let mut to_issue = std::mem::take(&mut self.scratch_runs);
         if force {
-            to_issue = ranges.drain_all();
+            ranges.drain_all_into(&mut to_issue);
         } else {
             // Pull only runs long enough to fill at least one RPC; keep the
             // sub-RPC remainder buffered for further aggregation.
-            let full: Vec<u64> = ranges
-                .iter_runs()
-                .filter(|&(_, l)| l >= rpc_bytes)
-                .map(|(s, _)| s)
-                .collect();
-            for s in full {
+            let mut full = std::mem::take(&mut self.scratch_starts);
+            full.extend(
+                ranges
+                    .iter_runs()
+                    .filter(|&(_, l)| l >= rpc_bytes)
+                    .map(|(s, _)| s),
+            );
+            for s in full.drain(..) {
                 if let Some((start, len)) = ranges.take(s) {
                     let keep = len % rpc_bytes;
                     let issue = len - keep;
@@ -386,43 +448,49 @@ impl<'s> Engine<'s> {
                     }
                 }
             }
+            self.scratch_starts = full;
         }
         if self.agg.get(&key).map(|r| r.is_empty()).unwrap_or(false) {
             self.agg.remove(&key);
         }
-        for (s, l) in to_issue {
+        for (s, l) in to_issue.drain(..) {
             self.writeback_run(client, file, obj_index, ost, s, l, now);
         }
+        self.scratch_runs = to_issue;
     }
 
     /// Flush all buffered dirty data of (client, file).
     fn flush_file(&mut self, client: u32, file: FileId, now: SimTime) {
-        let mut keys: Vec<u32> = self
-            .agg
-            .keys()
-            .filter(|(c, f, _)| *c == client && *f == file)
-            .map(|(_, _, o)| *o)
-            .collect();
+        let mut keys = std::mem::take(&mut self.scratch_objs);
+        keys.extend(
+            self.agg
+                .keys()
+                .filter(|(c, f, _)| *c == client && *f == file)
+                .map(|(_, _, o)| *o),
+        );
         // HashMap iteration order is nondeterministic; RPC issue order is
         // observable through resource calendars, so sort.
         keys.sort_unstable();
-        for obj in keys {
+        for obj in keys.drain(..) {
             self.flush_object(client, file, obj, now, true);
         }
+        self.scratch_objs = keys;
     }
 
     /// Flush every buffered run of `client` whose object lives on `ost`.
     fn flush_osc(&mut self, client: u32, ost: u32, now: SimTime) {
-        let mut keys: Vec<(FileId, u32)> = self
-            .agg
-            .iter()
-            .filter(|((c, _, _), r)| *c == client && r.ost == ost)
-            .map(|((_, f, o), _)| (*f, *o))
-            .collect();
+        let mut keys = std::mem::take(&mut self.scratch_file_objs);
+        keys.extend(
+            self.agg
+                .iter()
+                .filter(|((c, _, _), r)| *c == client && r.ost == ost)
+                .map(|((_, f, o), _)| (*f, *o)),
+        );
         keys.sort_unstable();
-        for (f, o) in keys {
+        for (f, o) in keys.drain(..) {
             self.flush_object(client, f, o, now, true);
         }
+        self.scratch_file_objs = keys;
     }
 
     fn layout_of(&mut self, file: FileId) -> Layout {
@@ -527,22 +595,28 @@ impl<'s> Engine<'s> {
         let dirty_cap = self.cfg.osc_max_dirty_mb as u64 * (1 << 20);
         let rpc_bytes = self.cfg.rpc_bytes().max(4096);
         for e in &extents {
-            let osc = self.osc_index(client, e.ost);
             // Dirty-limit backpressure.
-            self.oscs[osc].advance(t);
-            if self.oscs[osc].dirty_bytes + e.len > dirty_cap {
+            let over_cap = {
+                let osc = self.osc_mut(client, e.ost);
+                osc.advance(t);
+                osc.dirty_bytes + e.len > dirty_cap
+            };
+            if over_cap {
                 // Push out buffered runs on this OSC, then wait for drain.
                 self.flush_osc(client, e.ost, t);
-                let osc_state = &mut self.oscs[osc];
                 let before = t;
-                if let Some(ready) = osc_state.drain_until_room(t, e.len, dirty_cap) {
+                if let Some(ready) = self
+                    .osc_mut(client, e.ost)
+                    .drain_until_room(t, e.len, dirty_cap)
+                {
                     let stall = ready.saturating_since(before);
-                    self.oscs[osc].dirty_stall = self.oscs[osc].dirty_stall.saturating_add(stall);
+                    let osc = self.osc_mut(client, e.ost);
+                    osc.dirty_stall = osc.dirty_stall.saturating_add(stall);
                     self.diag.dirty_stall_secs += stall.as_secs_f64();
                     t = ready;
                 }
             }
-            self.oscs[osc].dirty_bytes += e.len;
+            self.osc_mut(client, e.ost).dirty_bytes += e.len;
 
             // Coalescing aggregation: insert the extent into the object's
             // dirty-range set; once the containing run fills an RPC, flush
@@ -569,8 +643,10 @@ impl<'s> Engine<'s> {
 
         let t = now + self.lock_acquire(client, file, offset, len);
 
-        // Classify chunks: cached / readahead-inflight / miss.
-        let mut miss_runs: Vec<(u64, u64)> = Vec::new(); // (offset, len) in bytes
+        // Classify chunks: cached / readahead-inflight / miss. The run
+        // accumulator reuses the flush scratch buffer ((offset, len) in
+        // bytes): reads never flush, so the two holders cannot overlap.
+        let mut miss_runs = std::mem::take(&mut self.scratch_runs);
         let mut wait_until = t;
         let mut run_start: Option<u64> = None;
         let mut last_chunk_end = 0u64;
@@ -641,6 +717,8 @@ impl<'s> Engine<'s> {
             }
         }
         self.scratch_extents = extents;
+        miss_runs.clear();
+        self.scratch_runs = miss_runs;
         // Memory copy to the application buffer.
         end = end.max(t) + self.memcpy(len);
 
@@ -806,7 +884,7 @@ impl<'s> Engine<'s> {
             for obj in 0..layout.stripe_count {
                 let ost = layout.ost_of(obj, self.topo.ost_count());
                 let noise = self.run_noise * self.fault_factor(ost, now);
-                let _ = self.disks[ost as usize].small_op(now, noise);
+                let _ = Self::disk_at(&mut self.disks, &self.topo, ost).small_op(now, noise);
             }
             let residual_us = 2.0 * (self.topo.mds_getattr_us + self.topo.rpc_rtt_us) / depth + 6.0;
             return now + Duration::from_secs_f64(residual_us * 1e-6);
@@ -824,7 +902,8 @@ impl<'s> Engine<'s> {
         for obj in 0..layout.stripe_count {
             let ost = layout.ost_of(obj, self.topo.ost_count());
             let noise = self.run_noise * self.fault_factor(ost, glimpse_arrival);
-            let g = self.disks[ost as usize].small_op(glimpse_arrival, noise);
+            let g =
+                Self::disk_at(&mut self.disks, &self.topo, ost).small_op(glimpse_arrival, noise);
             end = end.max(g.end + half + half);
         }
         end
@@ -986,8 +1065,9 @@ impl<'s> Engine<'s> {
                 for obj in 0..layout.stripe_count {
                     let ost = layout.ost_of(obj, self.topo.ost_count());
                     let noise = self.run_noise * self.fault_factor(ost, end);
-                    let _ = self.disks[ost as usize].small_op(end, noise);
-                    self.disks[ost as usize].forget(file, obj);
+                    let disk = Self::disk_at(&mut self.disks, &self.topo, ost);
+                    let _ = disk.small_op(end, noise);
+                    disk.forget(file, obj);
                 }
                 self.caches[client as usize].invalidate_file(file);
                 (
@@ -1063,14 +1143,17 @@ impl<'s> Engine<'s> {
         );
 
         let n = streams.len();
-        let mut cursors: Vec<RankCursor> = streams
-            .into_iter()
-            .map(|stream| RankCursor {
-                stream,
-                pc: 0,
-                done: false,
-            })
-            .collect();
+        // Structure-of-arrays cursors: the loop touches `pcs`/`done` on
+        // every event but a stream only to fetch one op, so the hot
+        // bookkeeping stays dense in cache instead of strided across
+        // RankStream-sized records.
+        let mut pcs: Vec<usize> = vec![0; n];
+        let mut done: Vec<bool> = vec![false; n];
+        // Maintained count of unfinished ranks. The old code recounted
+        // `!done` on every barrier arrival — O(n) per arrival, O(n²) per
+        // barrier, the dominant cost at 100k ranks. Pure bookkeeping: the
+        // count it replaces is exactly `done.iter().filter(|d| !**d).count()`.
+        let mut live = n;
 
         // One in-flight event per rank, so pre-sizing to the rank count
         // makes the run loop's push/pop cycle allocation-free.
@@ -1082,45 +1165,54 @@ impl<'s> Engine<'s> {
         let mut barrier_time = SimTime::ZERO;
         let mut finish = SimTime::ZERO;
 
-        while let Some((now, Event::RankReady(i))) = queue.pop() {
-            let cursor = &mut cursors[i];
-            if cursor.done {
-                continue;
-            }
-            if cursor.pc >= cursor.stream.ops.len() {
-                cursor.done = true;
-                finish = finish.max(now);
-                continue;
-            }
-            let op = cursor.stream.ops[cursor.pc];
-            cursor.pc += 1;
-            let rank = cursor.stream.rank;
-            let module = cursor.stream.module;
-
-            if matches!(op, IoOp::Barrier) {
-                waiting_at_barrier.push(i);
-                barrier_time = barrier_time.max(now);
-                let live = cursors.iter().filter(|c| !c.done).count();
-                if waiting_at_barrier.len() == live {
-                    let resume = barrier_time + Duration::from_micros(60);
-                    // Release in rank order so same-instant create/open races
-                    // after a barrier resolve the way MPI programs expect
-                    // (creator ranks are the lowest in their group).
-                    waiting_at_barrier.sort_unstable();
-                    for j in waiting_at_barrier.drain(..) {
-                        queue.push(resume, Event::RankReady(j));
-                    }
-                    barrier_time = SimTime::ZERO;
+        // Drain all events sharing the earliest timestamp in one pass.
+        // `pop_run_into` preserves FIFO order within the instant and events
+        // pushed during the batch land in later drains (see its docs), so
+        // this processes the exact sequence the one-event `pop` loop did
+        // while amortizing heap rebalancing across the batch.
+        let mut batch: Vec<Event> = Vec::with_capacity(n);
+        while let Some(now) = queue.pop_run_into(&mut batch) {
+            for event in batch.drain(..) {
+                let Event::RankReady(i) = event;
+                if done[i] {
+                    continue;
                 }
-                continue;
-            }
+                if pcs[i] >= streams[i].ops.len() {
+                    done[i] = true;
+                    live -= 1;
+                    finish = finish.max(now);
+                    continue;
+                }
+                let op = streams[i].ops[pcs[i]];
+                pcs[i] += 1;
+                let rank = streams[i].rank;
+                let module = streams[i].module;
 
-            let (end, rec) = self.do_op(rank, &op, now);
-            if let Some(mut r) = rec {
-                r.module = module;
-                self.sink.record(&r);
+                if matches!(op, IoOp::Barrier) {
+                    waiting_at_barrier.push(i);
+                    barrier_time = barrier_time.max(now);
+                    if waiting_at_barrier.len() == live {
+                        let resume = barrier_time + Duration::from_micros(60);
+                        // Release in rank order so same-instant create/open
+                        // races after a barrier resolve the way MPI programs
+                        // expect (creator ranks are the lowest in their
+                        // group).
+                        waiting_at_barrier.sort_unstable();
+                        for j in waiting_at_barrier.drain(..) {
+                            queue.push(resume, Event::RankReady(j));
+                        }
+                        barrier_time = SimTime::ZERO;
+                    }
+                    continue;
+                }
+
+                let (end, rec) = self.do_op(rank, &op, now);
+                if let Some(mut r) = rec {
+                    r.module = module;
+                    self.sink.record(&r);
+                }
+                queue.push(end.max(now), Event::RankReady(i));
             }
-            queue.push(end.max(now), Event::RankReady(i));
         }
 
         // Drain all outstanding writeback so the run accounts for data
@@ -1131,7 +1223,11 @@ impl<'s> Engine<'s> {
         for f in self.files.values() {
             drain = drain.max(f.last_wb_end);
         }
-        for d in &self.disks {
+        // Never-materialized disks would contribute exactly 0.0 busy seconds
+        // and 0 ops; `x + 0.0 == x` bitwise for these non-negative sums, so
+        // skipping the `None` slots (in the same index order) is
+        // bit-identical to the dense accounting.
+        for d in self.disks.iter().flatten() {
             self.diag.disk_busy_secs += d.busy_time().as_secs_f64();
             self.diag.disk_seq_ops += d.seq_ops();
             self.diag.disk_rand_ops += d.rand_ops();

@@ -3,9 +3,12 @@
 
 #![cfg(test)]
 
+use crate::faults::FaultPlan;
+use crate::model::engine::Engine;
 use crate::ops::{DirId, FileId, IoOp, Module, RankStream};
 use crate::params::TuningConfig;
 use crate::topology::ClusterSpec;
+use crate::trace::VecSink;
 use crate::PfsSimulator;
 use proptest::prelude::*;
 
@@ -40,6 +43,65 @@ fn arb_streams() -> impl Strategy<Value = Vec<RankStream>> {
             })
             .collect()
     })
+}
+
+/// Run `streams` twice through otherwise-identical engines — one with the
+/// default lazy/sparse state, one with every per-OST and per-(client, OST)
+/// slot prematerialized the way the old dense layout constructed them — and
+/// assert every observable output is bit-identical: the full trace record
+/// sequence (canonical JSONL and Darshan counters are pure functions of it),
+/// the wall clock's f64 bits, and every diagnostics counter.
+fn assert_lazy_equals_dense(
+    topo: &ClusterSpec,
+    streams: Vec<RankStream>,
+    cfg: &TuningConfig,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+) {
+    let mut lazy_sink = VecSink::default();
+    let lazy_engine = Engine::with_faults(topo, cfg, seed, &mut lazy_sink, plan);
+    let (lazy_wall, lazy_diag) = lazy_engine.run(streams.clone());
+
+    let mut dense_sink = VecSink::default();
+    let mut dense_engine = Engine::with_faults(topo, cfg, seed, &mut dense_sink, plan);
+    dense_engine.prematerialize_dense();
+    let (dense_wall, dense_diag) = dense_engine.run(streams);
+
+    prop_assert_eq!(
+        lazy_wall.as_secs_f64().to_bits(),
+        dense_wall.as_secs_f64().to_bits()
+    );
+    prop_assert_eq!(lazy_diag.bytes_written, dense_diag.bytes_written);
+    prop_assert_eq!(lazy_diag.bytes_read, dense_diag.bytes_read);
+    prop_assert_eq!(lazy_diag.cache_hit_chunks, dense_diag.cache_hit_chunks);
+    prop_assert_eq!(lazy_diag.cache_miss_chunks, dense_diag.cache_miss_chunks);
+    prop_assert_eq!(lazy_diag.lock_revocations, dense_diag.lock_revocations);
+    prop_assert_eq!(
+        lazy_diag.dirty_stall_secs.to_bits(),
+        dense_diag.dirty_stall_secs.to_bits()
+    );
+    prop_assert_eq!(lazy_diag.mds_ops, dense_diag.mds_ops);
+    prop_assert_eq!(lazy_diag.bulk_rpcs, dense_diag.bulk_rpcs);
+    prop_assert_eq!(lazy_diag.readahead_bytes, dense_diag.readahead_bytes);
+    prop_assert_eq!(lazy_diag.statahead_hits, dense_diag.statahead_hits);
+    prop_assert_eq!(
+        lazy_diag.disk_busy_secs.to_bits(),
+        dense_diag.disk_busy_secs.to_bits()
+    );
+    prop_assert_eq!(lazy_diag.disk_seq_ops, dense_diag.disk_seq_ops);
+    prop_assert_eq!(lazy_diag.disk_rand_ops, dense_diag.disk_rand_ops);
+
+    prop_assert_eq!(lazy_sink.records.len(), dense_sink.records.len());
+    for (l, d) in lazy_sink.records.iter().zip(&dense_sink.records) {
+        prop_assert_eq!(l.rank, d.rank);
+        prop_assert_eq!(l.file, d.file);
+        prop_assert_eq!(l.module, d.module);
+        prop_assert_eq!(l.class, d.class);
+        prop_assert_eq!(l.offset, d.offset);
+        prop_assert_eq!(l.bytes, d.bytes);
+        prop_assert_eq!(l.start, d.start);
+        prop_assert_eq!(l.end, d.end);
+    }
 }
 
 proptest! {
@@ -93,6 +155,50 @@ proptest! {
         );
         let slower = sim.run(heavier, &cfg, 3).wall_secs;
         prop_assert!(slower >= base * 0.98 - 1e-6, "{slower} < {base}");
+    }
+
+    /// Sparse/lazy engine state is bit-identical to dense prematerialized
+    /// state: traces, wall bits and every diagnostics counter, across
+    /// random workloads × seeds × topologies × fault plans.
+    #[test]
+    fn lazy_state_equals_dense_state(
+        streams in arb_streams(),
+        seed in 0u64..200,
+        wide in 0u8..2,
+        fault_sel in 0u64..200,
+    ) {
+        // `tiny` packs ranks onto few clients; `scaled` spreads them over a
+        // wider OST grid where most (client, OST) pairs stay untouched.
+        let topo = if wide == 1 {
+            ClusterSpec::scaled(100, 7)
+        } else {
+            ClusterSpec::tiny()
+        };
+        // Odd selectors run faulted (seeded plan), even ones pristine.
+        let plan = (fault_sel % 2 == 1).then(|| FaultPlan::seeded(topo.ost_count(), fault_sel / 2));
+        let cfg = TuningConfig::lustre_default();
+        assert_lazy_equals_dense(&topo, streams, &cfg, seed, plan.as_ref());
+    }
+
+    /// Same equivalence through the barrier path: every rank hits a barrier,
+    /// so the release schedules the whole cohort at one instant and the
+    /// batched event drain (`EventQueue::pop_run_into`) processes a full
+    /// same-timestamp run — the exact shape that regressed tie-order would
+    /// corrupt.
+    #[test]
+    fn lazy_state_equals_dense_state_with_barriers(
+        streams in arb_streams(),
+        seed in 0u64..200,
+    ) {
+        let mut streams = streams;
+        for s in &mut streams {
+            // After the leading Create (index 0): everyone synchronizes.
+            s.ops.insert(1, IoOp::Barrier);
+            s.push(IoOp::Barrier);
+        }
+        let topo = ClusterSpec::tiny();
+        let cfg = TuningConfig::lustre_default();
+        assert_lazy_equals_dense(&topo, streams, &cfg, seed, None);
     }
 
     /// Disabling every cache/pipeline aid never *helps*: the deliberately

@@ -3,6 +3,7 @@
 
 use crate::ops::DirId;
 use crate::stripe::Layout;
+use simcore::hash::FxBuildHasher;
 use simcore::resources::Window;
 use simcore::time::{Duration, SimTime};
 use std::cmp::Reverse;
@@ -155,6 +156,14 @@ impl DirtyRanges {
         out
     }
 
+    /// Like [`drain_all`](Self::drain_all), but appending into a
+    /// caller-provided buffer (offset order) so flush paths on the engine's
+    /// hot loop can reuse one allocation across ops.
+    pub fn drain_all_into(&mut self, out: &mut Vec<(u64, u64)>) {
+        out.extend(self.ranges.iter().map(|(&s, &l)| (s, l)));
+        self.ranges.clear();
+    }
+
     /// Total dirty bytes tracked.
     pub fn total(&self) -> u64 {
         self.ranges.values().sum()
@@ -229,7 +238,7 @@ pub struct DirState {
 pub struct LockTable {
     // determinism audit (D002): point lookups per lock region, visited in
     // ascending region order by `acquire` — never iterated as a map
-    holders: HashMap<u64, u32>,
+    holders: HashMap<u64, u32, FxBuildHasher>,
     conflicts: u64,
 }
 
@@ -379,6 +388,17 @@ mod tests {
         d.insert(200, 10);
         d.insert(140, 70); // bridges [0,150) and [200,210)
         assert_eq!(d.drain_all(), vec![(0, 210)]);
+    }
+
+    #[test]
+    fn dirty_ranges_drain_into_appends_in_offset_order() {
+        let mut d = DirtyRanges::new(0);
+        d.insert(100, 10);
+        d.insert(0, 10);
+        let mut buf = vec![(7u64, 7u64)]; // pre-existing contents survive
+        d.drain_all_into(&mut buf);
+        assert_eq!(buf, vec![(7, 7), (0, 10), (100, 10)]);
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! per-op placement stops re-deriving the same modular arithmetic.
 
 use serde::{Deserialize, Serialize};
+use simcore::hash::FxBuildHasher;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -130,7 +131,7 @@ impl Layout {
 pub struct PlacementCache {
     // determinism audit (D002): memo table hit by point lookups only; a
     // hit returns the same Arc'd table a miss would compute
-    tables: HashMap<(u32, u32), Arc<[u32]>>,
+    tables: HashMap<(u32, u32), Arc<[u32]>, FxBuildHasher>,
     ost_count: u32,
 }
 
@@ -138,7 +139,7 @@ impl PlacementCache {
     /// Cache for a cluster with `ost_count` OSTs.
     pub fn new(ost_count: u32) -> Self {
         PlacementCache {
-            tables: HashMap::new(),
+            tables: HashMap::default(),
             ost_count,
         }
     }

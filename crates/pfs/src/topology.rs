@@ -86,6 +86,35 @@ impl ClusterSpec {
         }
     }
 
+    /// A datacenter-scale cluster: `osts` OSTs (one per OSS node) serving
+    /// `ranks` MPI ranks packed up to 50 per client node, with the paper
+    /// cluster's per-node hardware. This is the topology axis the
+    /// `perfsuite --simscale` sweep walks.
+    ///
+    /// `ranks` is rounded up to a whole number of client nodes, so
+    /// [`ClusterSpec::total_ranks`] can exceed the request when `ranks` is
+    /// not a multiple of the per-node packing; sweep points use multiples
+    /// of 50 to keep the grid exact.
+    ///
+    /// ```
+    /// use pfs::ClusterSpec;
+    /// let c = ClusterSpec::scaled(100_000, 1_000);
+    /// assert_eq!(c.total_ranks(), 100_000);
+    /// assert_eq!(c.ost_count(), 1_000);
+    /// assert_eq!(c.client_count, 2_000);
+    /// ```
+    pub fn scaled(ranks: u32, osts: u32) -> Self {
+        let ranks = ranks.max(1);
+        let ranks_per_client = ranks.min(50);
+        ClusterSpec {
+            oss_count: osts.max(1),
+            osts_per_oss: 1,
+            client_count: ranks.div_ceil(ranks_per_client),
+            ranks_per_client,
+            ..Self::paper_cluster()
+        }
+    }
+
     /// A 2-OSS, 2-client miniature for fast unit tests.
     pub fn tiny() -> Self {
         ClusterSpec {

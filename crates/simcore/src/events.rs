@@ -114,6 +114,50 @@ impl<E> EventQueue<E> {
         Some((entry.time, entry.event))
     }
 
+    /// Pop *every* event sharing the earliest pending timestamp, appending
+    /// them to `out` in FIFO sequence order, and return that timestamp.
+    /// Returns `None` (and leaves `out` untouched) when the queue is empty.
+    ///
+    /// This is the batch form of [`pop`](Self::pop) for simulation loops that
+    /// process events one virtual instant at a time. It is observationally
+    /// identical to calling `pop` in a loop while the head's time equals the
+    /// first popped time, under one condition the debug-build push assertion
+    /// already enforces: events pushed *while processing* the batch are
+    /// scheduled at or after the batch's timestamp, and any pushed exactly at
+    /// it carry a later sequence number than every drained member — so they
+    /// pop in a subsequent drain of the same instant, exactly where the
+    /// one-at-a-time loop would deliver them.
+    ///
+    /// The caller owns `out`'s lifecycle (typically `clear()` + reuse across
+    /// iterations), so the steady-state loop does no per-instant allocation.
+    ///
+    /// ```
+    /// use simcore::{EventQueue, SimTime};
+    ///
+    /// let mut q = EventQueue::new();
+    /// let t = SimTime::from_secs(1);
+    /// q.push(t, "a");
+    /// q.push(SimTime::from_secs(2), "later");
+    /// q.push(t, "b");
+    ///
+    /// let mut batch = Vec::new();
+    /// assert_eq!(q.pop_run_into(&mut batch), Some(t));
+    /// assert_eq!(batch, vec!["a", "b"]); // FIFO within the instant
+    /// assert_eq!(q.len(), 1); // "later" stays queued
+    /// ```
+    pub fn pop_run_into(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let first = self.heap.peek()?.time;
+        self.last_popped = first;
+        while let Some(head) = self.heap.peek() {
+            if head.time != first {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry must pop");
+            out.push(entry.event);
+        }
+        Some(first)
+    }
+
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -217,6 +261,69 @@ mod tests {
 
         // Reuse kept the allocation.
         assert!(q.capacity() >= 8);
+    }
+
+    /// Regression pin for batched draining: `pop_run_into` must deliver the
+    /// exact sequence the one-at-a-time `pop` loop would, including events
+    /// pushed *at the drained instant* while the batch is being processed
+    /// (they land in a later drain of the same instant, after every member of
+    /// the current batch).
+    #[test]
+    fn batched_drain_matches_serial_pop_order() {
+        // Scenario: ranks 0..4 ready at t=1s; processing rank i schedules a
+        // follow-up — even ranks at the same instant, odd ranks 1s later.
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..4u32 {
+                q.push(SimTime::from_secs(1), i);
+            }
+            q
+        };
+        let follow_up = |q: &mut EventQueue<u32>, now: SimTime, ev: u32| {
+            if ev < 4 {
+                let (delay, tag) = if ev % 2 == 0 {
+                    (Duration::ZERO, 10 + ev)
+                } else {
+                    (Duration::from_secs(1), 20 + ev)
+                };
+                q.push(now + delay, tag);
+            }
+        };
+
+        let mut serial = Vec::new();
+        let mut q = build();
+        while let Some((now, ev)) = q.pop() {
+            serial.push((now, ev));
+            follow_up(&mut q, now, ev);
+        }
+
+        let mut batched = Vec::new();
+        let mut q = build();
+        let mut batch = Vec::new();
+        while let Some(now) = q.pop_run_into(&mut batch) {
+            for ev in batch.drain(..) {
+                batched.push((now, ev));
+                follow_up(&mut q, now, ev);
+            }
+        }
+
+        assert_eq!(serial, batched);
+        // Sanity: same-instant follow-ups really did run at t=1s after the
+        // whole original batch, and delayed ones at t=2s.
+        let t1: Vec<u32> = serial
+            .iter()
+            .filter(|(t, _)| *t == SimTime::from_secs(1))
+            .map(|&(_, e)| e)
+            .collect();
+        assert_eq!(t1, vec![0, 1, 2, 3, 10, 12]);
+    }
+
+    #[test]
+    fn pop_run_into_on_empty_queue_is_none() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        let mut batch = vec![7u8]; // pre-existing contents must survive
+        assert_eq!(q.pop_run_into(&mut batch), None);
+        assert_eq!(batch, vec![7]);
     }
 
     #[test]

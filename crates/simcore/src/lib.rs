@@ -27,6 +27,7 @@
 
 pub mod chacha;
 pub mod events;
+pub mod hash;
 pub mod resources;
 pub mod rng;
 pub mod stats;

@@ -39,6 +39,12 @@ pub struct Ior {
     /// Task shift for the read phase (`-C`): rank r reads rank (r+shift)'s
     /// data, defeating the client page cache.
     pub task_shift: u32,
+    /// File-per-process mode (`-F`): each rank owns a private file instead of
+    /// sharing [`IOR_FILE`]. Rank `r` creates `FileId(1 + r)`; the task-shifted
+    /// read phase opens the neighbour's file. Defaults to `false` (shared
+    /// file, the paper's configuration).
+    #[serde(default)]
+    pub file_per_process: bool,
 }
 
 /// The shared file IOR uses.
@@ -55,6 +61,7 @@ impl Ior {
             pattern: Pattern::Random,
             read_phase: true,
             task_shift: 10,
+            file_per_process: false,
         }
     }
 
@@ -69,7 +76,31 @@ impl Ior {
             pattern: Pattern::Sequential,
             read_phase: true,
             task_shift: 10,
+            file_per_process: false,
         }
+    }
+
+    /// `IOR_FPP`: file-per-process sequential writes (`-F`), the access shape
+    /// datacenter-scale sweeps use so each client touches a sparse slice of
+    /// the OST population. `blocks` 128 MiB-free: one `block`-byte block per
+    /// rank with `transfer`-byte sequential transfers and a task-shifted
+    /// read-back.
+    pub fn ior_fpp(transfer: u64, block: u64) -> Self {
+        Ior {
+            label: "IOR_FPP".into(),
+            transfer,
+            block,
+            blocks_per_rank: 1,
+            pattern: Pattern::Sequential,
+            read_phase: true,
+            task_shift: 1,
+            file_per_process: true,
+        }
+    }
+
+    /// The file `rank` writes in file-per-process mode.
+    fn fpp_file(rank: u64) -> FileId {
+        FileId(1 + rank as u32)
     }
 
     /// Transfers per block.
@@ -95,20 +126,34 @@ impl Workload for Ior {
         let mut streams = Vec::with_capacity(nranks as usize);
         for rank in 0..nranks {
             let mut s = RankStream::new(rank as u32, Module::MpiIo);
-            if rank == 0 {
+            let write_file = if self.file_per_process {
+                // Every rank creates its own file (IOR -F).
+                let f = Self::fpp_file(rank);
+                s.push(IoOp::Create {
+                    file: f,
+                    dir: DirId(0),
+                });
+                f
+            } else if rank == 0 {
                 s.push(IoOp::Create {
                     file: IOR_FILE,
                     dir: DirId(0),
                 });
+                IOR_FILE
             } else {
                 s.push(IoOp::Open { file: IOR_FILE });
-            }
+                IOR_FILE
+            };
             s.push(IoOp::Barrier);
 
             // Write phase.
             let mut rng = SimRng::new(seed).derive(&self.label, rank);
             for b in 0..self.blocks_per_rank {
-                let base = self.block_base(rank, b, nranks);
+                let base = if self.file_per_process {
+                    b * self.block
+                } else {
+                    self.block_base(rank, b, nranks)
+                };
                 let mut slots: Vec<u64> = (0..tpb).collect();
                 if self.pattern == Pattern::Random {
                     // Fisher-Yates with the rank's derived stream.
@@ -119,21 +164,30 @@ impl Workload for Ior {
                 }
                 for &slot in &slots {
                     s.push(IoOp::Write {
-                        file: IOR_FILE,
+                        file: write_file,
                         offset: base + slot * self.transfer,
                         len: self.transfer,
                     });
                 }
             }
-            s.push(IoOp::Close { file: IOR_FILE });
+            s.push(IoOp::Close { file: write_file });
             s.push(IoOp::Barrier);
 
             // Read phase (task-shifted).
             if self.read_phase {
-                s.push(IoOp::Open { file: IOR_FILE });
                 let reader_of = (rank + self.task_shift as u64) % nranks;
+                let read_file = if self.file_per_process {
+                    Self::fpp_file(reader_of)
+                } else {
+                    IOR_FILE
+                };
+                s.push(IoOp::Open { file: read_file });
                 for b in 0..self.blocks_per_rank {
-                    let base = self.block_base(reader_of, b, nranks);
+                    let base = if self.file_per_process {
+                        b * self.block
+                    } else {
+                        self.block_base(reader_of, b, nranks)
+                    };
                     let mut slots: Vec<u64> = (0..tpb).collect();
                     if self.pattern == Pattern::Random {
                         for i in (1..slots.len()).rev() {
@@ -143,13 +197,13 @@ impl Workload for Ior {
                     }
                     for &slot in &slots {
                         s.push(IoOp::Read {
-                            file: IOR_FILE,
+                            file: read_file,
                             offset: base + slot * self.transfer,
                             len: self.transfer,
                         });
                     }
                 }
-                s.push(IoOp::Close { file: IOR_FILE });
+                s.push(IoOp::Close { file: read_file });
                 s.push(IoOp::Barrier);
             }
             streams.push(s);
@@ -186,7 +240,7 @@ impl Workload for Ior {
 
     fn describe(&self) -> String {
         format!(
-            "IOR: each rank {}s {} blocks of {} MiB with {} KiB transfers to a shared file{}",
+            "IOR: each rank {}s {} blocks of {} MiB with {} KiB transfers to {}{}",
             match self.pattern {
                 Pattern::Sequential => "sequentially write",
                 Pattern::Random => "randomly write",
@@ -194,6 +248,11 @@ impl Workload for Ior {
             self.blocks_per_rank,
             self.block >> 20,
             self.transfer >> 10,
+            if self.file_per_process {
+                "a file per process"
+            } else {
+                "a shared file"
+            },
             if self.read_phase {
                 ", then reads back with task shift"
             } else {
@@ -354,6 +413,66 @@ mod tests {
             let exact = crate::CostHint::from_streams(&w.generate(&t, 1));
             assert_eq!(w.cost_hint(&t), exact, "{}", w.label);
         }
+    }
+
+    #[test]
+    fn fpp_each_rank_owns_a_private_file() {
+        let w = Ior::ior_fpp(1 << 20, 4 << 20);
+        let streams = w.generate(&topo(), 1); // 4 ranks
+        for (rank, s) in streams.iter().enumerate() {
+            let own = FileId(1 + rank as u32);
+            assert!(
+                matches!(s.ops[0], IoOp::Create { file, .. } if file == own),
+                "rank {rank} must create its own file"
+            );
+            for op in &s.ops {
+                if let IoOp::Write { file, .. } = op {
+                    assert_eq!(*file, own);
+                }
+            }
+        }
+        // Write extents within one file start at 0 and stay inside the block.
+        let writes: Vec<u64> = streams[0]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                IoOp::Write { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes[0], 0);
+        assert!(writes.iter().all(|&o| o < 4 << 20));
+    }
+
+    #[test]
+    fn fpp_read_phase_is_task_shifted_to_neighbour_file() {
+        let w = Ior::ior_fpp(1 << 20, 4 << 20); // task_shift 1
+        let streams = w.generate(&topo(), 1); // 4 ranks
+        for (rank, s) in streams.iter().enumerate() {
+            let neighbour = FileId(1 + ((rank as u32 + 1) % 4));
+            for op in &s.ops {
+                if let IoOp::Read { file, .. } = op {
+                    assert_eq!(*file, neighbour, "rank {rank} reads its neighbour");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fpp_cost_hint_matches_generated_streams() {
+        let w = Ior::ior_fpp(1 << 20, 4 << 20);
+        let t = topo();
+        let exact = crate::CostHint::from_streams(&w.generate(&t, 1));
+        assert_eq!(w.cost_hint(&t), exact);
+    }
+
+    #[test]
+    fn fpp_deserializes_with_default_false() {
+        let json = serde_json::to_string(&Ior::ior_64k()).unwrap();
+        let stripped = json.replace(",\"file_per_process\":false", "");
+        assert_ne!(json, stripped, "field must serialize");
+        let w: Ior = serde_json::from_str(&stripped).unwrap();
+        assert!(!w.file_per_process);
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! `serde::Deserialize` over the `serde::Content` data model. Supported
 //! shapes — the full set this workspace uses:
 //!
-//! * structs with named fields, honouring `#[serde(rename = "...")]` and
-//!   `#[serde(skip)]` (skipped fields deserialize via `Default`);
+//! * structs with named fields, honouring `#[serde(rename = "...")]`,
+//!   `#[serde(skip)]` (skipped fields deserialize via `Default`),
+//!   `#[serde(default)]` (missing fields deserialize via `Default`), and
+//!   `#[serde(skip_serializing_if = "path")]` (field omitted from the
+//!   serialized map when `path(&field)` is true — deserialization still
+//!   requires the field unless `default` is also present, like upstream);
 //! * tuple structs (newtype structs serialize transparently, like serde);
 //! * enums with unit, newtype, tuple and struct variants, in serde's
 //!   externally-tagged representation.
@@ -20,6 +24,8 @@ struct Field {
     ident: String,
     key: String,
     skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
 }
 
 enum VariantKind {
@@ -73,6 +79,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct SerdeAttrs {
     rename: Option<String>,
     skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
 }
 
 /// Consume leading attributes from `toks[*i..]`, collecting serde ones.
@@ -80,6 +88,8 @@ fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
     let mut attrs = SerdeAttrs {
         rename: None,
         skip: false,
+        default: false,
+        skip_serializing_if: None,
     };
     loop {
         match toks.get(*i) {
@@ -109,24 +119,47 @@ fn parse_serde_attr(body: &TokenStream, attrs: &mut SerdeAttrs) {
     let mut j = 0;
     while j < inner.len() {
         match &inner[j] {
-            TokenTree::Ident(id) => match id.to_string().as_str() {
-                "skip" | "skip_serializing" | "skip_deserializing" => {
-                    attrs.skip = true;
-                    j += 1;
-                }
-                "rename" => {
-                    // rename = "literal"
-                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
-                        (inner.get(j + 1), inner.get(j + 2))
-                    {
-                        if eq.as_char() == '=' {
-                            attrs.rename = Some(unquote(&lit.to_string()));
-                        }
+            TokenTree::Ident(id) => {
+                match id.to_string().as_str() {
+                    "skip" | "skip_serializing" | "skip_deserializing" => {
+                        attrs.skip = true;
+                        j += 1;
                     }
-                    j += 3;
+                    "rename" => {
+                        // rename = "literal"
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                attrs.rename = Some(unquote(&lit.to_string()));
+                            }
+                        }
+                        j += 3;
+                    }
+                    "default" => {
+                        // Bare `default` only: `default = "path"` is unsupported.
+                        if let Some(TokenTree::Punct(p)) = inner.get(j + 1) {
+                            if p.as_char() == '=' {
+                                panic!("unsupported serde attribute `default = ...` (bare `default` only)");
+                            }
+                        }
+                        attrs.default = true;
+                        j += 1;
+                    }
+                    "skip_serializing_if" => {
+                        // skip_serializing_if = "path::to::predicate"
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                attrs.skip_serializing_if = Some(unquote(&lit.to_string()));
+                            }
+                        }
+                        j += 3;
+                    }
+                    other => panic!("unsupported serde attribute `{other}`"),
                 }
-                other => panic!("unsupported serde attribute `{other}`"),
-            },
+            }
             _ => j += 1, // separators
         }
     }
@@ -189,6 +222,8 @@ fn parse_named_fields(body: &TokenStream) -> Vec<Field> {
             key: attrs.rename.clone().unwrap_or_else(|| ident.clone()),
             ident,
             skip: attrs.skip,
+            default: attrs.default,
+            skip_serializing_if: attrs.skip_serializing_if,
         });
     }
     fields
@@ -302,11 +337,18 @@ fn gen_serialize(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let mut pushes = String::new();
             for f in fields.iter().filter(|f| !f.skip) {
-                pushes.push_str(&format!(
+                let push = format!(
                     "__m.push((\"{key}\".to_string(), ::serde::Serialize::to_content(&self.{id})));\n",
                     key = f.key,
                     id = f.ident
-                ));
+                );
+                match &f.skip_serializing_if {
+                    Some(pred) => pushes.push_str(&format!(
+                        "if !{pred}(&self.{id}) {{ {push} }}\n",
+                        id = f.ident
+                    )),
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
@@ -361,11 +403,18 @@ fn gen_serialize(item: &Item) -> String {
                         let binds: Vec<String> = fields.iter().map(|f| f.ident.clone()).collect();
                         let mut pushes = String::new();
                         for f in fields.iter().filter(|f| !f.skip) {
-                            pushes.push_str(&format!(
+                            let push = format!(
                                 "__m.push((\"{key}\".to_string(), ::serde::Serialize::to_content({id})));\n",
                                 key = f.key,
                                 id = f.ident
-                            ));
+                            );
+                            match &f.skip_serializing_if {
+                                Some(pred) => pushes.push_str(&format!(
+                                    "if !{pred}({id}) {{ {push} }}\n",
+                                    id = f.ident
+                                )),
+                                None => pushes.push_str(&push),
+                            }
                         }
                         arms.push_str(&format!(
                             "{name}::{vi} {{ {binds} }} => {{\n\
@@ -396,6 +445,15 @@ fn gen_named_ctor(path: &str, fields: &[Field], source: &str) -> String {
             inits.push_str(&format!(
                 "{id}: ::std::default::Default::default(),\n",
                 id = f.ident
+            ));
+        } else if f.default {
+            inits.push_str(&format!(
+                "{id}: match ::serde::content_get({source}, \"{key}\") {{\n\
+                   ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+                   ::std::option::Option::None => ::std::default::Default::default(),\n\
+                 }},\n",
+                id = f.ident,
+                key = f.key
             ));
         } else {
             inits.push_str(&format!(
